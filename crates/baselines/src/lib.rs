@@ -1,0 +1,25 @@
+//! Comparator implementations for the paper's evaluation.
+//!
+//! Three baselines appear in §VI:
+//!
+//! * **KBA** (Denovo-style, Table I): the classic
+//!   Koch–Baker–Alcouffe columnar wavefront sweep for structured
+//!   meshes — [`kba`];
+//! * **BSP data-driven sweeps** (the "JASMIN"/"JAUMIN" curves of
+//!   Fig. 17): JAxMIN's bulk-synchronous execution of the same DAG —
+//!   every superstep, each patch computes everything currently ready,
+//!   then a global halo exchange + barrier — [`bsp`];
+//! * **PSD-b** (Colomer et al., Table I): a dedicated single-level
+//!   data-driven sweep with one subdomain per process and no framework
+//!   overhead — [`psd`].
+//!
+//! All run in the same virtual-time [`jsweep_des::MachineModel`] as
+//! JSweep itself, so comparisons isolate the *scheduling* differences.
+
+pub mod bsp;
+pub mod kba;
+pub mod psd;
+
+pub use bsp::simulate_bsp;
+pub use kba::simulate_kba;
+pub use psd::simulate_psd;

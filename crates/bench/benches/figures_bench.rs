@@ -1,0 +1,27 @@
+//! `cargo bench` entry point that regenerates every paper table and
+//! figure at smoke scale (fast) — the per-figure full-scale harness is
+//! the `figures` binary (`cargo run -p jsweep-bench --release --bin
+//! figures`).
+
+use jsweep_bench::{figs, Scale};
+
+fn main() {
+    // `cargo bench` passes flags like --bench; ignore them.
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Smoke
+    };
+    let t0 = std::time::Instant::now();
+    for table in figs::run_all(scale) {
+        table.print();
+        table
+            .write_tsv(std::path::Path::new("bench_results"))
+            .expect("write TSV");
+    }
+    eprintln!(
+        "all figures regenerated in {:.1}s (host time, {:?} scale)",
+        t0.elapsed().as_secs_f64(),
+        scale
+    );
+}

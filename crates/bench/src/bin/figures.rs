@@ -1,0 +1,76 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--scale smoke|full] [--out DIR] [ids...]
+//! ```
+//!
+//! With no ids, every experiment runs. Results print to stdout and are
+//! written as TSVs under `--out` (default `bench_results/`).
+
+use jsweep_bench::{figs, Scale, Table};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("bench_results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = match v.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale {other:?} (use smoke|full)"),
+                };
+            }
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                println!("usage: figures [--scale smoke|full] [--out DIR] [ids...]");
+                println!("ids: fig9a fig9b fig12a fig12b fig13a fig13b fig14a fig14b");
+                println!("     fig15 fig16 fig17a fig17b table1 cg_ablation all");
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = vec![
+            "fig9a", "fig9b", "fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b",
+            "fig15", "fig16", "fig17a", "fig17b", "table1", "cg_ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let tables: Vec<Table> = match id.as_str() {
+            "fig9a" => vec![figs::fig09a(scale)],
+            "fig9b" => vec![figs::fig09b(scale)],
+            "fig12a" => vec![figs::fig12(scale, false)],
+            "fig12b" => vec![figs::fig12(scale, true)],
+            "fig13a" => figs::fig13a(scale),
+            "fig13b" => vec![figs::fig13b(scale)],
+            "fig14a" => vec![figs::fig14(scale, false)],
+            "fig14b" => vec![figs::fig14(scale, true)],
+            "fig15" => vec![figs::fig15(scale)],
+            "fig16" => vec![figs::fig16(scale)],
+            "fig17a" => vec![figs::fig17(scale, false)],
+            "fig17b" => vec![figs::fig17(scale, true)],
+            "table1" => vec![figs::table1(scale)],
+            "cg_ablation" => vec![figs::cg_ablation(scale)],
+            other => {
+                eprintln!("unknown experiment id {other:?}; see --help");
+                std::process::exit(2);
+            }
+        };
+        for t in &tables {
+            t.print();
+            t.write_tsv(&out_dir).expect("write TSV");
+        }
+        eprintln!("[{id}] done in {:.1}s (host time)", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§V–§VI) on the virtual machine model.
+//!
+//! Each `fig*` / `table1` function returns a [`table::Table`] whose
+//! rows mirror the corresponding plot's series; the `figures` binary
+//! prints them and writes TSVs under `bench_results/`.
+//!
+//! Axis mapping: the paper's core counts come from Tianhe-II
+//! allocations; this reproduction simulates a proportionally scaled
+//! machine (see DESIGN.md §2 and each experiment's `scale` constant).
+//! Reported core counts are *paper-axis* values; the `sim cores`
+//! column shows what was actually simulated.
+
+pub mod figs;
+pub mod setups;
+pub mod table;
+
+pub use figs::*;
+pub use table::Table;
+
+/// Experiment scale: `Smoke` for CI / `cargo bench`, `Full` for the
+/// EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small meshes, few points; finishes in seconds.
+    Smoke,
+    /// The documented reproduction scale; minutes on one host core.
+    Full,
+}

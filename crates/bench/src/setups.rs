@@ -1,0 +1,112 @@
+//! Shared experiment setups: meshes, decompositions, machine models.
+
+use jsweep_des::{MachineModel, ProblemOptions, SweepProblem};
+use jsweep_graph::PriorityStrategy;
+use jsweep_mesh::{partition, StructuredMesh, TetMesh};
+use jsweep_quadrature::QuadratureSet;
+
+/// Tianhe-II-style machine: 1 master + 11 workers per 12-core process.
+pub fn tianhe(ranks: usize) -> MachineModel {
+    MachineModel::cluster(ranks, 11)
+}
+
+/// Simulated cores of a Tianhe-style allocation.
+pub fn cores(ranks: usize) -> usize {
+    ranks * 12
+}
+
+/// Priority pair in the paper's "patch+vertex" notation.
+#[derive(Debug, Clone, Copy)]
+pub struct Strategies {
+    pub patch: PriorityStrategy,
+    pub vertex: PriorityStrategy,
+}
+
+impl Strategies {
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.patch.name(), self.vertex.name())
+    }
+
+    pub const SLBD2: Strategies = Strategies {
+        patch: PriorityStrategy::Slbd,
+        vertex: PriorityStrategy::Slbd,
+    };
+}
+
+/// Compile a structured problem: `n³` cells, `patch³` block patches,
+/// Hilbert rank distribution.
+pub fn structured_problem(
+    n: usize,
+    patch: usize,
+    ranks: usize,
+    quad: &QuadratureSet,
+    strat: Strategies,
+) -> SweepProblem {
+    let mesh = StructuredMesh::unit(n, n, n);
+    let ps = partition::decompose_structured(&mesh, (patch, patch, patch), ranks);
+    SweepProblem::build(
+        &mesh,
+        ps,
+        quad,
+        &ProblemOptions {
+            vertex_strategy: strat.vertex,
+            patch_strategy: strat.patch,
+            share_octant_dags: true,
+            check_cycles: false,
+        },
+    )
+}
+
+/// Compile an unstructured problem from a tet mesh.
+pub fn unstructured_problem(
+    mesh: &TetMesh,
+    cells_per_patch: usize,
+    ranks: usize,
+    quad: &QuadratureSet,
+    strat: Strategies,
+) -> SweepProblem {
+    let ps = partition::decompose_unstructured(mesh, cells_per_patch, ranks);
+    SweepProblem::build(
+        mesh,
+        ps,
+        quad,
+        &ProblemOptions {
+            vertex_strategy: strat.vertex,
+            patch_strategy: strat.patch,
+            share_octant_dags: false,
+            check_cycles: false,
+        },
+    )
+}
+
+/// Machine for a `groups`-group JSNT-U-style run (groups only affect
+/// message volume in the simulator).
+pub fn machine_with_groups(ranks: usize, groups: usize) -> MachineModel {
+    let mut m = tianhe(ranks);
+    m.bytes_per_item = 8.0 * groups as f64 + 8.0;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tianhe_core_count() {
+        assert_eq!(cores(8), 96);
+        assert_eq!(tianhe(8).cores(), 96);
+    }
+
+    #[test]
+    fn strategies_name() {
+        assert_eq!(Strategies::SLBD2.name(), "SLBD+SLBD");
+    }
+
+    #[test]
+    fn structured_setup_builds() {
+        let q = QuadratureSet::sn(2);
+        let p = structured_problem(8, 4, 2, &q, Strategies::SLBD2);
+        assert_eq!(p.num_patches(), 8);
+        assert_eq!(p.patches.num_ranks(), 2);
+    }
+}

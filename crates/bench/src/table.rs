@@ -1,0 +1,124 @@
+//! Tabular experiment output: stdout + TSV files.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (e.g. "fig12a").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row values, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render to a writer as aligned text.
+    pub fn render(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "== {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(out, "{}", header.join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(out, "{}", cells.join("  "))?;
+        }
+        writeln!(out)
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        let mut stdout = std::io::stdout().lock();
+        self.render(&mut stdout).expect("stdout write failed");
+    }
+
+    /// Write `<dir>/<id>.tsv`.
+    pub fn write_tsv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.tsv", self.id)))?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.columns.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format seconds with 4 significant digits.
+pub fn secs(t: f64) -> String {
+    format!("{t:.4}")
+}
+
+/// Format an efficiency as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_render_and_tsv() {
+        let mut t = Table::new("figX", "demo", &["cores", "time"]);
+        t.push(vec!["96".into(), secs(1.25)]);
+        t.push(vec!["192".into(), secs(0.7)]);
+        let mut buf = Vec::new();
+        t.render(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("figX"));
+        assert!(s.contains("1.2500"));
+        let dir = std::env::temp_dir().join("jsweep-table-test");
+        t.write_tsv(&dir).unwrap();
+        let tsv = std::fs::read_to_string(dir.join("figX.tsv")).unwrap();
+        assert!(tsv.contains("cores\ttime"));
+        assert!(tsv.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.896), "89.6%");
+    }
+}

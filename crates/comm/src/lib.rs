@@ -1,0 +1,385 @@
+//! Simulated MPI substrate.
+//!
+//! JSweep's runtime was built on MPI + threads on Tianhe-II. This crate
+//! reproduces the slice of MPI semantics the runtime consumes — ranks
+//! with asynchronous, per-pair-ordered point-to-point messages, plus a
+//! few collectives and distributed termination detection — with ranks
+//! as OS threads and crossbeam channels as the fabric (see DESIGN.md §2
+//! for why this substitution preserves the behaviour under study).
+//!
+//! * [`Universe::run`] spawns `n` rank threads and hands each a
+//!   [`Comm`] endpoint;
+//! * [`Comm`] provides tagged `send` / `try_recv` / `recv_match` and
+//!   collectives (`barrier`, `allreduce_*`);
+//! * [`termination`] implements both termination detectors the paper
+//!   supports (§IV-C): the general Dijkstra–Safra token protocol and
+//!   the workload-counting shortcut for algorithms with known totals;
+//! * [`pack`] is the byte-level stream codec (the pack/unpack cost that
+//!   Fig. 16 profiles).
+
+pub mod pack;
+pub mod termination;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Tags at or above this value are reserved for the substrate
+/// (collectives, termination). User code must stay below.
+pub const RESERVED_TAG_BASE: u32 = u32::MAX - 16;
+/// Collective phase tag (barrier / reductions).
+pub const TAG_COLLECTIVE: u32 = RESERVED_TAG_BASE;
+/// Dijkstra–Safra token.
+pub const TAG_TOKEN: u32 = RESERVED_TAG_BASE + 1;
+/// Global termination announcement.
+pub const TAG_TERMINATE: u32 = RESERVED_TAG_BASE + 2;
+/// "This rank finished its known workload" report (counting detector).
+pub const TAG_LOCAL_DONE: u32 = RESERVED_TAG_BASE + 3;
+
+/// A received message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User or reserved tag.
+    pub tag: u32,
+    /// Opaque payload (see [`pack`]).
+    pub payload: Bytes,
+}
+
+/// One rank's endpoint of the simulated communicator.
+pub struct Comm {
+    rank: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received while waiting for a specific tag.
+    stash: VecDeque<Message>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Asynchronous tagged send. Sending to self is allowed (the message
+    /// is delivered through the same queue as remote ones).
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
+        self.senders[to]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Non-blocking receive of the next message of *any* tag, checking
+    /// the stash first.
+    pub fn try_recv(&mut self) -> Option<Message> {
+        if let Some(m) = self.stash.pop_front() {
+            return Some(m);
+        }
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive of any message.
+    pub fn recv(&mut self) -> Message {
+        if let Some(m) = self.stash.pop_front() {
+            return m;
+        }
+        self.receiver.recv().expect("all peers hung up")
+    }
+
+    /// Blocking receive of the next message with the given tag;
+    /// other messages are stashed (and later returned by
+    /// `try_recv`/`recv` in arrival order).
+    pub fn recv_match(&mut self, tag: u32) -> Message {
+        // Check the stash first.
+        if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
+            return self.stash.remove(pos).unwrap();
+        }
+        loop {
+            let m = self.receiver.recv().expect("all peers hung up");
+            if m.tag == tag {
+                return m;
+            }
+            self.stash.push_back(m);
+        }
+    }
+
+    /// Synchronise all ranks. Must be called collectively; no other
+    /// collective may be in flight concurrently.
+    pub fn barrier(&mut self) {
+        if self.rank == 0 {
+            for _ in 1..self.size() {
+                let _ = self.recv_match(TAG_COLLECTIVE);
+            }
+            for r in 1..self.size() {
+                self.send(r, TAG_COLLECTIVE, Bytes::new());
+            }
+        } else {
+            self.send(0, TAG_COLLECTIVE, Bytes::new());
+            let _ = self.recv_match(TAG_COLLECTIVE);
+        }
+    }
+
+    /// Sum an `f64` across all ranks (collective).
+    pub fn allreduce_sum_f64(&mut self, x: f64) -> f64 {
+        self.allreduce_f64(x, |a, b| a + b)
+    }
+
+    /// Maximum of an `f64` across all ranks (collective).
+    pub fn allreduce_max_f64(&mut self, x: f64) -> f64 {
+        self.allreduce_f64(x, f64::max)
+    }
+
+    /// Sum a `u64` across all ranks (collective).
+    pub fn allreduce_sum_u64(&mut self, x: u64) -> u64 {
+        let v = self.allreduce_f64(x as f64, |a, b| a + b);
+        v.round() as u64
+    }
+
+    fn allreduce_f64(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        if self.rank == 0 {
+            let mut acc = x;
+            for _ in 1..self.size() {
+                let m = self.recv_match(TAG_COLLECTIVE);
+                acc = op(acc, f64::from_le_bytes(m.payload[..8].try_into().unwrap()));
+            }
+            let out = Bytes::copy_from_slice(&acc.to_le_bytes());
+            for r in 1..self.size() {
+                self.send(r, TAG_COLLECTIVE, out.clone());
+            }
+            acc
+        } else {
+            self.send(
+                0,
+                TAG_COLLECTIVE,
+                Bytes::copy_from_slice(&x.to_le_bytes()),
+            );
+            let m = self.recv_match(TAG_COLLECTIVE);
+            f64::from_le_bytes(m.payload[..8].try_into().unwrap())
+        }
+    }
+
+    /// Gather each rank's `u64` on every rank (collective).
+    pub fn allgather_u64(&mut self, x: u64) -> Vec<u64> {
+        if self.rank == 0 {
+            let mut all = vec![0u64; self.size()];
+            all[0] = x;
+            for _ in 1..self.size() {
+                let m = self.recv_match(TAG_COLLECTIVE);
+                all[m.src] = u64::from_le_bytes(m.payload[..8].try_into().unwrap());
+            }
+            let mut buf = Vec::with_capacity(8 * self.size());
+            for v in &all {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            let payload = Bytes::from(buf);
+            for r in 1..self.size() {
+                self.send(r, TAG_COLLECTIVE, payload.clone());
+            }
+            all
+        } else {
+            self.send(
+                0,
+                TAG_COLLECTIVE,
+                Bytes::copy_from_slice(&x.to_le_bytes()),
+            );
+            let m = self.recv_match(TAG_COLLECTIVE);
+            m.payload
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        }
+    }
+}
+
+/// The simulated "MPI world": spawns rank threads and joins them.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` rank threads; returns each rank's result in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        assert!(n > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let f = std::sync::Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let comm = Comm {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                stash: VecDeque::new(),
+            };
+            let f = f.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || f(comm))
+                    .expect("spawn rank thread"),
+            );
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = Universe::run(4, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, 7, Bytes::copy_from_slice(&[comm.rank() as u8]));
+            let m = comm.recv_match(7);
+            (m.src, m.payload[0])
+        });
+        for (rank, (src, byte)) in results.into_iter().enumerate() {
+            assert_eq!(src, (rank + 3) % 4);
+            assert_eq!(byte as usize, src);
+        }
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let r = Universe::run(1, |mut comm| {
+            comm.barrier();
+            comm.allreduce_sum_f64(2.5)
+        });
+        assert_eq!(r, vec![2.5]);
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        let _ = Universe::run(4, |mut comm| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(BEFORE.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let results = Universe::run(3, |mut comm| {
+            let s = comm.allreduce_sum_f64(comm.rank() as f64 + 1.0);
+            let m = comm.allreduce_max_f64(comm.rank() as f64);
+            (s, m)
+        });
+        for (s, m) in results {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 2.0);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let results = Universe::run(3, |mut comm| comm.allgather_u64(comm.rank() as u64 * 10));
+        for r in results {
+            assert_eq!(r, vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn recv_match_stashes_other_tags() {
+        let r = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Bytes::copy_from_slice(b"first"));
+                comm.send(1, 2, Bytes::copy_from_slice(b"second"));
+                0
+            } else {
+                // Wait for tag 2 first; tag 1 must be stashed, not lost.
+                let m2 = comm.recv_match(2);
+                assert_eq!(&m2.payload[..], b"second");
+                let m1 = comm.try_recv().expect("stashed message lost");
+                assert_eq!(m1.tag, 1);
+                assert_eq!(&m1.payload[..], b"first");
+                1
+            }
+        });
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let r = Universe::run(1, |mut comm| {
+            comm.send(0, 9, Bytes::copy_from_slice(b"me"));
+            comm.recv_match(9).payload
+        });
+        assert_eq!(&r[0][..], b"me");
+    }
+
+    #[test]
+    fn blocking_recv_returns_stashed_first() {
+        let r = Universe::run(1, |mut comm| {
+            comm.send(0, 3, Bytes::copy_from_slice(b"a"));
+            comm.send(0, 4, Bytes::copy_from_slice(b"b"));
+            // Match tag 4 first, stashing tag 3; blocking recv must then
+            // return the stashed message before any new one.
+            let _ = comm.recv_match(4);
+            let m = comm.recv();
+            m.tag
+        });
+        assert_eq!(r, vec![3]);
+    }
+
+    #[test]
+    fn allreduce_max_with_negatives() {
+        let results = Universe::run(3, |mut comm| {
+            comm.allreduce_max_f64(-(comm.rank() as f64) - 1.0)
+        });
+        for m in results {
+            assert_eq!(m, -1.0);
+        }
+    }
+
+    #[test]
+    fn allgather_single_rank() {
+        let r = Universe::run(1, |mut comm| comm.allgather_u64(17));
+        assert_eq!(r, vec![vec![17]]);
+    }
+
+    #[test]
+    fn per_pair_ordering_preserved() {
+        let r = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 5, Bytes::copy_from_slice(&i.to_le_bytes()));
+                }
+                Vec::new()
+            } else {
+                (0..100)
+                    .map(|_| {
+                        let m = comm.recv_match(5);
+                        u32::from_le_bytes(m.payload[..4].try_into().unwrap())
+                    })
+                    .collect()
+            }
+        });
+        assert_eq!(r[1], (0..100).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,164 @@
+//! Byte-level stream codec.
+//!
+//! Streams cross rank boundaries as packed byte buffers; packing and
+//! unpacking time is one of the overhead categories the paper profiles
+//! (Fig. 16 "pack/unpack"). The format is little-endian, length-prefix
+//! free (the reader knows the layout from the stream header it reads
+//! first).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Incremental writer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Write a length-prefixed slice of `f64`.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential reader over a received payload.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wrap a payload.
+    pub fn new(buf: Bytes) -> Reader {
+        Reader { buf }
+    }
+
+    pub fn get_u32(&mut self) -> u32 {
+        self.buf.get_u32_le()
+    }
+
+    pub fn get_u64(&mut self) -> u64 {
+        self.buf.get_u64_le()
+    }
+
+    pub fn get_i64(&mut self) -> i64 {
+        self.buf.get_i64_le()
+    }
+
+    pub fn get_f64(&mut self) -> f64 {
+        self.buf.get_f64_le()
+    }
+
+    /// Read a length-prefixed slice of `f64`.
+    pub fn get_f64_vec(&mut self) -> Vec<f64> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// True when fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.buf.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.put_u32(42);
+        w.put_u64(1 << 40);
+        w.put_i64(-7);
+        w.put_f64(std::f64::consts::PI);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_u32(), 42);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_i64(), -7);
+        assert_eq!(r.get_f64(), std::f64::consts::PI);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_f64_slice() {
+        let mut w = Writer::new();
+        w.put_f64_slice(&[1.0, -2.5, 1e300]);
+        w.put_f64_slice(&[]);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_f64_vec(), vec![1.0, -2.5, 1e300]);
+        assert_eq!(r.get_f64_vec(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn len_tracks_writes() {
+        let mut w = Writer::with_capacity(64);
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+        w.put_f64(0.0);
+        assert_eq!(w.len(), 12);
+    }
+
+    #[test]
+    fn remaining_decreases() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        w.put_u32(6);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.remaining(), 8);
+        r.get_u32();
+        assert_eq!(r.remaining(), 4);
+    }
+}

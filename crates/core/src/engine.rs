@@ -1,0 +1,521 @@
+//! The per-rank runtime engine: master thread + worker threads (Fig. 8).
+//!
+//! The master owns the rank's [`Comm`] endpoint and runs the stream
+//! router and progress tracker; workers execute patch-programs from the
+//! shared [`Pool`]. The call [`run_rank`] embodies one rank; use
+//! [`run_universe`] to run a whole simulated MPI world.
+
+use crate::pool::Pool;
+use crate::program::{pack_stream, unpack_stream, ComputeCtx, ProgramFactory, Stream};
+use crate::stats::{Breakdown, Category, RunStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use jsweep_comm::termination::{Counting, Safra, Verdict};
+use jsweep_comm::{Comm, Universe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which termination detector the runtime uses (§IV-C: "we support
+/// both").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationKind {
+    /// Workload counting — the fast path for known-total algorithms.
+    Counting,
+    /// Dijkstra–Safra token ring — the general protocol.
+    Safra,
+}
+
+/// Runtime configuration of one rank.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads per rank (the paper reserves one core for the
+    /// master and uses the rest as workers).
+    pub num_workers: usize,
+    /// Termination detector.
+    pub termination: TerminationKind,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_workers: 2,
+            termination: TerminationKind::Counting,
+        }
+    }
+}
+
+/// User stream messages travel under this tag.
+const TAG_STREAM: u32 = 0;
+
+/// Report a worker sends the master after each compute round.
+struct Report {
+    outputs: Vec<Stream>,
+    work_done: u64,
+}
+
+fn worker_loop<F: ProgramFactory>(
+    pool: Arc<Pool>,
+    factory: Arc<F>,
+    to_master: Sender<Report>,
+) -> (Breakdown, u64) {
+    let mut bd = Breakdown::default();
+    let mut compute_calls = 0u64;
+    while let Some(claim) = pool.take(&mut bd) {
+        let mut program = match claim.program {
+            Some(p) => p,
+            None => bd.timed(Category::Other, || {
+                Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>
+            }),
+        };
+        if !claim.initialized {
+            bd.timed(Category::Other, || program.init());
+        }
+        bd.timed(Category::Input, || {
+            for (src, payload) in claim.pending {
+                program.input(src, payload);
+            }
+        });
+        let mut ctx = ComputeCtx::default();
+        let t0 = Instant::now();
+        program.compute(&mut ctx);
+        let dt = t0.elapsed().as_secs_f64();
+        compute_calls += 1;
+        bd.add(Category::Kernel, ctx.kernel_seconds);
+        bd.add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
+        let halted = program.vote_to_halt();
+        if !ctx.out.is_empty() || ctx.work_done > 0 {
+            bd.timed(Category::Output, || {
+                let _ = to_master.send(Report {
+                    outputs: ctx.out,
+                    work_done: ctx.work_done,
+                });
+            });
+        }
+        pool.finish(claim.id, program, halted);
+    }
+    (bd, compute_calls)
+}
+
+/// Run one rank of a patch-centric data-driven computation to global
+/// termination. Returns the rank's [`RunStats`].
+pub fn run_rank<F: ProgramFactory>(
+    mut comm: Comm,
+    factory: Arc<F>,
+    config: &RuntimeConfig,
+) -> RunStats {
+    assert!(config.num_workers > 0, "need at least one worker");
+    let t_start = Instant::now();
+    let rank = comm.rank();
+    let size = comm.size();
+    let pool = Arc::new(Pool::new());
+
+    // Progress tracking: local committed workload.
+    let local_ids = factory.programs_on_rank(rank);
+    let total_work: u64 = local_ids.iter().map(|&id| factory.initial_workload(id)).sum();
+    let mut work_done = 0u64;
+
+    // All patch-programs start active (§III-A).
+    for &id in &local_ids {
+        pool.activate(id, factory.priority(id));
+    }
+
+    // Workers.
+    let (to_master, from_workers): (Sender<Report>, Receiver<Report>) = unbounded();
+    let mut handles = Vec::with_capacity(config.num_workers);
+    for w in 0..config.num_workers {
+        let pool = pool.clone();
+        let factory = factory.clone();
+        let tx = to_master.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rank-{rank}-worker-{w}"))
+                .spawn(move || worker_loop(pool, factory, tx))
+                .expect("spawn worker"),
+        );
+    }
+    drop(to_master);
+
+    let mut stats = RunStats {
+        rank,
+        ..Default::default()
+    };
+    let mut master = Breakdown::default();
+    let mut safra = Safra::new(rank, size);
+    let mut counting = Counting::new(rank, size);
+
+    'main: loop {
+        let mut progress = false;
+
+        // Drain worker reports: route streams, track progress.
+        while let Ok(report) = from_workers.try_recv() {
+            progress = true;
+            work_done += report.work_done;
+            stats.work_done += report.work_done;
+            for stream in report.outputs {
+                let dst_rank = master.timed(Category::Route, || factory.rank_of(stream.dst));
+                if dst_rank == rank {
+                    master.timed(Category::Route, || {
+                        let prio = factory.priority(stream.dst);
+                        pool.deliver(stream, prio);
+                    });
+                    stats.streams_local += 1;
+                } else {
+                    let packed = master.timed(Category::Pack, || pack_stream(&stream));
+                    stats.bytes_sent += packed.len() as u64;
+                    master.timed(Category::Comm, || comm.send(dst_rank, TAG_STREAM, packed));
+                    safra.on_send();
+                    stats.streams_sent += 1;
+                }
+            }
+        }
+
+        // Drain network messages: incoming streams + protocol traffic.
+        while let Some(msg) = master.timed(Category::Comm, || comm.try_recv()) {
+            progress = true;
+            match msg.tag {
+                TAG_STREAM => {
+                    safra.on_receive();
+                    let stream = master.timed(Category::Unpack, || unpack_stream(msg.payload));
+                    master.timed(Category::Route, || {
+                        let prio = factory.priority(stream.dst);
+                        pool.deliver(stream, prio);
+                    });
+                    stats.streams_received += 1;
+                }
+                _ => {
+                    let v = match config.termination {
+                        TerminationKind::Counting => counting.on_message(&msg, &comm),
+                        TerminationKind::Safra => safra.on_message(&msg, &comm),
+                    };
+                    if v == Verdict::Terminated {
+                        break 'main;
+                    }
+                }
+            }
+        }
+
+        // Termination detection.
+        match config.termination {
+            TerminationKind::Counting => {
+                debug_assert!(
+                    work_done <= total_work,
+                    "programs over-reported work ({work_done} > committed {total_work})"
+                );
+                let remaining = total_work.saturating_sub(work_done);
+                if counting.maybe_report(remaining, &comm) == Verdict::Terminated {
+                    break 'main;
+                }
+            }
+            TerminationKind::Safra => {
+                let idle = !progress && pool.is_quiet();
+                if safra.maybe_advance(idle, &comm) == Verdict::Terminated {
+                    break 'main;
+                }
+            }
+        }
+
+        if !progress {
+            // Nothing to do right now: park briefly on the worker
+            // channel (the latency-critical path).
+            let t0 = Instant::now();
+            match from_workers.recv_timeout(Duration::from_micros(200)) {
+                Ok(report) => {
+                    master.add(Category::Idle, t0.elapsed().as_secs_f64());
+                    work_done += report.work_done;
+                    stats.work_done += report.work_done;
+                    for stream in report.outputs {
+                        let dst_rank = factory.rank_of(stream.dst);
+                        if dst_rank == rank {
+                            let prio = factory.priority(stream.dst);
+                            pool.deliver(stream, prio);
+                            stats.streams_local += 1;
+                        } else {
+                            let packed = master.timed(Category::Pack, || pack_stream(&stream));
+                            stats.bytes_sent += packed.len() as u64;
+                            master
+                                .timed(Category::Comm, || comm.send(dst_rank, TAG_STREAM, packed));
+                            safra.on_send();
+                            stats.streams_sent += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    master.add(Category::Idle, t0.elapsed().as_secs_f64());
+                }
+            }
+        }
+    }
+
+    // Shut workers down and collect their breakdowns.
+    pool.stop();
+    for h in handles {
+        let (bd, calls) = h.join().expect("worker panicked");
+        stats.workers.push(bd);
+        stats.compute_calls += calls;
+    }
+    stats.master = master;
+    stats.wall_seconds = t_start.elapsed().as_secs_f64();
+    stats
+}
+
+/// Run a full simulated-MPI computation: `num_ranks` ranks, each with
+/// `config.num_workers` workers, sharing one program factory.
+pub fn run_universe<F: ProgramFactory>(
+    num_ranks: usize,
+    factory: Arc<F>,
+    config: RuntimeConfig,
+) -> Vec<RunStats> {
+    Universe::run(num_ranks, move |comm| {
+        run_rank(comm, factory.clone(), &config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PatchProgram, ProgramId, TaskTag};
+    use bytes::Bytes;
+    use jsweep_mesh::PatchId;
+    use parking_lot::Mutex;
+
+    /// A chain of programs 0..n: program k waits for a token from k-1,
+    /// increments it, forwards to k+1. Program 0 starts with the token.
+    struct ChainProgram {
+        id: ProgramId,
+        n: u32,
+        token: Option<u64>,
+        done: bool,
+        log: Arc<Mutex<Vec<(u32, u64)>>>,
+    }
+
+    impl PatchProgram for ChainProgram {
+        fn init(&mut self) {
+            if self.id.patch.0 == 0 {
+                self.token = Some(0);
+            }
+        }
+        fn input(&mut self, _src: ProgramId, payload: Bytes) {
+            self.token = Some(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if self.done {
+                return;
+            }
+            let Some(tok) = self.token.take() else {
+                return;
+            };
+            self.log.lock().push((self.id.patch.0, tok));
+            self.done = true;
+            ctx.work_done = 1;
+            if self.id.patch.0 + 1 < self.n {
+                ctx.send(Stream {
+                    src: self.id,
+                    dst: ProgramId::new(PatchId(self.id.patch.0 + 1), TaskTag(0)),
+                    payload: Bytes::copy_from_slice(&(tok + 1).to_le_bytes()),
+                });
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.token.is_none()
+        }
+        fn remaining_work(&self) -> u64 {
+            u64::from(!self.done)
+        }
+    }
+
+    struct ChainFactory {
+        n: u32,
+        ranks: usize,
+        log: Arc<Mutex<Vec<(u32, u64)>>>,
+    }
+
+    impl ProgramFactory for ChainFactory {
+        type Program = ChainProgram;
+        fn create(&self, id: ProgramId) -> ChainProgram {
+            ChainProgram {
+                id,
+                n: self.n,
+                token: None,
+                done: false,
+                log: self.log.clone(),
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            (0..self.n)
+                .filter(|p| (*p as usize) % self.ranks == rank)
+                .map(|p| ProgramId::new(PatchId(p), TaskTag(0)))
+                .collect()
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize % self.ranks
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            1
+        }
+    }
+
+    fn run_chain(n: u32, ranks: usize, workers: usize, term: TerminationKind) -> Vec<(u32, u64)> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let factory = Arc::new(ChainFactory {
+            n,
+            ranks,
+            log: log.clone(),
+        });
+        let stats = run_universe(
+            ranks,
+            factory,
+            RuntimeConfig {
+                num_workers: workers,
+                termination: term,
+            },
+        );
+        let total_work: u64 = stats.iter().map(|s| s.work_done).sum();
+        assert_eq!(total_work, n as u64);
+        let mut out = log.lock().clone();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn chain_single_rank_counting() {
+        let log = run_chain(10, 1, 2, TerminationKind::Counting);
+        assert_eq!(log, (0..10).map(|k| (k, k as u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_multi_rank_counting() {
+        let log = run_chain(20, 3, 2, TerminationKind::Counting);
+        assert_eq!(log, (0..20).map(|k| (k, k as u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_multi_rank_safra() {
+        let log = run_chain(12, 2, 2, TerminationKind::Safra);
+        assert_eq!(log, (0..12).map(|k| (k, k as u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_single_worker() {
+        let log = run_chain(8, 2, 1, TerminationKind::Counting);
+        assert_eq!(log.len(), 8);
+    }
+
+    #[test]
+    fn stats_track_streams() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let factory = Arc::new(ChainFactory {
+            n: 6,
+            ranks: 2,
+            log,
+        });
+        let stats = run_universe(2, factory, RuntimeConfig::default());
+        // Round-robin placement of a chain: every hop crosses ranks.
+        let sent: u64 = stats.iter().map(|s| s.streams_sent).sum();
+        let received: u64 = stats.iter().map(|s| s.streams_received).sum();
+        assert_eq!(sent, 5);
+        assert_eq!(received, 5);
+        let calls: u64 = stats.iter().map(|s| s.compute_calls).sum();
+        assert!(calls >= 6);
+        let bytes: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        assert_eq!(bytes, 5 * (16 + 8));
+    }
+
+    /// Two programs that ping-pong a fixed number of times exercise
+    /// reentrancy (partial computation) and reactivation.
+    struct PingPong {
+        id: ProgramId,
+        rounds: u32,
+        sent: u32,
+        received: u32,
+        pending: u32,
+    }
+
+    impl PatchProgram for PingPong {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _payload: Bytes) {
+            self.received += 1;
+            self.pending += 1;
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            let can_start = self.id.patch.0 == 0 && self.sent == 0;
+            if can_start || self.pending > 0 {
+                if self.pending > 0 {
+                    self.pending -= 1;
+                    ctx.work_done = 1;
+                }
+                if self.sent < self.rounds {
+                    self.sent += 1;
+                    ctx.send(Stream {
+                        src: self.id,
+                        dst: ProgramId::new(PatchId(1 - self.id.patch.0), TaskTag(0)),
+                        payload: Bytes::new(),
+                    });
+                }
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.pending == 0
+        }
+        fn remaining_work(&self) -> u64 {
+            (self.rounds - self.received) as u64
+        }
+    }
+
+    struct PingPongFactory {
+        rounds: u32,
+    }
+
+    impl ProgramFactory for PingPongFactory {
+        type Program = PingPong;
+        fn create(&self, id: ProgramId) -> PingPong {
+            PingPong {
+                id,
+                rounds: self.rounds,
+                sent: 0,
+                received: 0,
+                pending: 0,
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            vec![ProgramId::new(PatchId(rank as u32), TaskTag(0))]
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            self.rounds as u64
+        }
+    }
+
+    #[test]
+    fn ping_pong_reentrancy() {
+        for term in [TerminationKind::Counting, TerminationKind::Safra] {
+            let factory = Arc::new(PingPongFactory { rounds: 25 });
+            let stats = run_universe(
+                2,
+                factory,
+                RuntimeConfig {
+                    num_workers: 1,
+                    termination: term,
+                },
+            );
+            let total: u64 = stats.iter().map(|s| s.work_done).sum();
+            assert_eq!(total, 50, "termination {term:?}");
+        }
+    }
+
+    #[test]
+    fn wall_time_recorded() {
+        let factory = Arc::new(PingPongFactory { rounds: 2 });
+        let stats = run_universe(2, factory, RuntimeConfig::default());
+        for s in &stats {
+            assert!(s.wall_seconds > 0.0);
+            assert_eq!(s.workers.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The shared active-program pool of one rank.
+//!
+//! Holds every local patch-program's state machine (Fig. 7): a program
+//! is `Idle` (inactive), `Ready` (active, queued by priority) or
+//! `Running` (claimed by a worker). Stream delivery reactivates idle
+//! programs; workers take the globally highest-priority ready program —
+//! the limiting ideal of the paper's lightest-worker assignment, since
+//! no worker ever sits idle while an active program exists on the rank.
+
+use crate::program::{PatchProgram, ProgramId, Stream};
+use crate::stats::{Breakdown, Category};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Idle,
+    Ready,
+    Running,
+}
+
+struct Slot {
+    state: SlotState,
+    pending: Vec<(ProgramId, Bytes)>,
+    program: Option<Box<dyn PatchProgram>>,
+    initialized: bool,
+    priority: i64,
+}
+
+/// A claimed program, handed to a worker by [`Pool::take`].
+pub struct Claim {
+    /// Program identity.
+    pub id: ProgramId,
+    /// The program instance (`None` on first activation — the worker
+    /// creates it via the factory).
+    pub program: Option<Box<dyn PatchProgram>>,
+    /// Streams delivered since the last run.
+    pub pending: Vec<(ProgramId, Bytes)>,
+    /// Whether `init` has already run.
+    pub initialized: bool,
+}
+
+struct Inner {
+    slots: HashMap<ProgramId, Slot>,
+    /// Max-heap on (priority, lowest program id).
+    ready: BinaryHeap<(i64, Reverse<ProgramId>)>,
+    /// Ready + Running programs.
+    active: usize,
+    stop: bool,
+}
+
+/// Shared per-rank program pool.
+pub struct Pool {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// Empty pool.
+    pub fn new() -> Pool {
+        Pool {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                ready: BinaryHeap::new(),
+                active: 0,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register and activate a program with the given priority (initial
+    /// activation: per §III-A all patch-programs start active).
+    pub fn activate(&self, id: ProgramId, priority: i64) {
+        let mut g = self.inner.lock();
+        let slot = g.slots.entry(id).or_insert(Slot {
+            state: SlotState::Idle,
+            pending: Vec::new(),
+            program: None,
+            initialized: false,
+            priority,
+        });
+        slot.priority = priority;
+        if slot.state == SlotState::Idle {
+            slot.state = SlotState::Ready;
+            g.ready.push((priority, Reverse(id)));
+            g.active += 1;
+            drop(g);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Deliver a stream; reactivates the target if it is idle.
+    ///
+    /// `priority` is used when the target was never registered (possible
+    /// when a stream races ahead of startup activation).
+    pub fn deliver(&self, stream: Stream, priority: i64) {
+        let mut g = self.inner.lock();
+        let slot = g.slots.entry(stream.dst).or_insert(Slot {
+            state: SlotState::Idle,
+            pending: Vec::new(),
+            program: None,
+            initialized: false,
+            priority,
+        });
+        slot.pending.push((stream.src, stream.payload));
+        if slot.state == SlotState::Idle {
+            slot.state = SlotState::Ready;
+            let prio = slot.priority;
+            g.ready.push((prio, Reverse(stream.dst)));
+            g.active += 1;
+            drop(g);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Claim the highest-priority ready program, blocking while none is
+    /// available. Returns `None` after [`Pool::stop`] once the queue is
+    /// drained. Wait time is charged to `bd`'s `Idle` category.
+    pub fn take(&self, bd: &mut Breakdown) -> Option<Claim> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some((_, Reverse(id))) = g.ready.pop() {
+                let slot = g.slots.get_mut(&id).expect("ready program has a slot");
+                debug_assert_eq!(slot.state, SlotState::Ready);
+                slot.state = SlotState::Running;
+                let claim = Claim {
+                    id,
+                    program: slot.program.take(),
+                    pending: std::mem::take(&mut slot.pending),
+                    initialized: slot.initialized,
+                };
+                return Some(claim);
+            }
+            if g.stop {
+                return None;
+            }
+            let t0 = Instant::now();
+            self.cv.wait(&mut g);
+            bd.add(Category::Idle, t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Return a program after a compute round. `halted` is the program's
+    /// `vote_to_halt()`; it re-queues when it stays active or received
+    /// streams while running.
+    pub fn finish(&self, id: ProgramId, program: Box<dyn PatchProgram>, halted: bool) {
+        let mut g = self.inner.lock();
+        let slot = g.slots.get_mut(&id).expect("finishing unknown program");
+        debug_assert_eq!(slot.state, SlotState::Running);
+        slot.program = Some(program);
+        slot.initialized = true;
+        if !halted || !slot.pending.is_empty() {
+            slot.state = SlotState::Ready;
+            let prio = slot.priority;
+            g.ready.push((prio, Reverse(id)));
+            drop(g);
+            self.cv.notify_one();
+        } else {
+            slot.state = SlotState::Idle;
+            g.active -= 1;
+        }
+    }
+
+    /// True when no program is ready or running (the rank is quiescent
+    /// apart from possible in-flight messages).
+    pub fn is_quiet(&self) -> bool {
+        self.inner.lock().active == 0
+    }
+
+    /// Wake all workers and make further `take` calls return `None`
+    /// once the queue is empty.
+    pub fn stop(&self) {
+        self.inner.lock().stop = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ComputeCtx, TaskTag};
+    use jsweep_mesh::PatchId;
+
+    struct Nop;
+    impl PatchProgram for Nop {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _payload: Bytes) {}
+        fn compute(&mut self, _ctx: &mut ComputeCtx) {}
+        fn vote_to_halt(&self) -> bool {
+            true
+        }
+        fn remaining_work(&self) -> u64 {
+            0
+        }
+    }
+
+    fn pid(p: u32, t: u32) -> ProgramId {
+        ProgramId::new(PatchId(p), TaskTag(t))
+    }
+
+    #[test]
+    fn take_returns_highest_priority_first() {
+        let pool = Pool::new();
+        pool.activate(pid(0, 0), 1);
+        pool.activate(pid(1, 0), 10);
+        pool.activate(pid(2, 0), 5);
+        let mut bd = Breakdown::default();
+        let a = pool.take(&mut bd).unwrap();
+        assert_eq!(a.id, pid(1, 0));
+        pool.finish(a.id, Box::new(Nop), true);
+        let b = pool.take(&mut bd).unwrap();
+        assert_eq!(b.id, pid(2, 0));
+    }
+
+    #[test]
+    fn tie_break_lowest_program_id() {
+        let pool = Pool::new();
+        pool.activate(pid(7, 1), 3);
+        pool.activate(pid(7, 0), 3);
+        let mut bd = Breakdown::default();
+        assert_eq!(pool.take(&mut bd).unwrap().id, pid(7, 0));
+    }
+
+    #[test]
+    fn deliver_reactivates_idle_program() {
+        let pool = Pool::new();
+        pool.activate(pid(0, 0), 0);
+        let mut bd = Breakdown::default();
+        let claim = pool.take(&mut bd).unwrap();
+        pool.finish(claim.id, Box::new(Nop), true); // halts -> idle
+        assert!(pool.is_quiet());
+        pool.deliver(
+            Stream {
+                src: pid(1, 0),
+                dst: pid(0, 0),
+                payload: Bytes::new(),
+            },
+            0,
+        );
+        assert!(!pool.is_quiet());
+        let again = pool.take(&mut bd).unwrap();
+        assert_eq!(again.id, pid(0, 0));
+        assert_eq!(again.pending.len(), 1);
+        assert!(again.initialized);
+        assert!(again.program.is_some());
+    }
+
+    #[test]
+    fn deliver_during_running_requeues_on_finish() {
+        let pool = Pool::new();
+        pool.activate(pid(0, 0), 0);
+        let mut bd = Breakdown::default();
+        let claim = pool.take(&mut bd).unwrap();
+        // Stream arrives while the program is running.
+        pool.deliver(
+            Stream {
+                src: pid(9, 9),
+                dst: pid(0, 0),
+                payload: Bytes::new(),
+            },
+            0,
+        );
+        pool.finish(claim.id, Box::new(Nop), true);
+        // Despite voting to halt, the pending stream keeps it active.
+        assert!(!pool.is_quiet());
+        let again = pool.take(&mut bd).unwrap();
+        assert_eq!(again.pending.len(), 1);
+    }
+
+    #[test]
+    fn non_halting_program_requeues() {
+        let pool = Pool::new();
+        pool.activate(pid(0, 0), 0);
+        let mut bd = Breakdown::default();
+        let claim = pool.take(&mut bd).unwrap();
+        pool.finish(claim.id, Box::new(Nop), false);
+        assert!(!pool.is_quiet());
+    }
+
+    #[test]
+    fn stop_unblocks_takers() {
+        let pool = std::sync::Arc::new(Pool::new());
+        let p2 = pool.clone();
+        let h = std::thread::spawn(move || {
+            let mut bd = Breakdown::default();
+            p2.take(&mut bd).is_none()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        pool.stop();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn activate_is_idempotent_while_ready() {
+        let pool = Pool::new();
+        pool.activate(pid(0, 0), 0);
+        pool.activate(pid(0, 0), 0);
+        let mut bd = Breakdown::default();
+        let claim = pool.take(&mut bd).unwrap();
+        pool.finish(claim.id, Box::new(Nop), true);
+        assert!(pool.is_quiet(), "double activation corrupted the queue");
+    }
+}

@@ -1,0 +1,186 @@
+//! The patch-program interface (paper §III-A, Fig. 6).
+
+use bytes::Bytes;
+use jsweep_mesh::PatchId;
+
+/// Task tag distinguishing multiple tasks on the same patch.
+///
+/// For Sn sweeps the tag is the sweeping angle id, enabling patch-angle
+/// parallelism (§V-B); other data-driven components are free to encode
+/// anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskTag(pub u32);
+
+/// Identity of a patch-program: `(patch, task)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId {
+    pub patch: PatchId,
+    pub task: TaskTag,
+}
+
+impl ProgramId {
+    /// Convenience constructor.
+    pub fn new(patch: PatchId, task: TaskTag) -> ProgramId {
+        ProgramId { patch, task }
+    }
+}
+
+/// A unit of inter-program communication (paper Fig. 6 `Stream`).
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Producing program.
+    pub src: ProgramId,
+    /// Consuming program; a stream *activates* its target.
+    pub dst: ProgramId,
+    /// User-defined data (see `jsweep_comm::pack` for the codec used by
+    /// the sweep component).
+    pub payload: Bytes,
+}
+
+/// Context handed to [`PatchProgram::compute`]: collects output streams
+/// and fine-grained timing.
+///
+/// The runtime can only distinguish "time inside compute"; the split
+/// between numerical kernel time and DAG bookkeeping ("graph-op" in
+/// Fig. 16) is known to the program, which reports it through
+/// [`ComputeCtx::kernel`].
+#[derive(Debug, Default)]
+pub struct ComputeCtx {
+    /// Output streams produced by this compute call.
+    pub out: Vec<Stream>,
+    /// Workload units completed by this call (e.g. vertices computed);
+    /// drives the counting termination detector and progress tracking.
+    pub work_done: u64,
+    /// Seconds spent in the numerical kernel (via [`ComputeCtx::kernel`]).
+    pub kernel_seconds: f64,
+}
+
+impl ComputeCtx {
+    /// Run the numerical kernel portion of a compute call, attributing
+    /// its wall time to the `kernel` category.
+    pub fn kernel<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        self.kernel_seconds += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Emit an output stream.
+    pub fn send(&mut self, stream: Stream) {
+        self.out.push(stream);
+    }
+}
+
+/// A data-driven patch-program (paper Fig. 6).
+///
+/// Lifecycle (Alg. 1): `init` once before the first compute; then any
+/// number of rounds of `input*` → `compute` → (outputs collected from
+/// the [`ComputeCtx`]) → `vote_to_halt`. The runtime guarantees
+/// `compute` is never invoked concurrently for the same program.
+pub trait PatchProgram: Send {
+    /// Initialise local context. Called exactly once, before the first
+    /// `input`/`compute`.
+    fn init(&mut self);
+
+    /// Receive one stream sent to this program.
+    fn input(&mut self, src: ProgramId, payload: Bytes);
+
+    /// Perform (partial) computation; emit streams and account work via
+    /// the context.
+    fn compute(&mut self, ctx: &mut ComputeCtx);
+
+    /// True when no ready work remains (the program will deactivate
+    /// until the next stream arrives).
+    fn vote_to_halt(&self) -> bool;
+
+    /// Remaining committed workload (counting termination, §III-B).
+    fn remaining_work(&self) -> u64;
+}
+
+/// Creates patch-programs and describes their placement and priority.
+///
+/// The factory is shared by every rank thread; it is the runtime's view
+/// of the problem setup (decomposition, priorities, per-program
+/// workload).
+pub trait ProgramFactory: Send + Sync + 'static {
+    /// Concrete program type.
+    type Program: PatchProgram + 'static;
+
+    /// Instantiate the program for `id` (called lazily, on the rank that
+    /// hosts it).
+    fn create(&self, id: ProgramId) -> Self::Program;
+
+    /// All program ids hosted by `rank`.
+    fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId>;
+
+    /// The rank hosting `id` (the route table).
+    fn rank_of(&self, id: ProgramId) -> usize;
+
+    /// Scheduling priority `prior(p, a)`; larger runs earlier.
+    fn priority(&self, id: ProgramId) -> i64;
+
+    /// Committed workload of `id` (e.g. number of local vertices), used
+    /// by counting termination.
+    fn initial_workload(&self, id: ProgramId) -> u64;
+}
+
+/// Wire format of a stream: header (4×u32) + payload.
+pub(crate) fn pack_stream(stream: &Stream) -> Bytes {
+    let mut w = jsweep_comm::pack::Writer::with_capacity(16 + stream.payload.len());
+    w.put_u32(stream.src.patch.0);
+    w.put_u32(stream.src.task.0);
+    w.put_u32(stream.dst.patch.0);
+    w.put_u32(stream.dst.task.0);
+    let mut buf = w.finish().to_vec();
+    buf.extend_from_slice(&stream.payload);
+    Bytes::from(buf)
+}
+
+/// Inverse of [`pack_stream`].
+pub(crate) fn unpack_stream(mut payload: Bytes) -> Stream {
+    use bytes::Buf;
+    let src_patch = payload.get_u32_le();
+    let src_task = payload.get_u32_le();
+    let dst_patch = payload.get_u32_le();
+    let dst_task = payload.get_u32_le();
+    Stream {
+        src: ProgramId::new(PatchId(src_patch), TaskTag(src_task)),
+        dst: ProgramId::new(PatchId(dst_patch), TaskTag(dst_task)),
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_pack_roundtrip() {
+        let s = Stream {
+            src: ProgramId::new(PatchId(3), TaskTag(7)),
+            dst: ProgramId::new(PatchId(11), TaskTag(0)),
+            payload: Bytes::copy_from_slice(b"hello"),
+        };
+        let packed = pack_stream(&s);
+        let back = unpack_stream(packed);
+        assert_eq!(back.src, s.src);
+        assert_eq!(back.dst, s.dst);
+        assert_eq!(&back.payload[..], b"hello");
+    }
+
+    #[test]
+    fn compute_ctx_accumulates_kernel_time() {
+        let mut ctx = ComputeCtx::default();
+        let v = ctx.kernel(|| 41 + 1);
+        assert_eq!(v, 42);
+        ctx.kernel(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(ctx.kernel_seconds >= 0.002);
+    }
+
+    #[test]
+    fn program_id_ordering_is_patch_major() {
+        let a = ProgramId::new(PatchId(1), TaskTag(9));
+        let b = ProgramId::new(PatchId(2), TaskTag(0));
+        assert!(a < b);
+    }
+}

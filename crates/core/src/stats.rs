@@ -1,0 +1,229 @@
+//! Execution-time accounting (the data behind Fig. 16).
+//!
+//! Every runtime thread accumulates wall time into a small set of
+//! categories. Master threads use `Comm`/`Pack`/`Unpack`/`Route`/`Idle`;
+//! worker threads use `Kernel`/`GraphOp`/`Input`/`Output`/`Idle`/`Other`.
+
+use std::time::Instant;
+
+/// A time category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// User numerical kernel (worker).
+    Kernel,
+    /// DAG bookkeeping inside compute, minus the kernel (worker);
+    /// "graph-op" in the paper's breakdown.
+    GraphOp,
+    /// Stream ingestion (`input`) time (worker).
+    Input,
+    /// Output collection/forwarding time (worker).
+    Output,
+    /// Serialisation of outgoing streams (master).
+    Pack,
+    /// Deserialisation of incoming messages (master).
+    Unpack,
+    /// Channel/network send+receive time (master).
+    Comm,
+    /// Route-table lookup, activation, progress tracking (master).
+    Route,
+    /// Blocked with nothing to do.
+    Idle,
+    /// Everything else (scheduling glue).
+    Other,
+}
+
+/// All categories, in display order.
+pub const CATEGORIES: [Category; 10] = [
+    Category::Kernel,
+    Category::GraphOp,
+    Category::Input,
+    Category::Output,
+    Category::Pack,
+    Category::Unpack,
+    Category::Comm,
+    Category::Route,
+    Category::Idle,
+    Category::Other,
+];
+
+impl Category {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Kernel => "kernel",
+            Category::GraphOp => "graph-op",
+            Category::Input => "input",
+            Category::Output => "output",
+            Category::Pack => "pack",
+            Category::Unpack => "unpack",
+            Category::Comm => "comm",
+            Category::Route => "route",
+            Category::Idle => "idle",
+            Category::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        CATEGORIES.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// Seconds accumulated per category for one thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Breakdown {
+    seconds: [f64; CATEGORIES.len()],
+}
+
+impl Breakdown {
+    /// Add `dt` seconds to a category.
+    pub fn add(&mut self, cat: Category, dt: f64) {
+        self.seconds[cat.index()] += dt;
+    }
+
+    /// Time a closure into a category.
+    pub fn timed<R>(&mut self, cat: Category, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(cat, t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Seconds in one category.
+    pub fn get(&self, cat: Category) -> f64 {
+        self.seconds[cat.index()]
+    }
+
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+}
+
+/// Aggregate statistics of one rank's run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// This rank's id.
+    pub rank: usize,
+    /// Wall time of the whole run on this rank (seconds).
+    pub wall_seconds: f64,
+    /// Master-thread time breakdown.
+    pub master: Breakdown,
+    /// Per-worker time breakdowns.
+    pub workers: Vec<Breakdown>,
+    /// Compute invocations (patch-program executions).
+    pub compute_calls: u64,
+    /// Workload units completed (vertices for sweeps).
+    pub work_done: u64,
+    /// Streams routed locally (worker → same-rank program).
+    pub streams_local: u64,
+    /// Streams sent to other ranks.
+    pub streams_sent: u64,
+    /// Streams received from other ranks.
+    pub streams_received: u64,
+    /// Bytes sent to other ranks (stream payloads + headers).
+    pub bytes_sent: u64,
+}
+
+impl RunStats {
+    /// Merge the breakdowns of all workers into one.
+    pub fn workers_merged(&self) -> Breakdown {
+        let mut acc = Breakdown::default();
+        for w in &self.workers {
+            acc.merge(w);
+        }
+        acc
+    }
+
+    /// Sum the stats of several ranks (for reporting).
+    pub fn aggregate(all: &[RunStats]) -> RunStats {
+        let mut acc = RunStats::default();
+        for s in all {
+            acc.wall_seconds = acc.wall_seconds.max(s.wall_seconds);
+            acc.master.merge(&s.master);
+            acc.workers.extend(s.workers.iter().cloned());
+            acc.compute_calls += s.compute_calls;
+            acc.work_done += s.work_done;
+            acc.streams_local += s.streams_local;
+            acc.streams_sent += s.streams_sent;
+            acc.streams_received += s.streams_received;
+            acc.bytes_sent += s.bytes_sent;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = Breakdown::default();
+        b.add(Category::Kernel, 1.5);
+        b.add(Category::Kernel, 0.5);
+        b.add(Category::Idle, 3.0);
+        assert_eq!(b.get(Category::Kernel), 2.0);
+        assert_eq!(b.total(), 5.0);
+    }
+
+    #[test]
+    fn timed_measures_elapsed() {
+        let mut b = Breakdown::default();
+        let v = b.timed(Category::Comm, || {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(b.get(Category::Comm) >= 0.003);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = Breakdown::default();
+        a.add(Category::Pack, 1.0);
+        let mut b = Breakdown::default();
+        b.add(Category::Pack, 2.0);
+        b.add(Category::Idle, 1.0);
+        a.merge(&b);
+        assert_eq!(a.get(Category::Pack), 3.0);
+        assert_eq!(a.get(Category::Idle), 1.0);
+    }
+
+    #[test]
+    fn aggregate_takes_max_wall_and_sums_counters() {
+        let a = RunStats {
+            rank: 0,
+            wall_seconds: 2.0,
+            work_done: 10,
+            streams_sent: 1,
+            ..Default::default()
+        };
+        let b = RunStats {
+            rank: 1,
+            wall_seconds: 3.0,
+            work_done: 5,
+            streams_received: 1,
+            ..Default::default()
+        };
+        let agg = RunStats::aggregate(&[a, b]);
+        assert_eq!(agg.wall_seconds, 3.0);
+        assert_eq!(agg.work_done, 15);
+        assert_eq!(agg.streams_sent, 1);
+        assert_eq!(agg.streams_received, 1);
+    }
+
+    #[test]
+    fn category_names_unique() {
+        let mut names: Vec<&str> = CATEGORIES.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CATEGORIES.len());
+    }
+}

@@ -1,0 +1,466 @@
+//! The coarsened graph (paper §V-E).
+//!
+//! Mesh structure — and hence the sweep DAG — is constant across most
+//! or all sweep iterations, so the vertex clusters formed during the
+//! first DAG-driven sweep can be cached and reused: each cluster becomes
+//! a coarse vertex `cv` with property `P(cv)` = its vertex list in
+//! execution order, and cluster-to-cluster data flow becomes a coarse
+//! edge carrying the combined face data. Subsequent iterations sweep the
+//! much smaller coarsened graph `CG`, skipping per-vertex scheduling.
+//!
+//! **Theorem 1** (paper): if `G` is acyclic, the derived `CG` is
+//! acyclic. The proof carries over to traces: order clusters by their
+//! completion instant in the originating execution; every coarse edge
+//! points from an earlier-completing cluster to a later one (internal
+//! edges because clusters of one patch-program form sequentially, remote
+//! edges because a stream is emitted only when its source cluster
+//! finishes). [`build_coarse`] checks this by topological sort and
+//! panics on violation — which would indicate a scheduler bug.
+
+use crate::dag::{is_acyclic, Csr};
+use crate::subgraph::Subgraph;
+use jsweep_mesh::PatchId;
+use std::collections::HashMap;
+
+/// Clustering trace of one `(patch, angle)` task: the clusters formed
+/// by successive `compute()` calls, in formation order.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterTrace {
+    /// `clusters[k]` = local vertices of the `k`-th compute call, in pop
+    /// (topological) order.
+    pub clusters: Vec<Vec<u32>>,
+}
+
+impl ClusterTrace {
+    /// Record one compute call's cluster.
+    pub fn record(&mut self, cluster: Vec<u32>) {
+        if !cluster.is_empty() {
+            self.clusters.push(cluster);
+        }
+    }
+
+    /// Total vertices across all clusters.
+    pub fn num_vertices(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// A coarse remote edge: combined original edges from one source
+/// cluster into one remote target cluster.
+#[derive(Debug, Clone)]
+pub struct CoarseRemoteEdge {
+    /// Patch owning the target cluster.
+    pub patch: PatchId,
+    /// Target cluster index within that patch's coarsened task.
+    pub cluster: u32,
+    /// Combined items: `(source local vertex, target global cell)` —
+    /// the property `P(ce)` of the paper.
+    pub items: Vec<(u32, u32)>,
+}
+
+/// The coarsened task of one `(patch, angle)`: what the patch-program
+/// executes from the second sweep iteration on.
+#[derive(Debug, Clone)]
+pub struct CoarsenedTask {
+    /// `P(cv)`: original local vertices per coarse vertex.
+    pub clusters: Vec<Vec<u32>>,
+    /// Coarse in-degree (internal + remote incoming coarse edges).
+    pub in_degree: Vec<u32>,
+    /// Internal coarse edges, CSR.
+    pub int_off: Vec<u32>,
+    pub int_dst: Vec<u32>,
+    /// Outgoing remote coarse edges per coarse vertex.
+    pub remote: Vec<Vec<CoarseRemoteEdge>>,
+}
+
+impl CoarsenedTask {
+    /// Number of coarse vertices.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Internal coarse successors of cluster `cv`.
+    pub fn internal_succ(&self, cv: u32) -> &[u32] {
+        &self.int_dst[self.int_off[cv as usize] as usize..self.int_off[cv as usize + 1] as usize]
+    }
+
+    /// Total original vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Build the coarsened tasks of every patch for one angle from the
+/// first iteration's traces.
+///
+/// `subs[p]` and `traces[p]` are indexed by patch. Panics if a trace
+/// does not cover its subgraph exactly or if the resulting coarse graph
+/// is cyclic (Theorem 1 violation — a scheduler bug).
+pub fn build_coarse(subs: &[Subgraph], traces: &[ClusterTrace]) -> Vec<CoarsenedTask> {
+    assert_eq!(subs.len(), traces.len());
+    // cluster_of[p][local vertex] = cluster index.
+    let mut cluster_of: Vec<Vec<u32>> = Vec::with_capacity(subs.len());
+    // local_of[cell] = (patch index, local vertex).
+    let mut local_of: HashMap<u32, (u32, u32)> = HashMap::new();
+    for (pi, (sub, trace)) in subs.iter().zip(traces).enumerate() {
+        assert_eq!(
+            trace.num_vertices(),
+            sub.num_vertices(),
+            "trace of patch {} covers {} of {} vertices",
+            sub.patch.0,
+            trace.num_vertices(),
+            sub.num_vertices()
+        );
+        let mut map = vec![u32::MAX; sub.num_vertices()];
+        for (k, cluster) in trace.clusters.iter().enumerate() {
+            for &v in cluster {
+                assert!(map[v as usize] == u32::MAX, "vertex {v} in two clusters");
+                map[v as usize] = k as u32;
+            }
+        }
+        for (li, &cell) in sub.cells.iter().enumerate() {
+            local_of.insert(cell, (pi as u32, li as u32));
+        }
+        cluster_of.push(map);
+    }
+
+    // Patch id -> slice index (patches may be a subset in tests).
+    let patch_slot: HashMap<u32, u32> = subs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.patch.0, i as u32))
+        .collect();
+
+    let mut tasks: Vec<CoarsenedTask> = traces
+        .iter()
+        .map(|t| CoarsenedTask {
+            clusters: t.clusters.clone(),
+            in_degree: vec![0; t.clusters.len()],
+            int_off: Vec::new(),
+            int_dst: Vec::new(),
+            remote: vec![Vec::new(); t.clusters.len()],
+        })
+        .collect();
+
+    // Gather coarse edges.
+    for (pi, sub) in subs.iter().enumerate() {
+        let nclust = tasks[pi].num_clusters();
+        let mut int_edges: std::collections::HashSet<(u32, u32)> = Default::default();
+        // (src cluster, dst patch slot, dst cluster) -> items.
+        let mut rem_edges: HashMap<(u32, u32, u32), Vec<(u32, u32)>> = HashMap::new();
+        for v in 0..sub.num_vertices() as u32 {
+            let cu = cluster_of[pi][v as usize];
+            for &w in sub.internal_succ(v) {
+                let cv = cluster_of[pi][w as usize];
+                if cu != cv {
+                    int_edges.insert((cu, cv));
+                }
+            }
+            for re in sub.remote_succ(v) {
+                let &(qslot, lw) = local_of
+                    .get(&re.cell)
+                    .expect("remote edge target outside the provided patch set");
+                let cv = cluster_of[qslot as usize][lw as usize];
+                rem_edges
+                    .entry((cu, qslot, cv))
+                    .or_default()
+                    .push((v, re.cell));
+            }
+        }
+        // Internal CSR + in-degrees.
+        let mut edges: Vec<(u32, u32)> = int_edges.into_iter().collect();
+        edges.sort_unstable();
+        let csr = Csr::from_edges(nclust, &edges);
+        for &(_, d) in &edges {
+            tasks[pi].in_degree[d as usize] += 1;
+        }
+        tasks[pi].int_off = csr.off;
+        tasks[pi].int_dst = csr.dst;
+        // Remote edges: attach to source task, bump target in-degree.
+        type RemoteAcc = Vec<((u32, u32, u32), Vec<(u32, u32)>)>;
+        let mut rem: RemoteAcc = rem_edges.into_iter().collect();
+        rem.sort_by_key(|&(k, _)| k);
+        for ((cu, qslot, cv), mut items) in rem {
+            items.sort_unstable();
+            tasks[qslot as usize].in_degree[cv as usize] += 1;
+            let dst_patch = subs[qslot as usize].patch;
+            tasks[pi].remote[cu as usize].push(CoarseRemoteEdge {
+                patch: dst_patch,
+                cluster: cv,
+                items,
+            });
+        }
+    }
+
+    // Theorem 1: the global coarse graph must be acyclic.
+    assert!(
+        coarse_graph_is_acyclic(subs, &tasks, &patch_slot),
+        "coarsened graph is cyclic: Theorem 1 violated (scheduler bug)"
+    );
+    tasks
+}
+
+/// Check global acyclicity of the coarse graph spanning all patches.
+fn coarse_graph_is_acyclic(
+    subs: &[Subgraph],
+    tasks: &[CoarsenedTask],
+    patch_slot: &HashMap<u32, u32>,
+) -> bool {
+    // Global coarse vertex id = offset[patch slot] + cluster.
+    let mut offset = vec![0u32; tasks.len() + 1];
+    for (i, t) in tasks.iter().enumerate() {
+        offset[i + 1] = offset[i] + t.num_clusters() as u32;
+    }
+    let n = offset[tasks.len()] as usize;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (pi, t) in tasks.iter().enumerate() {
+        for cv in 0..t.num_clusters() as u32 {
+            for &d in t.internal_succ(cv) {
+                edges.push((offset[pi] + cv, offset[pi] + d));
+            }
+            for re in &t.remote[cv as usize] {
+                let q = patch_slot[&re.patch.0] as usize;
+                edges.push((offset[pi] + cv, offset[q] + re.cluster));
+            }
+        }
+    }
+    let _ = subs;
+    is_acyclic(&Csr::from_edges(n, &edges))
+}
+
+/// Scheduling state for replaying a coarsened task: the cluster-level
+/// analogue of [`crate::SweepState`].
+#[derive(Debug, Clone)]
+pub struct CoarseSweepState {
+    counts: Vec<u32>,
+    /// Ready clusters, lowest trace index first (trace order is a valid
+    /// priority: it reflects the original priority-driven execution).
+    ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    executed: u32,
+}
+
+impl CoarseSweepState {
+    /// Initialise from a coarsened task; source clusters become ready.
+    pub fn new(task: &CoarsenedTask) -> CoarseSweepState {
+        let counts = task.in_degree.clone();
+        let mut ready = std::collections::BinaryHeap::new();
+        for (cv, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                ready.push(std::cmp::Reverse(cv as u32));
+            }
+        }
+        CoarseSweepState {
+            counts,
+            ready,
+            executed: 0,
+        }
+    }
+
+    /// A remote coarse edge into cluster `cv` was satisfied.
+    pub fn receive(&mut self, cv: u32) {
+        let c = &mut self.counts[cv as usize];
+        debug_assert!(*c > 0, "cluster {cv} over-received");
+        *c -= 1;
+        if *c == 0 {
+            self.ready.push(std::cmp::Reverse(cv));
+        }
+    }
+
+    /// True while some cluster is ready to execute.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Clusters not yet executed.
+    pub fn remaining(&self) -> u64 {
+        self.counts.len() as u64 - self.executed as u64
+    }
+
+    /// True when every cluster has executed.
+    pub fn is_complete(&self) -> bool {
+        self.executed as usize == self.counts.len()
+    }
+
+    /// Execute the next ready cluster: returns its index and satisfies
+    /// internal coarse edges. The caller runs the kernel over
+    /// `task.clusters[cv]` and forwards `task.remote[cv]` as streams.
+    pub fn pop(&mut self, task: &CoarsenedTask) -> Option<u32> {
+        let std::cmp::Reverse(cv) = self.ready.pop()?;
+        self.executed += 1;
+        for &d in task.internal_succ(cv) {
+            let c = &mut self.counts[d as usize];
+            debug_assert!(*c > 0);
+            *c -= 1;
+            if *c == 0 {
+                self.ready.push(std::cmp::Reverse(d));
+            }
+        }
+        Some(cv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{vertex_priorities, PriorityStrategy};
+    use crate::sweep_state::SweepState;
+    use jsweep_mesh::{partition, PatchSet, StructuredMesh, SweepTopology};
+    use jsweep_quadrature::{AngleId, QuadratureSet};
+    use std::collections::HashSet;
+
+    /// Run a serial multi-patch sweep recording traces, with the given
+    /// clustering grain; returns (subgraphs, traces).
+    fn trace_sweep(
+        mesh: &impl SweepTopology,
+        ps: &PatchSet,
+        dir: [f64; 3],
+        grain: usize,
+    ) -> (Vec<Subgraph>, Vec<ClusterTrace>) {
+        let subs = Subgraph::build_all(mesh, ps, AngleId(0), dir, &HashSet::new());
+        let mut states: Vec<SweepState> = subs
+            .iter()
+            .map(|s| SweepState::with_priorities(s, &vertex_priorities(s, PriorityStrategy::Slbd)))
+            .collect();
+        let mut traces = vec![ClusterTrace::default(); subs.len()];
+        // Pending remote notifications: (patch slot, local vertex).
+        let cell_local: std::collections::HashMap<u32, (usize, u32)> = subs
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, s)| {
+                s.cells
+                    .iter()
+                    .enumerate()
+                    .map(move |(li, &c)| (c, (pi, li as u32)))
+            })
+            .collect();
+        loop {
+            let mut progressed = false;
+            for pi in 0..subs.len() {
+                while states[pi].has_ready() {
+                    let mut remote = Vec::new();
+                    let cluster = states[pi].pop_cluster(&subs[pi], grain, |v, re| {
+                        remote.push((v, re));
+                    });
+                    traces[pi].record(cluster);
+                    progressed = true;
+                    for (_, re) in remote {
+                        let (qi, lv) = cell_local[&re.cell];
+                        states[qi].receive(lv);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        for st in &states {
+            assert!(st.is_complete(), "sweep deadlocked");
+        }
+        (subs, traces)
+    }
+
+    #[test]
+    fn coarse_build_covers_all_vertices() {
+        let m = StructuredMesh::unit(6, 6, 6);
+        let ps = partition::decompose_structured(&m, (3, 3, 3), 2);
+        let (subs, traces) = trace_sweep(&m, &ps, [1.0, 1.0, 1.0], 10);
+        let tasks = build_coarse(&subs, &traces);
+        let total: usize = tasks.iter().map(|t| t.num_vertices()).sum();
+        assert_eq!(total, m.num_cells());
+    }
+
+    #[test]
+    fn coarse_graph_is_acyclic_for_many_directions() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let q = QuadratureSet::sn(2);
+        for (_, o) in q.iter() {
+            // build_coarse asserts acyclicity internally (Theorem 1).
+            let (subs, traces) = trace_sweep(&m, &ps, o.dir, 5);
+            let _ = build_coarse(&subs, &traces);
+        }
+    }
+
+    #[test]
+    fn coarse_replay_matches_fine_execution() {
+        let m = StructuredMesh::unit(6, 6, 6);
+        let ps = partition::decompose_structured(&m, (2, 2, 3), 2);
+        let (subs, traces) = trace_sweep(&m, &ps, [1.0, -1.0, 0.5], 8);
+        let tasks = build_coarse(&subs, &traces);
+
+        // Replay at cluster level: every original vertex must execute
+        // exactly once, and cluster order must respect coarse edges.
+        let mut states: Vec<CoarseSweepState> =
+            tasks.iter().map(CoarseSweepState::new).collect();
+        let slot: std::collections::HashMap<u32, usize> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.patch.0, i))
+            .collect();
+        let mut seen = vec![false; m.num_cells()];
+        loop {
+            let mut progressed = false;
+            for pi in 0..tasks.len() {
+                while let Some(cv) = states[pi].pop(&tasks[pi]) {
+                    progressed = true;
+                    for &v in &tasks[pi].clusters[cv as usize] {
+                        let cell = subs[pi].cells[v as usize] as usize;
+                        assert!(!seen[cell], "cell {cell} replayed twice");
+                        seen[cell] = true;
+                    }
+                    let remotes = tasks[pi].remote[cv as usize].clone();
+                    for re in remotes {
+                        states[slot[&re.patch.0]].receive(re.cluster);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "coarse replay missed cells");
+        for st in &states {
+            assert!(st.is_complete());
+        }
+    }
+
+    #[test]
+    fn coarse_is_smaller_than_fine() {
+        let m = StructuredMesh::unit(8, 8, 8);
+        let ps = partition::decompose_structured(&m, (4, 4, 4), 2);
+        let (subs, traces) = trace_sweep(&m, &ps, [1.0, 1.0, 1.0], 32);
+        let tasks = build_coarse(&subs, &traces);
+        let coarse_vertices: usize = tasks.iter().map(|t| t.num_clusters()).sum();
+        assert!(
+            coarse_vertices * 4 <= m.num_cells(),
+            "coarsening achieved only {}/{} reduction",
+            coarse_vertices,
+            m.num_cells()
+        );
+    }
+
+    #[test]
+    fn remote_items_preserved_in_coarse_edges() {
+        let m = StructuredMesh::unit(4, 2, 2);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let (subs, traces) = trace_sweep(&m, &ps, [1.0, 0.0, 0.0], 100);
+        let tasks = build_coarse(&subs, &traces);
+        let fine_remote: usize = subs.iter().map(|s| s.rem_dst.len()).sum();
+        let coarse_items: usize = tasks
+            .iter()
+            .flat_map(|t| t.remote.iter())
+            .flat_map(|edges| edges.iter())
+            .map(|e| e.items.len())
+            .sum();
+        assert_eq!(fine_remote, coarse_items);
+    }
+
+    #[test]
+    fn grain_one_coarse_equals_fine() {
+        let m = StructuredMesh::unit(3, 3, 1);
+        let ps = PatchSet::single(m.num_cells());
+        let (subs, traces) = trace_sweep(&m, &ps, [1.0, 1.0, 0.0], 1);
+        let tasks = build_coarse(&subs, &traces);
+        assert_eq!(tasks[0].num_clusters(), subs[0].num_vertices());
+    }
+}

@@ -1,0 +1,165 @@
+//! Cycle detection and breaking for sweep dependency graphs.
+//!
+//! On general (deformed or poorly shaped) meshes, a sweep direction can
+//! induce *cyclic* cell dependencies — a well-known pathology of
+//! unstructured transport sweeps (Pautz 2002). The standard remedy is to
+//! break each cycle at its weakest coupling: the edge whose face is most
+//! nearly parallel to the sweep direction (smallest `|Ω·n|A`), treating
+//! that face's incoming flux as lagged from the previous iteration.
+//!
+//! [`break_cycles`] implements that on a generic weighted edge list and
+//! returns the set of removed edge indices; subgraph construction then
+//! skips the corresponding `(src, dst)` cell pairs.
+
+use crate::dag::{topo_sort, Csr};
+use std::collections::HashSet;
+
+/// Remove a minimal-weight set of edges until the graph is acyclic.
+///
+/// Strategy: run Kahn; while vertices remain (i.e. cycles exist), find
+/// the lightest edge among the remaining (cycle-involved) vertices,
+/// remove it, and repeat. This is a heuristic (minimum feedback arc set
+/// is NP-hard) but removes few edges on meshes, where cycles are short.
+///
+/// Returns indices into `edges` of the removed edges.
+pub fn break_cycles(n: usize, edges: &[(u32, u32, f64)]) -> HashSet<usize> {
+    let mut removed: HashSet<usize> = HashSet::new();
+    loop {
+        let live: Vec<(u32, u32)> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed.contains(i))
+            .map(|(_, &(s, d, _))| (s, d))
+            .collect();
+        let g = Csr::from_edges(n, &live);
+        let Err(remaining) = topo_sort(&g) else {
+            return removed;
+        };
+        let in_cycle: HashSet<u32> = remaining.into_iter().collect();
+        // Lightest live edge between two cycle-involved vertices.
+        let victim = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, &(s, d, _))| {
+                !removed.contains(i) && in_cycle.contains(&s) && in_cycle.contains(&d)
+            })
+            .min_by(|(_, a), (_, b)| a.2.partial_cmp(&b.2).unwrap())
+            .map(|(i, _)| i)
+            .expect("cyclic graph must contain an edge between cycle vertices");
+        removed.insert(victim);
+    }
+}
+
+/// Detect whether a direction induces cycles on a mesh, and compute the
+/// broken `(src_cell, dst_cell)` pairs if so.
+///
+/// Most meshes need no breaking; the returned set is usually empty.
+pub fn broken_edges_for_direction<T: jsweep_mesh::SweepTopology + ?Sized>(
+    mesh: &T,
+    dir: [f64; 3],
+) -> HashSet<(u32, u32)> {
+    let n = mesh.num_cells();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for c in 0..n {
+        for f in 0..mesh.num_faces(c) {
+            let face = mesh.face(c, f);
+            let flow = face.flow(dir);
+            if flow > 0.0 {
+                if let Some(nb) = face.neighbor.cell() {
+                    edges.push((c as u32, nb as u32, flow));
+                }
+            }
+        }
+    }
+    break_cycles(n, &edges)
+        .into_iter()
+        .map(|i| (edges[i].0, edges[i].1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::is_acyclic;
+    use jsweep_mesh::StructuredMesh;
+
+    fn live_graph(n: usize, edges: &[(u32, u32, f64)], removed: &HashSet<usize>) -> Csr {
+        let live: Vec<(u32, u32)> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed.contains(i))
+            .map(|(_, &(s, d, _))| (s, d))
+            .collect();
+        Csr::from_edges(n, &live)
+    }
+
+    #[test]
+    fn acyclic_graph_untouched() {
+        let edges = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.1)];
+        assert!(break_cycles(3, &edges).is_empty());
+    }
+
+    #[test]
+    fn triangle_cycle_breaks_lightest_edge() {
+        let edges = [(0, 1, 5.0), (1, 2, 3.0), (2, 0, 0.5)];
+        let removed = break_cycles(3, &edges);
+        assert_eq!(removed.len(), 1);
+        assert!(removed.contains(&2), "should remove the 0.5 edge");
+        assert!(is_acyclic(&live_graph(3, &edges, &removed)));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_break_two_edges() {
+        let edges = [
+            (0, 1, 2.0),
+            (1, 0, 1.0),
+            (2, 3, 4.0),
+            (3, 2, 3.0),
+        ];
+        let removed = break_cycles(4, &edges);
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&1) && removed.contains(&3));
+        assert!(is_acyclic(&live_graph(4, &edges, &removed)));
+    }
+
+    #[test]
+    fn nested_cycles_resolved() {
+        // 0->1->2->0 and 1->3->1 sharing vertex 1.
+        let edges = [
+            (0, 1, 10.0),
+            (1, 2, 10.0),
+            (2, 0, 1.0),
+            (1, 3, 10.0),
+            (3, 1, 2.0),
+        ];
+        let removed = break_cycles(4, &edges);
+        assert!(is_acyclic(&live_graph(4, &edges, &removed)));
+        assert!(removed.len() <= 2);
+    }
+
+    #[test]
+    fn structured_mesh_has_no_cycles() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        for dir in [[1.0, 1.0, 1.0], [0.3, -0.8, 0.52], [-1.0, 0.0, 0.0]] {
+            assert!(broken_edges_for_direction(&m, dir).is_empty());
+        }
+    }
+
+    #[test]
+    fn tet_mesh_kuhn_has_no_cycles_for_probe_directions() {
+        let m = jsweep_mesh::tetgen::cube(2, 1.0);
+        let q = jsweep_quadrature::QuadratureSet::sn(4);
+        for (_, o) in q.iter() {
+            let broken = broken_edges_for_direction(&m, o.dir);
+            assert!(broken.is_empty(), "direction {:?} produced cycles", o.dir);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_removed() {
+        let edges = [(0, 0, 1.0), (0, 1, 2.0)];
+        let removed = break_cycles(2, &edges);
+        assert_eq!(removed.len(), 1);
+        assert!(removed.contains(&0));
+    }
+}

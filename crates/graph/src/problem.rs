@@ -1,0 +1,273 @@
+//! Problem setup for the simulator: mesh + decomposition + quadrature
+//! compiled into per-(patch, angle) subgraphs and priorities.
+
+use crate::priority::{patch_priorities, vertex_priorities, TwoLevelPriority};
+use crate::{cycles, PriorityStrategy, Subgraph};
+use jsweep_mesh::{PatchSet, SweepTopology};
+use jsweep_quadrature::{AngleId, QuadratureSet};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Construction options for [`SweepProblem::build`].
+#[derive(Debug, Clone)]
+pub struct ProblemOptions {
+    /// Vertex-level priority strategy (the second name in the paper's
+    /// "X+Y" notation, e.g. the second SLBD of "SLBD+SLBD").
+    pub vertex_strategy: PriorityStrategy,
+    /// Patch-level priority strategy (the first name).
+    pub patch_strategy: PriorityStrategy,
+    /// On axis-aligned structured meshes every angle of an octant
+    /// induces the same DAG; sharing cuts memory 8/num_angles-fold.
+    /// Must be `false` for unstructured or deformed meshes.
+    pub share_octant_dags: bool,
+    /// Run the cycle detector per direction and break cyclic
+    /// dependencies (needed for deformed meshes; Kuhn tet meshes and
+    /// structured meshes are cycle-free).
+    pub check_cycles: bool,
+}
+
+impl Default for ProblemOptions {
+    fn default() -> Self {
+        ProblemOptions {
+            vertex_strategy: PriorityStrategy::Slbd,
+            patch_strategy: PriorityStrategy::Slbd,
+            share_octant_dags: false,
+            check_cycles: false,
+        }
+    }
+}
+
+/// A fully compiled sweep problem: everything the simulator (and the
+/// baselines) need, with octant-level sharing of immutable data.
+pub struct SweepProblem {
+    /// The decomposition (cells → patches → ranks).
+    pub patches: PatchSet,
+    /// Number of sweep angles.
+    pub num_angles: usize,
+    /// `subs[angle][patch]`: induced subgraphs (Arc-shared per octant
+    /// when enabled).
+    pub subs: Vec<Arc<Vec<Subgraph>>>,
+    /// `vprio[angle][patch]`: vertex priorities (shared like `subs`).
+    pub vprio: Vec<Arc<Vec<Arc<Vec<i64>>>>>,
+    /// `pprio[angle][patch]`: two-level program priorities.
+    pub pprio: Vec<Vec<i64>>,
+    /// `broken[angle]`: cycle-breaker edge set `(src_cell, dst_cell)`
+    /// (empty unless [`ProblemOptions::check_cycles`] found cycles).
+    pub broken: Vec<Arc<HashSet<(u32, u32)>>>,
+    /// Total `(cell, angle)` vertices.
+    pub total_vertices: u64,
+}
+
+impl SweepProblem {
+    /// Compile a problem from a mesh, a distributed patch set and a
+    /// quadrature set.
+    pub fn build<T: SweepTopology + ?Sized>(
+        mesh: &T,
+        patches: PatchSet,
+        quadrature: &QuadratureSet,
+        opts: &ProblemOptions,
+    ) -> SweepProblem {
+        let num_angles = quadrature.len();
+        let num_patches = patches.num_patches();
+        let mut subs: Vec<Arc<Vec<Subgraph>>> = Vec::with_capacity(num_angles);
+        let mut vprio: Vec<Arc<Vec<Arc<Vec<i64>>>>> = Vec::with_capacity(num_angles);
+        let mut patch_prio_per_angle: Vec<Vec<i64>> = Vec::with_capacity(num_angles);
+        let mut broken_per_angle: Vec<Arc<HashSet<(u32, u32)>>> = Vec::with_capacity(num_angles);
+
+        // Octant sharing: remember the first angle of each octant.
+        let mut octant_cache: [Option<usize>; 8] = [None; 8];
+
+        for (a, ord) in quadrature.iter() {
+            let share_from = if opts.share_octant_dags {
+                octant_cache[ord.octant().index()]
+            } else {
+                None
+            };
+            match share_from {
+                Some(src) => {
+                    subs.push(subs[src].clone());
+                    vprio.push(vprio[src].clone());
+                    patch_prio_per_angle.push(patch_prio_per_angle[src].clone());
+                    broken_per_angle.push(broken_per_angle[src].clone());
+                }
+                None => {
+                    let broken = if opts.check_cycles {
+                        cycles::broken_edges_for_direction(mesh, ord.dir)
+                    } else {
+                        HashSet::new()
+                    };
+                    let angle_subs = Subgraph::build_all(mesh, &patches, a, ord.dir, &broken);
+                    let prios: Vec<Arc<Vec<i64>>> = angle_subs
+                        .iter()
+                        .map(|s| Arc::new(vertex_priorities(s, opts.vertex_strategy)))
+                        .collect();
+                    let pp = patch_priorities(&angle_subs, &patches, opts.patch_strategy);
+                    subs.push(Arc::new(angle_subs));
+                    vprio.push(Arc::new(prios));
+                    patch_prio_per_angle.push(pp);
+                    broken_per_angle.push(Arc::new(broken));
+                    if opts.share_octant_dags {
+                        octant_cache[ord.octant().index()] = Some(a.index());
+                    }
+                }
+            }
+        }
+
+        // Two-level composition: prior(p,a) = prior(a)*C + prior(p).
+        let c = TwoLevelPriority::DEFAULT_C;
+        let pprio: Vec<Vec<i64>> = patch_prio_per_angle
+            .iter()
+            .enumerate()
+            .map(|(a, pp)| {
+                let prior_a = -(a as i64);
+                pp.iter().map(|&p| prior_a * c + p).collect()
+            })
+            .collect();
+
+        let total_vertices = (mesh.num_cells() * num_angles) as u64;
+        let _ = num_patches;
+        SweepProblem {
+            patches,
+            num_angles,
+            subs,
+            vprio,
+            pprio,
+            broken: broken_per_angle,
+            total_vertices,
+        }
+    }
+
+    /// Number of patches.
+    pub fn num_patches(&self) -> usize {
+        self.patches.num_patches()
+    }
+
+    /// Task id of `(patch, angle)`.
+    #[inline]
+    pub fn tid(&self, patch: usize, angle: usize) -> usize {
+        angle * self.num_patches() + patch
+    }
+
+    /// Inverse of [`SweepProblem::tid`].
+    #[inline]
+    pub fn patch_angle(&self, tid: usize) -> (usize, usize) {
+        (tid % self.num_patches(), tid / self.num_patches())
+    }
+
+    /// Total `(patch, angle)` tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.num_patches() * self.num_angles
+    }
+
+    /// The angle id of a task (for diagnostics).
+    pub fn angle_of(&self, tid: usize) -> AngleId {
+        AngleId((tid / self.num_patches()) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsweep_mesh::{partition, StructuredMesh};
+
+    #[test]
+    fn build_structured_with_octant_sharing() {
+        let m = StructuredMesh::unit(6, 6, 6);
+        let ps = partition::decompose_structured(&m, (3, 3, 3), 2);
+        let q = QuadratureSet::sn(4); // 24 angles, 3 per octant
+        let opts = ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        };
+        let prob = SweepProblem::build(&m, ps, &q, &opts);
+        assert_eq!(prob.num_angles, 24);
+        assert_eq!(prob.total_vertices, 216 * 24);
+        // Angles of the same octant share the same subgraph allocation.
+        let groups: std::collections::HashSet<*const Vec<Subgraph>> =
+            prob.subs.iter().map(|a| Arc::as_ptr(a)).collect();
+        assert_eq!(groups.len(), 8, "one DAG per octant");
+    }
+
+    #[test]
+    fn build_unstructured_without_sharing() {
+        let m = jsweep_mesh::tetgen::ball(3, 1.0);
+        let ps = partition::decompose_unstructured(&m, 50, 2);
+        let q = QuadratureSet::sn(2);
+        let prob = SweepProblem::build(&m, ps, &q, &ProblemOptions::default());
+        let groups: std::collections::HashSet<*const Vec<Subgraph>> =
+            prob.subs.iter().map(|a| Arc::as_ptr(a)).collect();
+        assert_eq!(groups.len(), 8, "no sharing requested");
+    }
+
+    #[test]
+    fn tid_roundtrip() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let q = QuadratureSet::sn(2);
+        let prob = SweepProblem::build(&m, ps, &q, &ProblemOptions::default());
+        for t in 0..prob.num_tasks() {
+            let (p, a) = prob.patch_angle(t);
+            assert_eq!(prob.tid(p, a), t);
+        }
+    }
+
+    #[test]
+    fn broken_sets_are_shared_per_octant() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let q = QuadratureSet::sn(4);
+        let prob = SweepProblem::build(
+            &m,
+            ps,
+            &q,
+            &ProblemOptions {
+                share_octant_dags: true,
+                check_cycles: true,
+                ..Default::default()
+            },
+        );
+        // Structured meshes never produce cycles.
+        assert!(prob.broken.iter().all(|b| b.is_empty()));
+        // Shared allocations per octant.
+        let uniq: std::collections::HashSet<*const HashSet<(u32, u32)>> =
+            prob.broken.iter().map(|b| Arc::as_ptr(b)).collect();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn deformed_mesh_problem_builds_with_cycle_checking() {
+        use jsweep_mesh::deformed::DeformedMesh;
+        let m = DeformedMesh::jittered(4, 4, 4, 0.3, 5);
+        let ps = partition::rcb(&m, 4);
+        let q = QuadratureSet::sn(2);
+        let prob = SweepProblem::build(
+            &m,
+            ps,
+            &q,
+            &ProblemOptions {
+                check_cycles: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(prob.broken.len(), 8);
+        // Every angle's subgraphs stay acyclic after breaking.
+        for subs in &prob.subs {
+            for sub in subs.iter() {
+                assert!(crate::dag::is_acyclic(&sub.internal_csr()));
+            }
+        }
+    }
+
+    #[test]
+    fn program_priorities_are_angle_major() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let q = QuadratureSet::sn(2);
+        let prob = SweepProblem::build(&m, ps, &q, &ProblemOptions::default());
+        for p in 0..prob.num_patches() {
+            for p2 in 0..prob.num_patches() {
+                assert!(prob.pprio[0][p] > prob.pprio[1][p2]);
+            }
+        }
+    }
+}

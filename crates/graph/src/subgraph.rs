@@ -1,0 +1,388 @@
+//! Construction of the per-(patch, angle) induced subgraph `G_{p,t}`.
+//!
+//! Vertices are the patch's local cells (for one sweep direction); an
+//! edge `(u, v)` means `v` consumes `u`'s outgoing face flux. Edges
+//! internal to the patch are stored as a CSR list over local indices;
+//! edges leaving the patch are stored as [`RemoteEdge`]s addressed by
+//! `(target patch, target global cell)` — at run time they become
+//! stream items. The in-degree counter of a vertex counts *all* upwind
+//! interior faces, local and remote alike, exactly matching what the
+//! Listing-1 `init`/`input`/`compute` functions decrement.
+
+use jsweep_mesh::{PatchId, PatchSet, SweepTopology};
+use jsweep_quadrature::AngleId;
+use std::collections::HashSet;
+
+/// A downwind dependency crossing the patch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteEdge {
+    /// Patch owning the consumer cell.
+    pub patch: PatchId,
+    /// Consumer cell (global id).
+    pub cell: u32,
+}
+
+/// The induced subgraph of one `(patch, angle)` sweep task.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The patch this subgraph belongs to.
+    pub patch: PatchId,
+    /// The sweep angle (task tag).
+    pub angle: AngleId,
+    /// Global cell id of each local vertex.
+    pub cells: Vec<u32>,
+    /// Number of upwind interior faces per local vertex (local + remote).
+    pub in_degree: Vec<u32>,
+    /// CSR offsets of internal downwind edges.
+    pub int_off: Vec<u32>,
+    /// Internal downwind targets (local vertex indices).
+    pub int_dst: Vec<u32>,
+    /// CSR offsets of remote downwind edges.
+    pub rem_off: Vec<u32>,
+    /// Remote downwind targets.
+    pub rem_dst: Vec<RemoteEdge>,
+}
+
+impl Subgraph {
+    /// Build `G_{p,t}` for patch `p` and direction `dir`.
+    ///
+    /// `broken` lists `(src_cell, dst_cell)` global pairs removed by the
+    /// cycle breaker; pass an empty set for ordinary meshes.
+    pub fn build<T: SweepTopology + ?Sized>(
+        mesh: &T,
+        patches: &PatchSet,
+        patch: PatchId,
+        angle: AngleId,
+        dir: [f64; 3],
+        broken: &HashSet<(u32, u32)>,
+    ) -> Subgraph {
+        let cells: Vec<u32> = patches.cells(patch).to_vec();
+        let n = cells.len();
+        let mut in_degree = vec![0u32; n];
+        let mut int_off = vec![0u32; n + 1];
+        let mut rem_off = vec![0u32; n + 1];
+        let mut int_edges: Vec<(u32, u32)> = Vec::new();
+        let mut rem_edges: Vec<(u32, RemoteEdge)> = Vec::new();
+
+        for (li, &cell) in cells.iter().enumerate() {
+            let c = cell as usize;
+            for f in 0..mesh.num_faces(c) {
+                let face = mesh.face(c, f);
+                let flow = face.flow(dir);
+                let Some(nb) = face.neighbor.cell() else {
+                    continue;
+                };
+                if flow < 0.0 {
+                    // Upwind interior face feeds this vertex — unless the
+                    // cycle breaker removed the (nb -> c) edge.
+                    if !broken.contains(&(nb as u32, cell)) {
+                        in_degree[li] += 1;
+                    }
+                } else if flow > 0.0 {
+                    if broken.contains(&(cell, nb as u32)) {
+                        continue;
+                    }
+                    let nb_patch = patches.patch_of(nb);
+                    if nb_patch == patch {
+                        int_edges.push((li as u32, patches.local_index(nb) as u32));
+                    } else {
+                        rem_edges.push((
+                            li as u32,
+                            RemoteEdge {
+                                patch: nb_patch,
+                                cell: nb as u32,
+                            },
+                        ));
+                    }
+                }
+                // flow == 0: the face is parallel to the direction; no
+                // dependency either way.
+            }
+        }
+
+        // Pack into CSR.
+        for &(s, _) in &int_edges {
+            int_off[s as usize + 1] += 1;
+        }
+        for &(s, _) in &rem_edges {
+            rem_off[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            int_off[v + 1] += int_off[v];
+            rem_off[v + 1] += rem_off[v];
+        }
+        let mut int_dst = vec![0u32; int_edges.len()];
+        let mut cursor = int_off[..n].to_vec();
+        for &(s, d) in &int_edges {
+            int_dst[cursor[s as usize] as usize] = d;
+            cursor[s as usize] += 1;
+        }
+        let mut rem_dst = vec![
+            RemoteEdge {
+                patch: PatchId(0),
+                cell: 0
+            };
+            rem_edges.len()
+        ];
+        let mut cursor = rem_off[..n].to_vec();
+        for &(s, d) in &rem_edges {
+            rem_dst[cursor[s as usize] as usize] = d;
+            cursor[s as usize] += 1;
+        }
+
+        Subgraph {
+            patch,
+            angle,
+            cells,
+            in_degree,
+            int_off,
+            int_dst,
+            rem_off,
+            rem_dst,
+        }
+    }
+
+    /// Number of local vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Internal downwind targets of local vertex `v`.
+    #[inline]
+    pub fn internal_succ(&self, v: u32) -> &[u32] {
+        &self.int_dst[self.int_off[v as usize] as usize..self.int_off[v as usize + 1] as usize]
+    }
+
+    /// Remote downwind targets of local vertex `v`.
+    #[inline]
+    pub fn remote_succ(&self, v: u32) -> &[RemoteEdge] {
+        &self.rem_dst[self.rem_off[v as usize] as usize..self.rem_off[v as usize + 1] as usize]
+    }
+
+    /// Local vertices with at least one remote downwind edge (the patch
+    /// "exit" vertices SLBD steers towards).
+    pub fn exit_vertices(&self) -> Vec<u32> {
+        (0..self.num_vertices() as u32)
+            .filter(|&v| !self.remote_succ(v).is_empty())
+            .collect()
+    }
+
+    /// Total internal + remote edges.
+    pub fn num_edges(&self) -> usize {
+        self.int_dst.len() + self.rem_dst.len()
+    }
+
+    /// The internal-edge graph as a generic CSR (for priority sweeps).
+    pub fn internal_csr(&self) -> crate::dag::Csr {
+        crate::dag::Csr {
+            off: self.int_off.clone(),
+            dst: self.int_dst.clone(),
+        }
+    }
+
+    /// In-degree counting only internal edges (sources of the *local*
+    /// DAG, used by priority computations that ignore remote inputs).
+    pub fn internal_in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices()];
+        for &d in &self.int_dst {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Build the subgraphs of *all* patches for one direction.
+    pub fn build_all<T: SweepTopology + ?Sized>(
+        mesh: &T,
+        patches: &PatchSet,
+        angle: AngleId,
+        dir: [f64; 3],
+        broken: &HashSet<(u32, u32)>,
+    ) -> Vec<Subgraph> {
+        patches
+            .patches()
+            .map(|p| Subgraph::build(mesh, patches, p, angle, dir, broken))
+            .collect()
+    }
+}
+
+/// Sanity invariant used by tests and property checks: summed over all
+/// patches of one direction, every internal+remote edge is matched by
+/// exactly one unit of in-degree on its target.
+pub fn check_edge_degree_balance(subs: &[Subgraph]) -> Result<(), String> {
+    use std::collections::HashMap;
+    // (patch index, local vertex) -> expected in-degree from edges.
+    let mut incoming: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut local_of_cell: HashMap<u32, (u32, u32)> = HashMap::new();
+    for sub in subs {
+        for (li, &cell) in sub.cells.iter().enumerate() {
+            local_of_cell.insert(cell, (sub.patch.0, li as u32));
+        }
+    }
+    for sub in subs {
+        for v in 0..sub.num_vertices() as u32 {
+            for &d in sub.internal_succ(v) {
+                *incoming.entry((sub.patch.0, d)).or_default() += 1;
+            }
+            for re in sub.remote_succ(v) {
+                let &(p, lv) = local_of_cell
+                    .get(&re.cell)
+                    .ok_or_else(|| format!("remote edge to unknown cell {}", re.cell))?;
+                if p != re.patch.0 {
+                    return Err(format!(
+                        "remote edge patch mismatch: cell {} is in patch {p}, edge says {}",
+                        re.cell, re.patch.0
+                    ));
+                }
+                *incoming.entry((p, lv)).or_default() += 1;
+            }
+        }
+    }
+    for sub in subs {
+        for v in 0..sub.num_vertices() as u32 {
+            let expect = incoming.get(&(sub.patch.0, v)).copied().unwrap_or(0);
+            if expect != sub.in_degree[v as usize] {
+                return Err(format!(
+                    "patch {} vertex {v}: in_degree {} but {} incoming edges",
+                    sub.patch.0, sub.in_degree[v as usize], expect
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsweep_mesh::{partition, StructuredMesh};
+    use jsweep_quadrature::QuadratureSet;
+
+    fn setup() -> (StructuredMesh, PatchSet) {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        (m, ps)
+    }
+
+    #[test]
+    fn corner_sources_have_zero_in_degree() {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let ps = PatchSet::single(m.num_cells());
+        let sub = Subgraph::build(
+            &m,
+            &ps,
+            PatchId(0),
+            AngleId(0),
+            [1.0, 1.0, 1.0],
+            &HashSet::new(),
+        );
+        // Only the (0,0,0) cell has no upwind interior faces.
+        let sources: Vec<u32> = (0..sub.num_vertices() as u32)
+            .filter(|&v| sub.in_degree[v as usize] == 0)
+            .collect();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sub.cells[sources[0] as usize], m.cell_id(0, 0, 0) as u32);
+    }
+
+    #[test]
+    fn single_patch_has_no_remote_edges() {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let ps = PatchSet::single(m.num_cells());
+        let sub = Subgraph::build(
+            &m,
+            &ps,
+            PatchId(0),
+            AngleId(0),
+            [1.0, 0.5, 0.25],
+            &HashSet::new(),
+        );
+        assert!(sub.rem_dst.is_empty());
+        assert_eq!(
+            sub.int_dst.len(),
+            sub.in_degree.iter().map(|&d| d as usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn edge_degree_balance_across_patches() {
+        let (m, ps) = setup();
+        let q = QuadratureSet::sn(2);
+        for (a, o) in q.iter() {
+            let subs = Subgraph::build_all(&m, &ps, a, o.dir, &HashSet::new());
+            check_edge_degree_balance(&subs).unwrap();
+        }
+    }
+
+    #[test]
+    fn opposite_directions_swap_degrees() {
+        let (m, ps) = setup();
+        let subs_fwd =
+            Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
+        let subs_bwd =
+            Subgraph::build_all(&m, &ps, AngleId(1), [-1.0, -1.0, -1.0], &HashSet::new());
+        let total_edges_fwd: usize = subs_fwd.iter().map(|s| s.num_edges()).sum();
+        let total_edges_bwd: usize = subs_bwd.iter().map(|s| s.num_edges()).sum();
+        assert_eq!(total_edges_fwd, total_edges_bwd);
+    }
+
+    #[test]
+    fn exit_vertices_touch_patch_boundary() {
+        let (m, ps) = setup();
+        let subs = Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
+        for sub in &subs {
+            for v in sub.exit_vertices() {
+                assert!(!sub.remote_succ(v).is_empty());
+            }
+        }
+        // The overall last patch in the sweep direction has no exits on
+        // its far corner; at least one patch must have exits.
+        assert!(subs.iter().any(|s| !s.exit_vertices().is_empty()));
+    }
+
+    #[test]
+    fn broken_edges_are_skipped_on_both_sides() {
+        let m = StructuredMesh::unit(2, 1, 1);
+        let ps = PatchSet::single(2);
+        let mut broken = HashSet::new();
+        broken.insert((0u32, 1u32));
+        let sub = Subgraph::build(
+            &m,
+            &ps,
+            PatchId(0),
+            AngleId(0),
+            [1.0, 0.0, 0.0],
+            &broken,
+        );
+        assert_eq!(sub.in_degree, vec![0, 0]);
+        assert!(sub.int_dst.is_empty());
+    }
+
+    #[test]
+    fn internal_csr_matches_edges() {
+        let (m, ps) = setup();
+        let sub = Subgraph::build(
+            &m,
+            &ps,
+            PatchId(0),
+            AngleId(0),
+            [1.0, 1.0, 1.0],
+            &HashSet::new(),
+        );
+        let csr = sub.internal_csr();
+        assert_eq!(csr.num_edges(), sub.int_dst.len());
+        assert!(crate::dag::is_acyclic(&csr));
+    }
+
+    #[test]
+    fn tet_subgraphs_balance() {
+        let m = jsweep_mesh::tetgen::ball(3, 1.0);
+        let ps = partition::decompose_unstructured(&m, 40, 2);
+        let q = QuadratureSet::sn(2);
+        for (a, o) in q.iter().take(3) {
+            let subs = Subgraph::build_all(&m, &ps, a, o.dir, &HashSet::new());
+            check_edge_degree_balance(&subs).unwrap();
+            for sub in &subs {
+                assert!(crate::dag::is_acyclic(&sub.internal_csr()));
+            }
+        }
+    }
+}

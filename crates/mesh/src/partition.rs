@@ -1,0 +1,431 @@
+//! Domain decomposition: cells → patches → ranks.
+//!
+//! Mirrors the paper's §V-A: "the mesh has been decomposed into patches
+//! with general spatial domain decomposition methods (METIS and Chaco
+//! for unstructured meshes, Morton and Hilbert space filling curves for
+//! structured meshes)". We provide:
+//!
+//! * [`structured_blocks`] — fixed-size block patches on structured
+//!   meshes (the paper's `patch size = 20×20×20`);
+//! * [`greedy_bfs`] — a BFS-growing graph partitioner for unstructured
+//!   meshes (METIS stand-in: contiguous, balanced parts with small
+//!   boundary);
+//! * [`rcb`] — recursive coordinate bisection over cell centroids
+//!   (Chaco-style geometric partitioner);
+//! * rank distribution along Morton/Hilbert orders via
+//!   [`distribute_sfc`].
+
+use crate::patch::PatchSet;
+use crate::sfc;
+use crate::structured::StructuredMesh;
+use crate::SweepTopology;
+use std::collections::VecDeque;
+
+/// Space-filling-curve family used for rank distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfcKind {
+    Morton,
+    Hilbert,
+}
+
+/// Decompose a structured mesh into axis-aligned blocks of
+/// `patch_dims = (px, py, pz)` cells (boundary blocks may be smaller).
+///
+/// Returns the patch set plus the patch-lattice coordinate of every
+/// patch (for SFC ordering).
+pub fn structured_blocks(
+    mesh: &StructuredMesh,
+    patch_dims: (usize, usize, usize),
+) -> (PatchSet, Vec<(u32, u32, u32)>) {
+    let (nx, ny, nz) = mesh.dims();
+    let (px, py, pz) = patch_dims;
+    assert!(px > 0 && py > 0 && pz > 0, "zero patch dims");
+    let bx = nx.div_ceil(px);
+    let by = ny.div_ceil(py);
+    let bz = nz.div_ceil(pz);
+    let num_patches = bx * by * bz;
+    let mut patch_of = vec![0u32; mesh.num_cells()];
+    for (c, slot) in patch_of.iter_mut().enumerate() {
+        let (i, j, k) = mesh.cell_ijk(c);
+        let b = (i / px) + bx * ((j / py) + by * (k / pz));
+        *slot = b as u32;
+    }
+    let coords: Vec<(u32, u32, u32)> = (0..num_patches)
+        .map(|b| {
+            (
+                (b % bx) as u32,
+                ((b / bx) % by) as u32,
+                (b / (bx * by)) as u32,
+            )
+        })
+        .collect();
+    (PatchSet::from_assignment(patch_of, num_patches), coords)
+}
+
+/// Distribute the patches of a structured decomposition over ranks
+/// along a space-filling curve of the patch lattice.
+pub fn distribute_sfc(
+    patches: &mut PatchSet,
+    coords: &[(u32, u32, u32)],
+    num_ranks: usize,
+    kind: SfcKind,
+) {
+    let order = match kind {
+        SfcKind::Morton => sfc::morton_order(coords),
+        SfcKind::Hilbert => sfc::hilbert_order(coords),
+    };
+    patches.distribute_in_order(&order, num_ranks);
+}
+
+/// BFS-growing graph partitioner (METIS stand-in).
+///
+/// Repeatedly grows a patch from the unassigned cell with the fewest
+/// unassigned neighbours (a peripheral cell), adding BFS frontier cells
+/// until `target` cells are collected. Produces contiguous patches with
+/// balanced sizes (the last patch absorbs the remainder; isolated
+/// leftovers join their neighbouring patch).
+pub fn greedy_bfs<T: SweepTopology + ?Sized>(mesh: &T, target: usize) -> PatchSet {
+    assert!(target > 0, "zero target patch size");
+    let n = mesh.num_cells();
+    let mut patch_of = vec![u32::MAX; n];
+    let mut num_patches = 0u32;
+    let mut assigned = 0usize;
+
+    // Seed order: sort cells by centroid along a diagonal so the growth
+    // front marches through the domain deterministically.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by(|&a, &b| {
+        let ca = mesh.cell_centroid(a);
+        let cb = mesh.cell_centroid(b);
+        let ka = ca[0] + ca[1] * 1.37 + ca[2] * 1.93;
+        let kb = cb[0] + cb[1] * 1.37 + cb[2] * 1.93;
+        ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+    });
+    let mut seed_cursor = 0usize;
+
+    while assigned < n {
+        // Next unassigned seed.
+        while seed_cursor < n && patch_of[seeds[seed_cursor]] != u32::MAX {
+            seed_cursor += 1;
+        }
+        let seed = seeds[seed_cursor];
+        let p = num_patches;
+        num_patches += 1;
+        let mut queue = VecDeque::new();
+        queue.push_back(seed);
+        patch_of[seed] = p;
+        assigned += 1;
+        let mut size = 1usize;
+        while size < target {
+            let Some(c) = queue.pop_front() else { break };
+            for nb in mesh.neighbors(c) {
+                if patch_of[nb] == u32::MAX {
+                    patch_of[nb] = p;
+                    assigned += 1;
+                    size += 1;
+                    queue.push_back(nb);
+                    if size >= target {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Merge undersized fragments (< target/4) into a neighbouring patch
+    // to avoid pathological tiny patches at the domain boundary.
+    let mut sizes = vec![0usize; num_patches as usize];
+    for &p in &patch_of {
+        sizes[p as usize] += 1;
+    }
+    for c in 0..n {
+        let p = patch_of[c] as usize;
+        if sizes[p] * 4 < target {
+            if let Some(nb) = mesh
+                .neighbors(c)
+                .into_iter()
+                .find(|&nb| sizes[patch_of[nb] as usize] * 4 >= target)
+            {
+                sizes[p] -= 1;
+                patch_of[c] = patch_of[nb];
+                sizes[patch_of[nb] as usize] += 1;
+            }
+        }
+    }
+    compact(patch_of)
+}
+
+/// Recursive coordinate bisection over cell centroids into
+/// `num_patches` parts (must not exceed the cell count).
+pub fn rcb<T: SweepTopology + ?Sized>(mesh: &T, num_patches: usize) -> PatchSet {
+    let n = mesh.num_cells();
+    assert!(num_patches >= 1 && num_patches <= n);
+    let centroids: Vec<[f64; 3]> = (0..n).map(|c| mesh.cell_centroid(c)).collect();
+    let mut patch_of = vec![0u32; n];
+    let mut cells: Vec<usize> = (0..n).collect();
+    let mut next_patch = 0u32;
+    rcb_rec(
+        &centroids,
+        &mut cells,
+        num_patches,
+        &mut patch_of,
+        &mut next_patch,
+    );
+    PatchSet::from_assignment(patch_of, num_patches)
+}
+
+fn rcb_rec(
+    centroids: &[[f64; 3]],
+    cells: &mut [usize],
+    parts: usize,
+    patch_of: &mut [u32],
+    next_patch: &mut u32,
+) {
+    if parts == 1 {
+        let p = *next_patch;
+        *next_patch += 1;
+        for &c in cells.iter() {
+            patch_of[c] = p;
+        }
+        return;
+    }
+    // Split along the widest axis.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &c in cells.iter() {
+        for ax in 0..3 {
+            lo[ax] = lo[ax].min(centroids[c][ax]);
+            hi[ax] = hi[ax].max(centroids[c][ax]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+    let left_parts = parts / 2;
+    let split = cells.len() * left_parts / parts;
+    cells.select_nth_unstable_by(split.max(1) - 1, |&a, &b| {
+        centroids[a][axis]
+            .partial_cmp(&centroids[b][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let (left, right) = cells.split_at_mut(split.max(1));
+    rcb_rec(centroids, left, left_parts.max(1), patch_of, next_patch);
+    rcb_rec(
+        centroids,
+        right,
+        parts - left_parts.max(1),
+        patch_of,
+        next_patch,
+    );
+}
+
+/// Renumber patch ids to remove gaps left by merging, then build the set.
+fn compact(mut patch_of: Vec<u32>) -> PatchSet {
+    let max = *patch_of.iter().max().unwrap() as usize + 1;
+    let mut used = vec![false; max];
+    for &p in &patch_of {
+        used[p as usize] = true;
+    }
+    let mut remap = vec![u32::MAX; max];
+    let mut next = 0u32;
+    for (old, &u) in used.iter().enumerate() {
+        if u {
+            remap[old] = next;
+            next += 1;
+        }
+    }
+    for p in patch_of.iter_mut() {
+        *p = remap[*p as usize];
+    }
+    PatchSet::from_assignment(patch_of, next as usize)
+}
+
+/// Distribute the patches of an unstructured decomposition over ranks,
+/// ordering patches by centroid along a diagonal sweep (contiguous
+/// runs → compact rank subdomains).
+pub fn distribute_unstructured<T: SweepTopology + ?Sized>(
+    patches: &mut PatchSet,
+    mesh: &T,
+    num_ranks: usize,
+) {
+    let mut keys: Vec<(f64, usize)> = patches
+        .patches()
+        .map(|p| {
+            let cells = patches.cells(p);
+            let mut acc = [0.0; 3];
+            for &c in cells {
+                let cc = mesh.cell_centroid(c as usize);
+                for ax in 0..3 {
+                    acc[ax] += cc[ax];
+                }
+            }
+            let k = (acc[0] + 1.37 * acc[1] + 1.93 * acc[2]) / cells.len() as f64;
+            (k, p.index())
+        })
+        .collect();
+    keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let order: Vec<usize> = keys.into_iter().map(|(_, p)| p).collect();
+    patches.distribute_in_order(&order, num_ranks);
+}
+
+/// Convenience: block-decompose a structured mesh and distribute over
+/// ranks along a Hilbert curve.
+pub fn decompose_structured(
+    mesh: &StructuredMesh,
+    patch_dims: (usize, usize, usize),
+    num_ranks: usize,
+) -> PatchSet {
+    let (mut ps, coords) = structured_blocks(mesh, patch_dims);
+    distribute_sfc(&mut ps, &coords, num_ranks, SfcKind::Hilbert);
+    ps
+}
+
+/// Convenience: BFS-partition an unstructured mesh into patches of
+/// roughly `cells_per_patch` cells and distribute over ranks.
+pub fn decompose_unstructured<T: SweepTopology + ?Sized>(
+    mesh: &T,
+    cells_per_patch: usize,
+    num_ranks: usize,
+) -> PatchSet {
+    let mut ps = greedy_bfs(mesh, cells_per_patch);
+    distribute_unstructured(&mut ps, mesh, num_ranks);
+    ps
+}
+
+/// Check contiguity of every patch (each patch's cells form one
+/// face-connected component). Returns the number of non-contiguous
+/// patches.
+pub fn count_fragmented_patches<T: SweepTopology + ?Sized>(ps: &PatchSet, mesh: &T) -> usize {
+    let mut fragmented = 0;
+    for p in ps.patches() {
+        let cells = ps.cells(p);
+        let mut visited = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(cells[0] as usize);
+        visited.insert(cells[0] as usize);
+        while let Some(c) = queue.pop_front() {
+            for nb in mesh.neighbors(c) {
+                if ps.patch_of(nb) == p && visited.insert(nb) {
+                    queue.push_back(nb);
+                }
+            }
+        }
+        if visited.len() != cells.len() {
+            fragmented += 1;
+        }
+    }
+    fragmented
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tetgen;
+
+    #[test]
+    fn blocks_cover_and_size() {
+        let m = StructuredMesh::unit(10, 10, 10);
+        let (ps, coords) = structured_blocks(&m, (5, 5, 5));
+        assert_eq!(ps.num_patches(), 8);
+        assert_eq!(coords.len(), 8);
+        for p in ps.patches() {
+            assert_eq!(ps.cells(p).len(), 125);
+        }
+    }
+
+    #[test]
+    fn uneven_blocks_cover_all_cells() {
+        let m = StructuredMesh::unit(7, 5, 3);
+        let (ps, _) = structured_blocks(&m, (4, 4, 4));
+        let total: usize = ps.patches().map(|p| ps.cells(p).len()).sum();
+        assert_eq!(total, 105);
+    }
+
+    #[test]
+    fn blocks_are_contiguous() {
+        let m = StructuredMesh::unit(8, 8, 4);
+        let (ps, _) = structured_blocks(&m, (4, 4, 4));
+        assert_eq!(count_fragmented_patches(&ps, &m), 0);
+    }
+
+    #[test]
+    fn sfc_distribution_balances() {
+        let m = StructuredMesh::unit(8, 8, 8);
+        let (mut ps, coords) = structured_blocks(&m, (2, 2, 2));
+        distribute_sfc(&mut ps, &coords, 4, SfcKind::Hilbert);
+        for r in 0..4 {
+            let cells: usize = ps
+                .patches_on_rank(r)
+                .iter()
+                .map(|&p| ps.cells(p).len())
+                .sum();
+            assert_eq!(cells, 128, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn greedy_bfs_covers_and_balances() {
+        let m = tetgen::cube(4, 1.0);
+        let ps = greedy_bfs(&m, 48);
+        let total: usize = ps.patches().map(|p| ps.cells(p).len()).sum();
+        assert_eq!(total, m.num_cells());
+        for p in ps.patches() {
+            let s = ps.cells(p).len();
+            assert!(s <= 2 * 48, "patch {p:?} oversized: {s}");
+        }
+    }
+
+    #[test]
+    fn greedy_bfs_patches_mostly_contiguous() {
+        let m = tetgen::ball(5, 1.0);
+        let ps = greedy_bfs(&m, 64);
+        // BFS growth makes patches contiguous by construction; merging
+        // fragments can break at most a few.
+        let frag = count_fragmented_patches(&ps, &m);
+        assert!(
+            frag * 10 <= ps.num_patches(),
+            "{frag}/{} fragmented",
+            ps.num_patches()
+        );
+    }
+
+    #[test]
+    fn rcb_produces_exact_part_count() {
+        let m = tetgen::cube(3, 1.0);
+        for parts in [1, 2, 3, 5, 8] {
+            let ps = rcb(&m, parts);
+            assert_eq!(ps.num_patches(), parts);
+            let total: usize = ps.patches().map(|p| ps.cells(p).len()).sum();
+            assert_eq!(total, m.num_cells());
+        }
+    }
+
+    #[test]
+    fn rcb_balances_within_factor_two() {
+        let m = tetgen::cube(4, 1.0);
+        let ps = rcb(&m, 8);
+        let sizes: Vec<usize> = ps.patches().map(|p| ps.cells(p).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= 2 * min, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn decompose_unstructured_end_to_end() {
+        let m = tetgen::ball(4, 1.0);
+        let ps = decompose_unstructured(&m, 40, 3);
+        assert_eq!(ps.num_ranks(), 3);
+        for r in 0..3 {
+            assert!(!ps.patches_on_rank(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn decompose_structured_end_to_end() {
+        let m = StructuredMesh::unit(8, 8, 8);
+        let ps = decompose_structured(&m, (4, 4, 4), 2);
+        assert_eq!(ps.num_patches(), 8);
+        assert_eq!(ps.num_ranks(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Patches: the unit of mesh management, scheduling and communication.
+//!
+//! A [`PatchSet`] is a partition of the mesh's cells into patches plus an
+//! assignment of patches to ranks (processes). Terminology follows the
+//! paper (§II-A): *local cells* are the cells owned by a patch; *ghost
+//! cells* are the cells of neighbouring patches reachable through one
+//! face, known to a patch so it can address incoming upwind data.
+
+use crate::SweepTopology;
+
+/// Identifier of a patch within a [`PatchSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatchId(pub u32);
+
+impl PatchId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A partition of cells into patches, with an optional rank assignment.
+#[derive(Debug, Clone)]
+pub struct PatchSet {
+    /// `cell -> patch` map.
+    patch_of: Vec<u32>,
+    /// Concatenated cell lists, one contiguous run per patch.
+    cells: Vec<u32>,
+    /// CSR offsets into `cells`, length `num_patches + 1`.
+    offsets: Vec<u32>,
+    /// `cell -> index within its patch's cell list`.
+    local_index: Vec<u32>,
+    /// `patch -> rank`; all zeros until [`PatchSet::distribute`] is called.
+    rank_of: Vec<u32>,
+    /// Number of ranks patches are distributed over.
+    num_ranks: usize,
+}
+
+impl PatchSet {
+    /// Build from a `cell -> patch` assignment.
+    ///
+    /// # Panics
+    /// Panics when `num_patches == 0`, when an assignment is out of
+    /// range, or when some patch ends up empty.
+    pub fn from_assignment(patch_of: Vec<u32>, num_patches: usize) -> PatchSet {
+        assert!(num_patches > 0, "no patches");
+        assert!(!patch_of.is_empty(), "no cells");
+        let mut counts = vec![0u32; num_patches];
+        for (cell, &p) in patch_of.iter().enumerate() {
+            assert!(
+                (p as usize) < num_patches,
+                "cell {cell}: patch {p} out of range ({num_patches} patches)"
+            );
+            counts[p as usize] += 1;
+        }
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "patch {p} is empty");
+        }
+        let mut offsets = vec![0u32; num_patches + 1];
+        for p in 0..num_patches {
+            offsets[p + 1] = offsets[p] + counts[p];
+        }
+        let mut cells = vec![0u32; patch_of.len()];
+        let mut local_index = vec![0u32; patch_of.len()];
+        let mut cursor = offsets[..num_patches].to_vec();
+        for (cell, &p) in patch_of.iter().enumerate() {
+            let slot = cursor[p as usize];
+            cells[slot as usize] = cell as u32;
+            local_index[cell] = slot - offsets[p as usize];
+            cursor[p as usize] += 1;
+        }
+        PatchSet {
+            patch_of,
+            cells,
+            offsets,
+            local_index,
+            rank_of: vec![0; num_patches],
+            num_ranks: 1,
+        }
+    }
+
+    /// One patch containing every cell (serial / baseline setups).
+    pub fn single(num_cells: usize) -> PatchSet {
+        PatchSet::from_assignment(vec![0; num_cells], 1)
+    }
+
+    /// Number of patches.
+    pub fn num_patches(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of cells in the underlying mesh.
+    pub fn num_cells(&self) -> usize {
+        self.patch_of.len()
+    }
+
+    /// All patch ids.
+    pub fn patches(&self) -> impl Iterator<Item = PatchId> {
+        (0..self.num_patches() as u32).map(PatchId)
+    }
+
+    /// Cells owned by patch `p` (its *local cells*).
+    #[inline]
+    pub fn cells(&self, p: PatchId) -> &[u32] {
+        let lo = self.offsets[p.index()] as usize;
+        let hi = self.offsets[p.index() + 1] as usize;
+        &self.cells[lo..hi]
+    }
+
+    /// The patch owning a cell.
+    #[inline]
+    pub fn patch_of(&self, cell: usize) -> PatchId {
+        PatchId(self.patch_of[cell])
+    }
+
+    /// Index of `cell` within its owning patch's cell list.
+    #[inline]
+    pub fn local_index(&self, cell: usize) -> usize {
+        self.local_index[cell] as usize
+    }
+
+    /// Ghost cells of patch `p`: cells of other patches sharing a face
+    /// with a local cell, deduplicated and sorted.
+    pub fn ghost_cells<T: SweepTopology + ?Sized>(&self, p: PatchId, mesh: &T) -> Vec<u32> {
+        let mut ghosts: Vec<u32> = self
+            .cells(p)
+            .iter()
+            .flat_map(|&c| mesh.neighbors(c as usize))
+            .filter(|&nb| self.patch_of[nb] != p.0)
+            .map(|nb| nb as u32)
+            .collect();
+        ghosts.sort_unstable();
+        ghosts.dedup();
+        ghosts
+    }
+
+    /// Patches adjacent to `p` (sharing at least one cell face).
+    pub fn neighbor_patches<T: SweepTopology + ?Sized>(&self, p: PatchId, mesh: &T) -> Vec<PatchId> {
+        let mut nbs: Vec<u32> = self
+            .ghost_cells(p, mesh)
+            .iter()
+            .map(|&g| self.patch_of[g as usize])
+            .collect();
+        nbs.sort_unstable();
+        nbs.dedup();
+        nbs.into_iter().map(PatchId).collect()
+    }
+
+    /// Assign patches to ranks explicitly.
+    ///
+    /// # Panics
+    /// Panics when the assignment length differs from the patch count,
+    /// a rank is out of range, or some rank receives no patch.
+    pub fn distribute(&mut self, rank_of: Vec<u32>, num_ranks: usize) {
+        assert_eq!(rank_of.len(), self.num_patches(), "assignment length");
+        assert!(num_ranks > 0);
+        let mut seen = vec![false; num_ranks];
+        for (p, &r) in rank_of.iter().enumerate() {
+            assert!((r as usize) < num_ranks, "patch {p}: rank {r} out of range");
+            seen[r as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some rank received no patches; use fewer ranks"
+        );
+        self.rank_of = rank_of;
+        self.num_ranks = num_ranks;
+    }
+
+    /// Distribute patches over ranks in contiguous runs of the given
+    /// patch order (e.g. a space-filling-curve order), balancing cell
+    /// counts.
+    pub fn distribute_in_order(&mut self, order: &[usize], num_ranks: usize) {
+        assert_eq!(order.len(), self.num_patches());
+        assert!(num_ranks > 0 && num_ranks <= self.num_patches());
+        let total = self.num_cells();
+        let per_rank = total as f64 / num_ranks as f64;
+        let mut rank_of = vec![0u32; self.num_patches()];
+        let mut acc = 0usize;
+        for &p in order {
+            // Rank by cumulative cell midpoint, clamped to range.
+            let mid = acc + self.cells(PatchId(p as u32)).len() / 2;
+            let r = ((mid as f64 / per_rank) as usize).min(num_ranks - 1);
+            rank_of[p] = r as u32;
+            acc += self.cells(PatchId(p as u32)).len();
+        }
+        // Contiguous runs can leave a rank empty when patches are few;
+        // repair by stealing from the most loaded neighbour run.
+        repair_empty_ranks(&mut rank_of, num_ranks, order);
+        self.distribute(rank_of, num_ranks);
+    }
+
+    /// Rank owning patch `p`.
+    #[inline]
+    pub fn rank_of(&self, p: PatchId) -> usize {
+        self.rank_of[p.index()] as usize
+    }
+
+    /// Number of ranks in the current distribution.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Patches assigned to rank `r`.
+    pub fn patches_on_rank(&self, r: usize) -> Vec<PatchId> {
+        self.rank_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &rk)| rk as usize == r)
+            .map(|(p, _)| PatchId(p as u32))
+            .collect()
+    }
+}
+
+/// Ensure every rank owns at least one patch by reassigning single
+/// patches from the start of over-full runs, walking the given order.
+fn repair_empty_ranks(rank_of: &mut [u32], num_ranks: usize, order: &[usize]) {
+    loop {
+        let mut counts = vec![0usize; num_ranks];
+        for &r in rank_of.iter() {
+            counts[r as usize] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            return;
+        };
+        // Take one patch from the largest rank.
+        let donor = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(r, _)| r)
+            .unwrap();
+        let victim = order
+            .iter()
+            .find(|&&p| rank_of[p] as usize == donor)
+            .copied()
+            .expect("donor rank must own a patch");
+        rank_of[victim] = empty as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::StructuredMesh;
+
+    fn striped(nx: usize) -> (StructuredMesh, PatchSet) {
+        // 1-D stripes along x of a nx×2×2 mesh, one patch per x index.
+        let m = StructuredMesh::unit(nx, 2, 2);
+        let patch_of: Vec<u32> = (0..m.num_cells())
+            .map(|c| (m.cell_ijk(c).0) as u32)
+            .collect();
+        let ps = PatchSet::from_assignment(patch_of, nx);
+        (m, ps)
+    }
+
+    #[test]
+    fn csr_lists_are_consistent() {
+        let (_, ps) = striped(4);
+        assert_eq!(ps.num_patches(), 4);
+        let mut seen = vec![false; ps.num_cells()];
+        for p in ps.patches() {
+            for (li, &c) in ps.cells(p).iter().enumerate() {
+                assert_eq!(ps.patch_of(c as usize), p);
+                assert_eq!(ps.local_index(c as usize), li);
+                assert!(!seen[c as usize]);
+                seen[c as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ghost_cells_are_face_neighbors_in_other_patches() {
+        let (m, ps) = striped(4);
+        let ghosts = ps.ghost_cells(PatchId(1), &m);
+        // Stripe 1 borders stripes 0 and 2: 4 cells each.
+        assert_eq!(ghosts.len(), 8);
+        for &g in &ghosts {
+            assert_ne!(ps.patch_of(g as usize), PatchId(1));
+        }
+    }
+
+    #[test]
+    fn neighbor_patches_of_stripes() {
+        let (m, ps) = striped(4);
+        assert_eq!(ps.neighbor_patches(PatchId(0), &m), vec![PatchId(1)]);
+        assert_eq!(
+            ps.neighbor_patches(PatchId(2), &m),
+            vec![PatchId(1), PatchId(3)]
+        );
+    }
+
+    #[test]
+    fn distribute_round_trip() {
+        let (_, mut ps) = striped(4);
+        ps.distribute(vec![0, 0, 1, 1], 2);
+        assert_eq!(ps.rank_of(PatchId(0)), 0);
+        assert_eq!(ps.rank_of(PatchId(3)), 1);
+        assert_eq!(ps.patches_on_rank(1), vec![PatchId(2), PatchId(3)]);
+    }
+
+    #[test]
+    fn distribute_in_order_balances_cells() {
+        let (_, mut ps) = striped(8);
+        let order: Vec<usize> = (0..8).collect();
+        ps.distribute_in_order(&order, 4);
+        for r in 0..4 {
+            assert_eq!(ps.patches_on_rank(r).len(), 2, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn distribute_in_order_leaves_no_rank_empty() {
+        let (_, mut ps) = striped(5);
+        ps.distribute_in_order(&[0, 1, 2, 3, 4], 5);
+        for r in 0..5 {
+            assert!(!ps.patches_on_rank(r).is_empty(), "rank {r} empty");
+        }
+    }
+
+    #[test]
+    fn single_patch_owns_everything() {
+        let ps = PatchSet::single(10);
+        assert_eq!(ps.num_patches(), 1);
+        assert_eq!(ps.cells(PatchId(0)).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_patch_rejected() {
+        PatchSet::from_assignment(vec![0, 0, 2], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_rejected() {
+        PatchSet::from_assignment(vec![0, 5], 2);
+    }
+}

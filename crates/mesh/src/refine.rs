@@ -1,0 +1,136 @@
+//! Uniform mesh refinement, used by the weak-scaling study (Fig. 15).
+//!
+//! The paper notes that JAxMIN weak-scales by having each process refine
+//! its assigned subdomain. We provide uniform **red refinement** of
+//! tetrahedral meshes (each tet → 8 children via the 6 edge midpoints,
+//! Bey's scheme) and the trivial 8-fold refinement of structured meshes.
+
+use crate::structured::StructuredMesh;
+use crate::tet::TetMesh;
+use std::collections::HashMap;
+
+/// Refine a structured mesh by doubling resolution along each axis.
+pub fn refine_structured(mesh: &StructuredMesh) -> StructuredMesh {
+    let (nx, ny, nz) = mesh.dims();
+    let [dx, dy, dz] = mesh.spacing();
+    StructuredMesh::new(
+        2 * nx,
+        2 * ny,
+        2 * nz,
+        mesh.origin(),
+        [dx / 2.0, dy / 2.0, dz / 2.0],
+    )
+}
+
+/// Uniform red refinement: every tetrahedron is split into 8 children
+/// using its edge midpoints. Midpoints are deduplicated globally, so the
+/// refined mesh conforms wherever the input conforms.
+pub fn refine_tets(mesh: &TetMesh) -> TetMesh {
+    let old_verts = mesh.vertices();
+    let mut vertices: Vec<[f64; 3]> = old_verts.to_vec();
+    let mut midpoints: HashMap<(u32, u32), u32> = HashMap::new();
+
+    let mut mid = |a: u32, b: u32, vertices: &mut Vec<[f64; 3]>| -> u32 {
+        let key = (a.min(b), a.max(b));
+        *midpoints.entry(key).or_insert_with(|| {
+            let pa = old_verts[a as usize];
+            let pb = old_verts[b as usize];
+            let id = vertices.len() as u32;
+            vertices.push([
+                (pa[0] + pb[0]) / 2.0,
+                (pa[1] + pb[1]) / 2.0,
+                (pa[2] + pb[2]) / 2.0,
+            ]);
+            id
+        })
+    };
+
+    let mut tets: Vec<[u32; 4]> = Vec::with_capacity(8 * mesh.num_cells());
+    for t in mesh.tets() {
+        let [v0, v1, v2, v3] = *t;
+        let m01 = mid(v0, v1, &mut vertices);
+        let m02 = mid(v0, v2, &mut vertices);
+        let m03 = mid(v0, v3, &mut vertices);
+        let m12 = mid(v1, v2, &mut vertices);
+        let m13 = mid(v1, v3, &mut vertices);
+        let m23 = mid(v2, v3, &mut vertices);
+        // Four corner children.
+        tets.push([v0, m01, m02, m03]);
+        tets.push([v1, m01, m12, m13]);
+        tets.push([v2, m02, m12, m23]);
+        tets.push([v3, m03, m13, m23]);
+        // Interior octahedron split along the m02–m13 diagonal.
+        tets.push([m01, m02, m03, m13]);
+        tets.push([m01, m02, m12, m13]);
+        tets.push([m02, m03, m13, m23]);
+        tets.push([m02, m12, m13, m23]);
+    }
+    TetMesh::new(vertices, tets)
+}
+
+/// Refine a tet mesh `levels` times (cell count multiplies by `8^levels`).
+pub fn refine_tets_n(mesh: &TetMesh, levels: usize) -> TetMesh {
+    let mut m = mesh.clone();
+    for _ in 0..levels {
+        m = refine_tets(&m);
+    }
+    m
+}
+
+use crate::SweepTopology;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tetgen, validate_topology};
+
+    #[test]
+    fn structured_refine_preserves_domain() {
+        let m = StructuredMesh::new(3, 4, 5, [1.0, 2.0, 3.0], [2.0, 2.0, 2.0]);
+        let r = refine_structured(&m);
+        assert_eq!(r.dims(), (6, 8, 10));
+        assert_eq!(r.spacing(), [1.0, 1.0, 1.0]);
+        let vol_m: f64 = (0..m.num_cells()).map(|c| m.cell_volume(c)).sum();
+        let vol_r: f64 = (0..r.num_cells()).map(|c| r.cell_volume(c)).sum();
+        assert!((vol_m - vol_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn red_refinement_multiplies_by_eight() {
+        let m = tetgen::cube(2, 1.0);
+        let r = refine_tets(&m);
+        assert_eq!(r.num_cells(), 8 * m.num_cells());
+    }
+
+    #[test]
+    fn red_refinement_preserves_volume() {
+        let m = tetgen::ball(3, 1.0);
+        let r = refine_tets(&m);
+        assert!((m.total_volume() - r.total_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refined_mesh_conforms() {
+        let m = tetgen::cube(2, 1.0);
+        let r = refine_tets(&m);
+        validate_topology(&r).unwrap();
+        // A conforming refinement multiplies boundary faces by exactly 4.
+        assert_eq!(r.num_boundary_faces(), 4 * m.num_boundary_faces());
+    }
+
+    #[test]
+    fn two_levels() {
+        let m = tetgen::cube(1, 1.0);
+        let r = refine_tets_n(&m, 2);
+        assert_eq!(r.num_cells(), 64 * m.num_cells());
+        assert!((r.total_volume() - 1.0).abs() < 1e-12);
+        validate_topology(&r).unwrap();
+    }
+
+    #[test]
+    fn zero_levels_is_identity() {
+        let m = tetgen::cube(1, 1.0);
+        let r = refine_tets_n(&m, 0);
+        assert_eq!(r.num_cells(), m.num_cells());
+    }
+}

@@ -1,0 +1,260 @@
+//! Space-filling curves for structured-mesh domain decomposition.
+//!
+//! JAxMIN distributes structured patches along Morton or Hilbert orders
+//! (paper §V-A). Both curves map a 3-D lattice index to a 1-D key such
+//! that contiguous key ranges form compact blocks; Hilbert additionally
+//! guarantees that consecutive keys are face-adjacent.
+
+/// Interleave the low `bits` bits of `x`, `y`, `z` into a Morton key
+/// (`x` in the least-significant position of each triple).
+pub fn morton3(x: u32, y: u32, z: u32, bits: u32) -> u64 {
+    assert!(bits <= 21, "morton3 supports at most 21 bits per axis");
+    let mut key = 0u64;
+    for b in 0..bits {
+        key |= (((x >> b) & 1) as u64) << (3 * b);
+        key |= (((y >> b) & 1) as u64) << (3 * b + 1);
+        key |= (((z >> b) & 1) as u64) << (3 * b + 2);
+    }
+    key
+}
+
+/// Inverse of [`morton3`].
+pub fn morton3_inv(key: u64, bits: u32) -> (u32, u32, u32) {
+    let mut x = 0u32;
+    let mut y = 0u32;
+    let mut z = 0u32;
+    for b in 0..bits {
+        x |= (((key >> (3 * b)) & 1) as u32) << b;
+        y |= (((key >> (3 * b + 1)) & 1) as u32) << b;
+        z |= (((key >> (3 * b + 2)) & 1) as u32) << b;
+    }
+    (x, y, z)
+}
+
+/// Hilbert-curve key of lattice point `(x, y, z)` on a `2^bits` cube,
+/// using Skilling's transpose algorithm.
+pub fn hilbert3(x: u32, y: u32, z: u32, bits: u32) -> u64 {
+    assert!(bits <= 21, "hilbert3 supports at most 21 bits per axis");
+    let mut coords = [x, y, z];
+    axes_to_transpose(&mut coords, bits);
+    // Interleave the transposed coordinates MSB-first.
+    let mut key = 0u64;
+    for b in (0..bits).rev() {
+        for c in coords.iter() {
+            key = (key << 1) | (((c >> b) & 1) as u64);
+        }
+    }
+    key
+}
+
+/// Inverse of [`hilbert3`].
+pub fn hilbert3_inv(key: u64, bits: u32) -> (u32, u32, u32) {
+    let mut coords = [0u32; 3];
+    let mut shift = 3 * bits;
+    for b in (0..bits).rev() {
+        for c in coords.iter_mut() {
+            shift -= 1;
+            *c |= (((key >> shift) & 1) as u32) << b;
+        }
+    }
+    transpose_to_axes(&mut coords, bits);
+    (coords[0], coords[1], coords[2])
+}
+
+/// Skilling's "axes to transpose" (public-domain algorithm, 2004).
+fn axes_to_transpose(x: &mut [u32; 3], bits: u32) {
+    let n = 3;
+    let mut q = 1u32 << (bits - 1);
+    // Inverse undo.
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = 1u32 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Skilling's "transpose to axes".
+fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
+    let n = 3;
+    // Gray decode.
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != (1u32 << bits) {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Number of bits needed to address `n` lattice positions per axis.
+pub fn bits_for(n: usize) -> u32 {
+    let mut bits = 1;
+    while (1usize << bits) < n {
+        bits += 1;
+    }
+    bits
+}
+
+/// Sort lattice points into Morton order; returns indices into `points`.
+pub fn morton_order(points: &[(u32, u32, u32)]) -> Vec<usize> {
+    let max = points
+        .iter()
+        .map(|&(x, y, z)| x.max(y).max(z))
+        .max()
+        .unwrap_or(0) as usize
+        + 1;
+    let bits = bits_for(max);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| morton3(points[i].0, points[i].1, points[i].2, bits));
+    idx
+}
+
+/// Sort lattice points into Hilbert order; returns indices into `points`.
+pub fn hilbert_order(points: &[(u32, u32, u32)]) -> Vec<usize> {
+    let max = points
+        .iter()
+        .map(|&(x, y, z)| x.max(y).max(z))
+        .max()
+        .unwrap_or(0) as usize
+        + 1;
+    let bits = bits_for(max);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| hilbert3(points[i].0, points[i].1, points[i].2, bits));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip() {
+        for bits in 1..=6 {
+            let n = 1u32 << bits;
+            for x in (0..n).step_by(3) {
+                for y in (0..n).step_by(2) {
+                    for z in 0..n.min(8) {
+                        let key = morton3(x, y, z, bits);
+                        assert_eq!(morton3_inv(key, bits), (x, y, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_roundtrip() {
+        for bits in 1..=4 {
+            let n = 1u32 << bits;
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let key = hilbert3(x, y, z, bits);
+                        assert_eq!(hilbert3_inv(key, bits), (x, y, z), "bits {bits}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection() {
+        let bits = 3;
+        let n = 1u64 << bits;
+        let mut seen = vec![false; (n * n * n) as usize];
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                for z in 0..n as u32 {
+                    let key = hilbert3(x, y, z, bits) as usize;
+                    assert!(!seen[key], "key {key} hit twice");
+                    seen[key] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_consecutive_keys_are_face_adjacent() {
+        let bits = 3;
+        let n = 1u32 << bits;
+        let mut by_key = vec![(0u32, 0u32, 0u32); (n * n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    by_key[hilbert3(x, y, z, bits) as usize] = (x, y, z);
+                }
+            }
+        }
+        for w in by_key.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let d = (a.0 as i64 - b.0 as i64).abs()
+                + (a.1 as i64 - b.1 as i64).abs()
+                + (a.2 as i64 - b.2 as i64).abs();
+            assert_eq!(d, 1, "{a:?} -> {b:?} not adjacent");
+        }
+    }
+
+    #[test]
+    fn morton_zero_is_zero() {
+        assert_eq!(morton3(0, 0, 0, 10), 0);
+        assert_eq!(hilbert3(0, 0, 0, 10), 0);
+    }
+
+    #[test]
+    fn bits_for_covers_range() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(16), 4);
+        assert_eq!(bits_for(17), 5);
+    }
+
+    #[test]
+    fn orderings_are_permutations() {
+        let pts: Vec<(u32, u32, u32)> = (0..5)
+            .flat_map(|x| (0..5).map(move |y| (x, y, (x + y) % 3)))
+            .collect();
+        for order in [morton_order(&pts), hilbert_order(&pts)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Decomposition quality metrics: load balance and communication volume.
+//!
+//! These are reported by the bench harness alongside scaling figures so
+//! regressions in the partitioners (which would skew the scheduling
+//! experiments) are visible.
+
+use crate::patch::PatchSet;
+use crate::SweepTopology;
+
+/// Summary statistics of a patch decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Number of patches.
+    pub num_patches: usize,
+    /// Number of ranks.
+    pub num_ranks: usize,
+    /// Smallest / mean / largest patch size in cells.
+    pub patch_cells_min: usize,
+    pub patch_cells_mean: f64,
+    pub patch_cells_max: usize,
+    /// Largest rank load divided by mean rank load (1.0 = perfect).
+    pub rank_imbalance: f64,
+    /// Cell faces crossing patch boundaries (each counted once).
+    pub patch_edge_cut: usize,
+    /// Cell faces crossing rank boundaries (each counted once).
+    pub rank_edge_cut: usize,
+}
+
+/// Compute [`PartitionStats`] for a decomposition of `mesh`.
+pub fn partition_stats<T: SweepTopology + ?Sized>(ps: &PatchSet, mesh: &T) -> PartitionStats {
+    let sizes: Vec<usize> = ps.patches().map(|p| ps.cells(p).len()).collect();
+    let total: usize = sizes.iter().sum();
+    let mut rank_load = vec![0usize; ps.num_ranks()];
+    for p in ps.patches() {
+        rank_load[ps.rank_of(p)] += ps.cells(p).len();
+    }
+    let mean_rank = total as f64 / ps.num_ranks() as f64;
+    let max_rank = *rank_load.iter().max().unwrap() as f64;
+
+    let mut patch_cut = 0usize;
+    let mut rank_cut = 0usize;
+    for c in 0..mesh.num_cells() {
+        for nb in mesh.neighbors(c) {
+            if nb > c {
+                if ps.patch_of(c) != ps.patch_of(nb) {
+                    patch_cut += 1;
+                }
+                if ps.rank_of(ps.patch_of(c)) != ps.rank_of(ps.patch_of(nb)) {
+                    rank_cut += 1;
+                }
+            }
+        }
+    }
+
+    PartitionStats {
+        num_patches: ps.num_patches(),
+        num_ranks: ps.num_ranks(),
+        patch_cells_min: *sizes.iter().min().unwrap(),
+        patch_cells_mean: total as f64 / sizes.len() as f64,
+        patch_cells_max: *sizes.iter().max().unwrap(),
+        rank_imbalance: max_rank / mean_rank,
+        patch_edge_cut: patch_cut,
+        rank_edge_cut: rank_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+    use crate::structured::StructuredMesh;
+
+    #[test]
+    fn balanced_blocks_have_unit_imbalance() {
+        let m = StructuredMesh::unit(8, 8, 8);
+        let (mut ps, coords) = partition::structured_blocks(&m, (4, 4, 4));
+        partition::distribute_sfc(&mut ps, &coords, 2, partition::SfcKind::Morton);
+        let s = partition_stats(&ps, &m);
+        assert_eq!(s.num_patches, 8);
+        assert_eq!(s.patch_cells_min, 64);
+        assert_eq!(s.patch_cells_max, 64);
+        assert!((s.rank_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cut_counts_block_interfaces() {
+        // 2 blocks of 4x4x4 in an 8x4x4 mesh: the interface is 16 faces.
+        let m = StructuredMesh::unit(8, 4, 4);
+        let (ps, _) = partition::structured_blocks(&m, (4, 4, 4));
+        let s = partition_stats(&ps, &m);
+        assert_eq!(s.patch_edge_cut, 16);
+    }
+
+    #[test]
+    fn rank_cut_is_at_most_patch_cut() {
+        let m = StructuredMesh::unit(8, 8, 8);
+        let (mut ps, coords) = partition::structured_blocks(&m, (2, 2, 2));
+        partition::distribute_sfc(&mut ps, &coords, 4, partition::SfcKind::Hilbert);
+        let s = partition_stats(&ps, &m);
+        assert!(s.rank_edge_cut <= s.patch_edge_cut);
+        assert!(s.rank_edge_cut > 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Regular axis-aligned structured hexahedral meshes.
+//!
+//! Geometry is implicit (origin + uniform spacing), so the mesh costs
+//! O(1) memory regardless of cell count except for the optional material
+//! map. Cells are numbered lexicographically: `id = i + nx*(j + ny*k)`.
+
+use crate::{BoundaryId, FaceInfo, Neighbor, SweepTopology};
+
+/// Face ordering of a structured cell: `-x, +x, -y, +y, -z, +z`.
+///
+/// The pairing convention (`face ^ 1` is the opposite face) is relied on
+/// by the diamond-difference kernel.
+pub const FACE_DIRS: [[f64; 3]; 6] = [
+    [-1.0, 0.0, 0.0],
+    [1.0, 0.0, 0.0],
+    [0.0, -1.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, -1.0],
+    [0.0, 0.0, 1.0],
+];
+
+/// Boundary ids assigned to the six domain faces, matching [`FACE_DIRS`].
+pub const BOUNDARY_IDS: [BoundaryId; 6] = [
+    BoundaryId(0),
+    BoundaryId(1),
+    BoundaryId(2),
+    BoundaryId(3),
+    BoundaryId(4),
+    BoundaryId(5),
+];
+
+/// A uniform structured mesh of `nx × ny × nz` hexahedral cells.
+#[derive(Debug, Clone)]
+pub struct StructuredMesh {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    origin: [f64; 3],
+    spacing: [f64; 3],
+    /// Optional per-cell material id (for heterogeneous benchmarks such
+    /// as Kobayashi); empty means "single material 0".
+    materials: Vec<u16>,
+}
+
+impl StructuredMesh {
+    /// A mesh of `nx × ny × nz` unit-spaced cells with origin at zero.
+    pub fn unit(nx: usize, ny: usize, nz: usize) -> StructuredMesh {
+        StructuredMesh::new(nx, ny, nz, [0.0; 3], [1.0; 3])
+    }
+
+    /// A mesh with explicit origin and cell spacing.
+    ///
+    /// # Panics
+    /// Panics on zero extents or non-positive spacing.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        origin: [f64; 3],
+        spacing: [f64; 3],
+    ) -> StructuredMesh {
+        assert!(nx > 0 && ny > 0 && nz > 0, "empty mesh {nx}x{ny}x{nz}");
+        assert!(
+            spacing.iter().all(|&h| h > 0.0),
+            "non-positive spacing {spacing:?}"
+        );
+        StructuredMesh {
+            nx,
+            ny,
+            nz,
+            origin,
+            spacing,
+            materials: Vec::new(),
+        }
+    }
+
+    /// Extents `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Cell spacing `(dx, dy, dz)`.
+    pub fn spacing(&self) -> [f64; 3] {
+        self.spacing
+    }
+
+    /// Domain origin.
+    pub fn origin(&self) -> [f64; 3] {
+        self.origin
+    }
+
+    /// Lexicographic cell id of `(i, j, k)`.
+    #[inline]
+    pub fn cell_id(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// Inverse of [`Self::cell_id`].
+    #[inline]
+    pub fn cell_ijk(&self, c: usize) -> (usize, usize, usize) {
+        debug_assert!(c < self.num_cells());
+        let i = c % self.nx;
+        let j = (c / self.nx) % self.ny;
+        let k = c / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Assign material ids from a per-cell-centre classifier.
+    pub fn set_materials_by(&mut self, mut f: impl FnMut([f64; 3]) -> u16) {
+        let mut mats = vec![0u16; self.num_cells()];
+        for (c, m) in mats.iter_mut().enumerate() {
+            *m = f(self.cell_centroid(c));
+        }
+        self.materials = mats;
+    }
+
+    /// Material id of a cell (0 when no material map was set).
+    #[inline]
+    pub fn material(&self, c: usize) -> u16 {
+        if self.materials.is_empty() {
+            0
+        } else {
+            self.materials[c]
+        }
+    }
+
+    /// Face area for local face index `f` (pairs share areas).
+    #[inline]
+    fn face_area(&self, f: usize) -> f64 {
+        let [dx, dy, dz] = self.spacing;
+        match f / 2 {
+            0 => dy * dz,
+            1 => dx * dz,
+            _ => dx * dy,
+        }
+    }
+
+    /// Neighbour across local face `f`, or the boundary id.
+    #[inline]
+    pub fn neighbor_of(&self, c: usize, f: usize) -> Neighbor {
+        let (i, j, k) = self.cell_ijk(c);
+        let (coord, n, step) = match f {
+            0 => (i, self.nx, -1isize),
+            1 => (i, self.nx, 1),
+            2 => (j, self.ny, -1),
+            3 => (j, self.ny, 1),
+            4 => (k, self.nz, -1),
+            5 => (k, self.nz, 1),
+            _ => panic!("face index {f} out of range"),
+        };
+        let target = coord as isize + step;
+        if target < 0 || target as usize >= n {
+            return Neighbor::Boundary(BOUNDARY_IDS[f]);
+        }
+        let (mut i, mut j, mut k) = (i, j, k);
+        match f / 2 {
+            0 => i = target as usize,
+            1 => j = target as usize,
+            _ => k = target as usize,
+        }
+        Neighbor::Interior(self.cell_id(i, j, k))
+    }
+}
+
+impl SweepTopology for StructuredMesh {
+    fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    fn num_faces(&self, _c: usize) -> usize {
+        6
+    }
+
+    #[inline]
+    fn face(&self, c: usize, f: usize) -> FaceInfo {
+        FaceInfo {
+            neighbor: self.neighbor_of(c, f),
+            normal: FACE_DIRS[f],
+            area: self.face_area(f),
+        }
+    }
+
+    #[inline]
+    fn cell_volume(&self, _c: usize) -> f64 {
+        self.spacing[0] * self.spacing[1] * self.spacing[2]
+    }
+
+    #[inline]
+    fn cell_centroid(&self, c: usize) -> [f64; 3] {
+        let (i, j, k) = self.cell_ijk(c);
+        [
+            self.origin[0] + (i as f64 + 0.5) * self.spacing[0],
+            self.origin[1] + (j as f64 + 0.5) * self.spacing[1],
+            self.origin[2] + (k as f64 + 0.5) * self.spacing[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_face_closure_residual, validate_topology};
+
+    #[test]
+    fn ids_roundtrip() {
+        let m = StructuredMesh::unit(4, 5, 6);
+        for c in 0..m.num_cells() {
+            let (i, j, k) = m.cell_ijk(c);
+            assert_eq!(m.cell_id(i, j, k), c);
+        }
+    }
+
+    #[test]
+    fn topology_is_consistent() {
+        let m = StructuredMesh::new(3, 4, 5, [1.0, 2.0, 3.0], [0.5, 0.25, 2.0]);
+        validate_topology(&m).unwrap();
+    }
+
+    #[test]
+    fn faces_close() {
+        let m = StructuredMesh::new(3, 3, 3, [0.0; 3], [0.5, 1.0, 2.0]);
+        assert!(max_face_closure_residual(&m) < 1e-12);
+    }
+
+    #[test]
+    fn corner_cell_has_three_boundary_faces() {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let c = m.cell_id(0, 0, 0);
+        let boundary = (0..6).filter(|&f| m.face(c, f).neighbor.is_boundary()).count();
+        assert_eq!(boundary, 3);
+    }
+
+    #[test]
+    fn interior_cell_has_six_neighbors() {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let c = m.cell_id(1, 1, 1);
+        assert_eq!(m.neighbors(c).len(), 6);
+    }
+
+    #[test]
+    fn upwind_downwind_partition_neighbors() {
+        let m = StructuredMesh::unit(4, 4, 4);
+        let dir = [0.5, 0.6, 0.62];
+        for c in 0..m.num_cells() {
+            let up = m.upwind_neighbors(c, dir).len();
+            let down = m.downwind_neighbors(c, dir).len();
+            assert_eq!(up + down, m.neighbors(c).len());
+        }
+    }
+
+    #[test]
+    fn diagonal_direction_upwind_is_lower_corner() {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let dir = [1.0, 1.0, 1.0];
+        let c = m.cell_id(1, 1, 1);
+        let up = m.upwind_neighbors(c, dir);
+        assert_eq!(up.len(), 3);
+        assert!(up.contains(&m.cell_id(0, 1, 1)));
+        assert!(up.contains(&m.cell_id(1, 0, 1)));
+        assert!(up.contains(&m.cell_id(1, 1, 0)));
+    }
+
+    #[test]
+    fn volumes_and_areas_match_spacing() {
+        let m = StructuredMesh::new(2, 2, 2, [0.0; 3], [2.0, 3.0, 4.0]);
+        assert_eq!(m.cell_volume(0), 24.0);
+        assert_eq!(m.face(0, 0).area, 12.0); // dy*dz
+        assert_eq!(m.face(0, 2).area, 8.0); // dx*dz
+        assert_eq!(m.face(0, 4).area, 6.0); // dx*dy
+    }
+
+    #[test]
+    fn materials_default_zero_and_classifier() {
+        let mut m = StructuredMesh::unit(2, 2, 2);
+        assert_eq!(m.material(3), 0);
+        m.set_materials_by(|p| if p[0] < 1.0 { 1 } else { 2 });
+        assert_eq!(m.material(m.cell_id(0, 1, 1)), 1);
+        assert_eq!(m.material(m.cell_id(1, 1, 1)), 2);
+    }
+
+    #[test]
+    fn centroids_are_cell_centres() {
+        let m = StructuredMesh::new(2, 2, 2, [10.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+        assert_eq!(m.cell_centroid(0), [10.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mesh")]
+    fn zero_extent_rejected() {
+        StructuredMesh::unit(0, 1, 1);
+    }
+}

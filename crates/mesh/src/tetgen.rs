@@ -1,0 +1,233 @@
+//! Synthetic tetrahedral mesh generators.
+//!
+//! The paper evaluates JSNT-U on a tetrahedral **ball** and a **reactor
+//! core** mesh (Fig. 11b/c). Production meshes come from CAD +
+//! Delaunay pipelines we do not have; instead we voxelise the shape and
+//! apply the **Kuhn subdivision** (6 tetrahedra per cube, all sharing the
+//! main diagonal), which conforms across neighbouring cubes and yields a
+//! genuinely unstructured cell graph: per-direction sweep DAGs have the
+//! irregular, zig-zag dependency structure that motivates the
+//! patch-centric data-driven approach (see DESIGN.md §2).
+
+use crate::tet::TetMesh;
+use std::collections::HashMap;
+
+/// The six Kuhn tetrahedra of the unit cube, as corner bitmasks
+/// (bit 0 = x, bit 1 = y, bit 2 = z). Each tet walks from corner 000 to
+/// corner 111 adding one axis at a time, one tet per axis permutation.
+const KUHN_PERMS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Generate a tetrahedral mesh covering every voxel `(i, j, k)` in
+/// `0..n[0] × 0..n[1] × 0..n[2]` for which `keep` returns true.
+///
+/// Each kept voxel becomes 6 Kuhn tetrahedra; shared cube faces conform,
+/// so the result is a valid conforming mesh. `origin`/`spacing` place the
+/// voxel lattice in physical space.
+pub fn tets_from_voxels(
+    n: [usize; 3],
+    origin: [f64; 3],
+    spacing: [f64; 3],
+    mut keep: impl FnMut(usize, usize, usize) -> bool,
+) -> TetMesh {
+    let mut vertex_ids: HashMap<(usize, usize, usize), u32> = HashMap::new();
+    let mut vertices: Vec<[f64; 3]> = Vec::new();
+    let mut tets: Vec<[u32; 4]> = Vec::new();
+
+    let vid = |vertex_ids: &mut HashMap<(usize, usize, usize), u32>,
+                   vertices: &mut Vec<[f64; 3]>,
+                   key: (usize, usize, usize)|
+     -> u32 {
+        *vertex_ids.entry(key).or_insert_with(|| {
+            let id = vertices.len() as u32;
+            vertices.push([
+                origin[0] + key.0 as f64 * spacing[0],
+                origin[1] + key.1 as f64 * spacing[1],
+                origin[2] + key.2 as f64 * spacing[2],
+            ]);
+            id
+        })
+    };
+
+    for k in 0..n[2] {
+        for j in 0..n[1] {
+            for i in 0..n[0] {
+                if !keep(i, j, k) {
+                    continue;
+                }
+                // Corner lattice coordinates for bitmask 0..8.
+                let corner = |mask: usize| {
+                    (
+                        i + (mask & 1),
+                        j + ((mask >> 1) & 1),
+                        k + ((mask >> 2) & 1),
+                    )
+                };
+                for perm in KUHN_PERMS {
+                    let mut mask = 0usize;
+                    let mut tet = [0u32; 4];
+                    tet[0] = vid(&mut vertex_ids, &mut vertices, corner(0));
+                    for (step, &axis) in perm.iter().enumerate() {
+                        mask |= 1 << axis;
+                        tet[step + 1] = vid(&mut vertex_ids, &mut vertices, corner(mask));
+                    }
+                    tets.push(tet);
+                }
+            }
+        }
+    }
+    assert!(!tets.is_empty(), "generator produced an empty mesh");
+    TetMesh::new(vertices, tets)
+}
+
+/// Tetrahedral mesh of an axis-aligned cube of `n³` voxels (6n³ tets).
+pub fn cube(n: usize, edge: f64) -> TetMesh {
+    let h = edge / n as f64;
+    tets_from_voxels([n, n, n], [0.0; 3], [h; 3], |_, _, _| true)
+}
+
+/// Tetrahedral mesh of a ball of radius `radius`, voxelised at
+/// `2*half_cells` voxels per diameter (Fig. 11c "Ball" stand-in).
+///
+/// A voxel is kept when its centre lies inside the sphere.
+pub fn ball(half_cells: usize, radius: f64) -> TetMesh {
+    let n = 2 * half_cells;
+    let h = 2.0 * radius / n as f64;
+    let centre = radius;
+    tets_from_voxels([n, n, n], [0.0; 3], [h; 3], |i, j, k| {
+        let d2 = [(i, 0), (j, 1), (k, 2)]
+            .iter()
+            .map(|&(c, _)| {
+                let x = (c as f64 + 0.5) * h - centre;
+                x * x
+            })
+            .sum::<f64>();
+        d2 < radius * radius
+    })
+}
+
+/// Tetrahedral mesh of a "reactor core"-like shape (Fig. 11b stand-in):
+/// a cylinder of radius `radius` and height `height`, with `holes`
+/// evenly spaced cylindrical channels of radius `radius/8` removed
+/// (control-rod guide tubes). The holes make the boundary — and hence
+/// the sweep DAGs — substantially more irregular than a plain cylinder.
+pub fn reactor(cells_across: usize, radius: f64, height: f64, holes: usize) -> TetMesh {
+    let n_xy = cells_across;
+    let h_xy = 2.0 * radius / n_xy as f64;
+    let n_z = ((height / h_xy).round() as usize).max(1);
+    let h_z = height / n_z as f64;
+    let centre = radius;
+    let hole_r = radius / 8.0;
+    let ring_r = radius / 2.0;
+    let hole_centres: Vec<[f64; 2]> = (0..holes)
+        .map(|a| {
+            let phi = a as f64 / holes.max(1) as f64 * std::f64::consts::TAU;
+            [centre + ring_r * phi.cos(), centre + ring_r * phi.sin()]
+        })
+        .collect();
+    tets_from_voxels(
+        [n_xy, n_xy, n_z],
+        [0.0; 3],
+        [h_xy, h_xy, h_z],
+        |i, j, _k| {
+            let x = (i as f64 + 0.5) * h_xy;
+            let y = (j as f64 + 0.5) * h_xy;
+            let r2 = (x - centre).powi(2) + (y - centre).powi(2);
+            if r2 >= radius * radius {
+                return false;
+            }
+            for hc in &hole_centres {
+                if (x - hc[0]).powi(2) + (y - hc[1]).powi(2) < hole_r * hole_r {
+                    return false;
+                }
+            }
+            true
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_face_closure_residual, validate_topology, SweepTopology};
+
+    #[test]
+    fn cube_has_6n3_tets_and_conforms() {
+        let m = cube(3, 1.0);
+        assert_eq!(m.num_cells(), 6 * 27);
+        validate_topology(&m).unwrap();
+        assert!(max_face_closure_residual(&m) < 1e-12);
+    }
+
+    #[test]
+    fn cube_volume_is_exact() {
+        let m = cube(4, 2.0);
+        assert!((m.total_volume() - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cube_boundary_faces_count() {
+        // A cube surface of n² voxel faces per side, each split into 2
+        // triangles by the Kuhn subdivision: 6 sides * n² * 2.
+        let n = 3;
+        let m = cube(n, 1.0);
+        assert_eq!(m.num_boundary_faces(), 6 * n * n * 2);
+    }
+
+    #[test]
+    fn ball_is_roughly_spherical() {
+        let m = ball(6, 1.0);
+        validate_topology(&m).unwrap();
+        let v = m.total_volume();
+        let exact = 4.0 / 3.0 * std::f64::consts::PI;
+        // Voxelised ball volume converges slowly; accept 15%.
+        assert!(
+            (v - exact).abs() / exact < 0.15,
+            "ball volume {v} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn ball_fits_in_bounding_cube() {
+        let m = ball(5, 2.0);
+        let (lo, hi) = m.bounding_box();
+        for ax in 0..3 {
+            assert!(lo[ax] >= -1e-12);
+            assert!(hi[ax] <= 4.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reactor_has_holes() {
+        let solid = reactor(16, 1.0, 1.0, 0);
+        let holed = reactor(16, 1.0, 1.0, 4);
+        assert!(holed.num_cells() < solid.num_cells());
+        validate_topology(&holed).unwrap();
+    }
+
+    #[test]
+    fn interior_cells_are_connected_across_voxels() {
+        // In a 2x1x1 cube strip, some tets of voxel 0 must neighbour
+        // tets of voxel 1 (the Kuhn subdivision conforms).
+        let m = tets_from_voxels([2, 1, 1], [0.0; 3], [1.0; 3], |_, _, _| true);
+        assert_eq!(m.num_cells(), 12);
+        let cross = (0..6)
+            .flat_map(|c| m.neighbors(c))
+            .filter(|&nb| nb >= 6)
+            .count();
+        assert!(cross > 0, "no conforming faces across the voxel boundary");
+        validate_topology(&m).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mesh")]
+    fn empty_region_rejected() {
+        tets_from_voxels([2, 2, 2], [0.0; 3], [1.0; 3], |_, _, _| false);
+    }
+}

@@ -1,0 +1,120 @@
+//! Octants of the unit sphere.
+//!
+//! Sweep directions are grouped by octant: all directions in one octant
+//! induce the *same* dependency DAG on an axis-aligned structured mesh,
+//! which the KBA baseline and several priority heuristics exploit.
+
+/// One of the eight octants of direction space, encoded by the signs of
+/// the three direction cosines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Octant(u8);
+
+impl Octant {
+    /// All eight octants, in index order.
+    pub const ALL: [Octant; 8] = [
+        Octant(0),
+        Octant(1),
+        Octant(2),
+        Octant(3),
+        Octant(4),
+        Octant(5),
+        Octant(6),
+        Octant(7),
+    ];
+
+    /// Octant from a raw index in `0..8`.
+    ///
+    /// Bit `b` of the index is set when the direction component along
+    /// axis `b` is negative.
+    pub fn from_index(i: usize) -> Octant {
+        assert!(i < 8, "octant index {i} out of range");
+        Octant(i as u8)
+    }
+
+    /// Octant containing the direction `d`.
+    ///
+    /// Zero components are treated as positive; quadrature sets never
+    /// place ordinates exactly on an axis plane.
+    pub fn of(d: [f64; 3]) -> Octant {
+        let mut bits = 0u8;
+        for (axis, &c) in d.iter().enumerate() {
+            if c < 0.0 {
+                bits |= 1 << axis;
+            }
+        }
+        Octant(bits)
+    }
+
+    /// Raw index in `0..8`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Sign of each direction component in this octant (`+1.0` or `-1.0`).
+    pub fn signs(self) -> [f64; 3] {
+        let mut s = [1.0; 3];
+        for (axis, v) in s.iter_mut().enumerate() {
+            if self.0 & (1 << axis) != 0 {
+                *v = -1.0;
+            }
+        }
+        s
+    }
+
+    /// Reflect a first-octant direction into this octant.
+    pub fn apply(self, d: [f64; 3]) -> [f64; 3] {
+        let s = self.signs();
+        [d[0] * s[0], d[1] * s[1], d[2] * s[2]]
+    }
+
+    /// The octant pointing exactly opposite to this one.
+    pub fn opposite(self) -> Octant {
+        Octant(self.0 ^ 0b111)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_and_signs_agree() {
+        for oct in Octant::ALL {
+            let d = oct.apply([0.3, 0.5, 0.8]);
+            assert_eq!(Octant::of(d), oct);
+            let s = oct.signs();
+            for axis in 0..3 {
+                assert_eq!(d[axis].signum(), s[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_flips_all_signs() {
+        for oct in Octant::ALL {
+            let a = oct.signs();
+            let b = oct.opposite().signs();
+            for axis in 0..3 {
+                assert_eq!(a[axis], -b[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_octants_distinct() {
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_ne!(Octant::from_index(i), Octant::from_index(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_large() {
+        Octant::from_index(8);
+    }
+}

@@ -1,0 +1,284 @@
+//! Level-symmetric Sn quadrature construction.
+//!
+//! For an even order `N`, the set has `N(N+2)/8` ordinates per octant and
+//! `N(N+2)` in total (S2 → 8, S4 → 24, S8 → 80, S16 → 288). Directions are
+//! placed on the standard triangular level arrangement: level cosines
+//! `μ₁ < μ₂ < … < μ_{N/2}` with `μ_i² = μ₁² + (i-1)·Δ` and
+//! `Δ = 2(1-3μ₁²)/(N-2)`, so every ordinate is a permutation
+//! `(±μ_i, ±μ_j, ±μ_k)` with `i+j+k = N/2 + 2`.
+//!
+//! Weights are equal within a set (EQn variant); see the crate docs for
+//! why this is sufficient for this reproduction.
+
+use crate::{AngleId, Octant, Ordinate};
+
+/// Order of a level-symmetric Sn quadrature set (must be even, ≥ 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnOrder(pub u32);
+
+impl SnOrder {
+    /// Number of ordinates in the full set: `N(N+2)`.
+    pub fn num_angles(self) -> usize {
+        let n = self.0 as usize;
+        n * (n + 2)
+    }
+
+    /// Number of ordinates per octant: `N(N+2)/8`.
+    pub fn angles_per_octant(self) -> usize {
+        self.num_angles() / 8
+    }
+}
+
+/// A complete angular quadrature set.
+#[derive(Debug, Clone)]
+pub struct QuadratureSet {
+    order: SnOrder,
+    ordinates: Vec<Ordinate>,
+}
+
+impl QuadratureSet {
+    /// Build the level-symmetric set of the given (even) order.
+    ///
+    /// # Panics
+    /// Panics when `order` is odd or zero.
+    pub fn level_symmetric(order: SnOrder) -> QuadratureSet {
+        let n = order.0;
+        assert!(n >= 2 && n.is_multiple_of(2), "Sn order must be even and >= 2, got {n}");
+        let levels = level_cosines(n);
+        let half = (n / 2) as usize;
+
+        // First-octant ordinates: all (i, j, k) level triples with
+        // i + j + k == half + 2 (1-based), i.e. the triangular arrangement.
+        let mut first_octant: Vec<[f64; 3]> = Vec::with_capacity(order.angles_per_octant());
+        for i in 1..=half {
+            for j in 1..=half {
+                for k in 1..=half {
+                    if i + j + k == half + 2 {
+                        first_octant.push([levels[i - 1], levels[j - 1], levels[k - 1]]);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(first_octant.len(), order.angles_per_octant());
+
+        let weight = 4.0 * std::f64::consts::PI / order.num_angles() as f64;
+        let mut ordinates = Vec::with_capacity(order.num_angles());
+        for oct in Octant::ALL {
+            for base in &first_octant {
+                ordinates.push(Ordinate {
+                    dir: oct.apply(*base),
+                    weight,
+                });
+            }
+        }
+        QuadratureSet { order, ordinates }
+    }
+
+    /// Convenience constructor from a plain even integer order.
+    pub fn sn(order: u32) -> QuadratureSet {
+        QuadratureSet::level_symmetric(SnOrder(order))
+    }
+
+    /// The order this set was built with.
+    pub fn order(&self) -> SnOrder {
+        self.order
+    }
+
+    /// All ordinates, indexed by [`AngleId`].
+    pub fn ordinates(&self) -> &[Ordinate] {
+        &self.ordinates
+    }
+
+    /// Number of ordinates.
+    pub fn len(&self) -> usize {
+        self.ordinates.len()
+    }
+
+    /// True when the set is empty (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.ordinates.is_empty()
+    }
+
+    /// Ordinate for an angle id.
+    #[inline]
+    pub fn ordinate(&self, a: AngleId) -> Ordinate {
+        self.ordinates[a.index()]
+    }
+
+    /// Direction unit vector for an angle id.
+    #[inline]
+    pub fn direction(&self, a: AngleId) -> [f64; 3] {
+        self.ordinates[a.index()].dir
+    }
+
+    /// Iterate over `(AngleId, Ordinate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AngleId, Ordinate)> + '_ {
+        self.ordinates
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (AngleId(i as u32), o))
+    }
+
+    /// Angle ids whose direction lies in the given octant.
+    pub fn angles_in_octant(&self, oct: Octant) -> Vec<AngleId> {
+        self.iter()
+            .filter(|(_, o)| o.octant() == oct)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// Integrate a direction-dependent function over the sphere:
+    /// `∑ w_a f(Ω_a)`.
+    pub fn integrate(&self, mut f: impl FnMut([f64; 3]) -> f64) -> f64 {
+        self.ordinates.iter().map(|o| o.weight * f(o.dir)).sum()
+    }
+}
+
+/// Level cosines `μ_1 … μ_{N/2}` of the triangular arrangement.
+fn level_cosines(n: u32) -> Vec<f64> {
+    let half = (n / 2) as usize;
+    if n == 2 {
+        // Single level at the diagonal direction.
+        return vec![1.0 / 3f64.sqrt()];
+    }
+    // Standard choice of the first level; any mu1 in (0, 1/sqrt(3))
+    // yields a valid arrangement. 0.2 reproduces commonly tabulated
+    // low-order LQn sets to within a few percent.
+    let mu1_sq = if n <= 8 { 0.04 } else { 0.01 };
+    let delta = 2.0 * (1.0 - 3.0 * mu1_sq) / (n as f64 - 2.0);
+    (0..half)
+        .map(|i| (mu1_sq + i as f64 * delta).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn orders() -> Vec<u32> {
+        vec![2, 4, 6, 8, 12, 16]
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            assert_eq!(q.len(), (n * (n + 2)) as usize, "S{n}");
+        }
+    }
+
+    #[test]
+    fn directions_are_unit_vectors() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            for (_, o) in q.iter() {
+                let norm2: f64 = o.dir.iter().map(|c| c * c).sum();
+                assert!((norm2 - 1.0).abs() < 1e-12, "S{n} dir {:?}", o.dir);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_4pi() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            let total: f64 = q.ordinates().iter().map(|o| o.weight).sum();
+            assert!((total - 4.0 * PI).abs() < 1e-10, "S{n}: {total}");
+        }
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            for axis in 0..3 {
+                let m = q.integrate(|d| d[axis]);
+                assert!(m.abs() < 1e-10, "S{n} axis {axis}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_moment_is_isotropic() {
+        // ∑ w Ω_x² == ∑ w Ω_y² == ∑ w Ω_z² == 4π/3 by symmetry of the
+        // triangular arrangement (exact for level-symmetric placements).
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            let trace: f64 = (0..3).map(|ax| q.integrate(|d| d[ax] * d[ax])).sum();
+            assert!((trace - 4.0 * PI).abs() < 1e-10);
+            for axis in 0..3 {
+                let m = q.integrate(|d| d[axis] * d[axis]);
+                assert!(
+                    (m - 4.0 * PI / 3.0).abs() < 1e-9,
+                    "S{n} axis {axis}: {m} vs {}",
+                    4.0 * PI / 3.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_moments_vanish() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+                let m = q.integrate(|d| d[a] * d[b]);
+                assert!(m.abs() < 1e-10, "S{n} axes {a}{b}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn octants_are_balanced() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            for oct in Octant::ALL {
+                assert_eq!(
+                    q.angles_in_octant(oct).len(),
+                    q.order().angles_per_octant(),
+                    "S{n} octant {:?}",
+                    oct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s2_is_diagonal() {
+        let q = QuadratureSet::sn(2);
+        let inv_sqrt3 = 1.0 / 3f64.sqrt();
+        for (_, o) in q.iter() {
+            for c in o.dir {
+                assert!((c.abs() - inv_sqrt3).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_directions() {
+        for n in orders() {
+            let q = QuadratureSet::sn(n);
+            for i in 0..q.len() {
+                for j in (i + 1)..q.len() {
+                    let a = q.direction(AngleId(i as u32));
+                    let b = q.direction(AngleId(j as u32));
+                    let d2: f64 = (0..3).map(|ax| (a[ax] - b[ax]).powi(2)).sum();
+                    assert!(d2 > 1e-12, "S{n}: duplicate ordinates {i} and {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_order_rejected() {
+        QuadratureSet::sn(3);
+    }
+
+    #[test]
+    fn integrate_constant_is_4pi() {
+        let q = QuadratureSet::sn(4);
+        assert!((q.integrate(|_| 1.0) - 4.0 * PI).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Sn (discrete ordinates) transport on top of JSweep.
+//!
+//! This crate is the analogue of the paper's JSNT-S / JSNT-U packages:
+//! the actual numerical payload whose sweeps JSweep parallelises.
+//!
+//! * [`xs`] — multigroup cross sections and material maps;
+//! * [`kernel`] — the per-(cell, angle) update: step (upwind) kernel
+//!   for arbitrary polyhedra and diamond-difference for structured
+//!   hexahedra;
+//! * [`program`] — `SweepPatchProgram` (paper Listing 1): the
+//!   patch-program gluing [`jsweep_graph::SweepState`] to the kernels
+//!   and stream codec, plus its [`jsweep_core::ProgramFactory`];
+//! * [`solver`] — source iteration drivers: the JSweep-parallel solver
+//!   on the threaded runtime and a serial reference solver used as the
+//!   golden result in tests;
+//! * [`kobayashi`] — the Kobayashi benchmark problem generator used by
+//!   the JSNT-S experiments (Figs. 12, 16, 17a).
+
+pub mod kernel;
+pub mod kobayashi;
+pub mod program;
+pub mod solver;
+pub mod trace;
+pub mod xs;
+
+pub use kernel::KernelKind;
+pub use solver::{solve_parallel, solve_serial, SnConfig, SnSolution};
+pub use xs::{Material, MaterialSet};

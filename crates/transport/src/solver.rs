@@ -1,0 +1,495 @@
+//! Source-iteration drivers.
+//!
+//! The fixed-source Sn problem `Ω·∇ψ + σ_t ψ = (σ_s φ + Q)/4π` is
+//! solved by source iteration: sweep all angles with the current
+//! emission density, rebuild `φ = Σ_a w_a ψ_a`, repeat until the scalar
+//! flux converges.
+//!
+//! Two drivers share the kernels and problem setup:
+//!
+//! * [`solve_serial`] — single-threaded reference: a plain topological
+//!   sweep per angle. Bit-for-bit deterministic; the golden result in
+//!   tests.
+//! * [`solve_parallel`] — the JSweep solver: every sweep runs as a set
+//!   of `(patch, angle)` patch-programs on the threaded runtime
+//!   ([`jsweep_core`]), with vertex clustering, two-level priorities
+//!   and either termination detector.
+
+#![allow(clippy::type_complexity)]
+
+use crate::kernel::{solve_cell, KernelKind};
+use crate::program::{FluxBins, SweepFactory, SweepSetup};
+use crate::xs::MaterialSet;
+use jsweep_core::{run_universe, RunStats, RuntimeConfig, TerminationKind};
+use jsweep_graph::SweepProblem;
+use jsweep_mesh::SweepTopology;
+use jsweep_quadrature::QuadratureSet;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SnConfig {
+    /// Vertex clustering grain `N`.
+    pub grain: usize,
+    /// Maximum source iterations.
+    pub max_iterations: usize,
+    /// Relative L2 convergence tolerance on the scalar flux.
+    pub tolerance: f64,
+    /// Cell kernel.
+    pub kernel: KernelKind,
+    /// Worker threads per rank (parallel solver).
+    pub workers_per_rank: usize,
+    /// Termination detector (parallel solver).
+    pub termination: TerminationKind,
+    /// Detect and break cyclic sweep dependencies (needed for deformed
+    /// meshes; adds a per-direction analysis pass).
+    pub break_cycles: bool,
+}
+
+impl Default for SnConfig {
+    fn default() -> Self {
+        SnConfig {
+            grain: 64,
+            max_iterations: 50,
+            tolerance: 1e-6,
+            kernel: KernelKind::Step,
+            workers_per_rank: 2,
+            termination: TerminationKind::Counting,
+            break_cycles: false,
+        }
+    }
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone)]
+pub struct SnSolution {
+    /// Scalar flux per `cell * groups + g`.
+    pub phi: Vec<f64>,
+    /// Source iterations performed.
+    pub iterations: usize,
+    /// Relative change of the last iteration.
+    pub residual: f64,
+    /// Runtime statistics per iteration (parallel solver only; one
+    /// entry per iteration, aggregated over ranks).
+    pub stats: Vec<RunStats>,
+}
+
+/// Emission density `(σ_s φ + Q)/4π` per cell and group.
+fn emission_density(materials: &MaterialSet, phi: &[f64]) -> Vec<f64> {
+    let groups = materials.num_groups();
+    let n = materials.num_cells();
+    let mut q = vec![0.0; n * groups];
+    let inv_4pi = 1.0 / (4.0 * std::f64::consts::PI);
+    for c in 0..n {
+        let m = materials.material(c);
+        for g in 0..groups {
+            q[c * groups + g] =
+                (m.sigma_s[g] * phi[c * groups + g] + m.source[g]) * inv_4pi;
+        }
+    }
+    q
+}
+
+/// Relative L2 difference between successive flux iterates.
+fn relative_change(new: &[f64], old: &[f64]) -> f64 {
+    let mut diff = 0.0;
+    let mut norm = 0.0;
+    for (a, b) in new.iter().zip(old) {
+        diff += (a - b) * (a - b);
+        norm += a * a;
+    }
+    if norm == 0.0 {
+        0.0
+    } else {
+        (diff / norm).sqrt()
+    }
+}
+
+/// Serial reference solver: topological sweeps, no decomposition.
+///
+/// When `config.break_cycles` is set, directions whose dependency
+/// graphs are cyclic (deformed meshes) are fixed by the cycle breaker:
+/// broken upwind faces are treated as vacuum. The same breaks are
+/// applied by the parallel solver when the problem was built with
+/// `ProblemOptions::check_cycles`, so the two stay comparable.
+pub fn solve_serial<T: SweepTopology + ?Sized>(
+    mesh: &T,
+    quadrature: &QuadratureSet,
+    materials: &MaterialSet,
+    config: &SnConfig,
+) -> SnSolution {
+    let n = mesh.num_cells();
+    let groups = materials.num_groups();
+    assert_eq!(materials.num_cells(), n);
+    let mut phi = vec![0.0; n * groups];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+
+    // Precompute per-angle cycle breaks and topological orders
+    // (constant across iterations, like the cached DAG of §V-E).
+    let broken: Vec<std::collections::HashSet<(u32, u32)>> = quadrature
+        .iter()
+        .map(|(_, o)| {
+            if config.break_cycles {
+                jsweep_graph::cycles::broken_edges_for_direction(mesh, o.dir)
+            } else {
+                Default::default()
+            }
+        })
+        .collect();
+    let orders: Vec<Vec<u32>> = quadrature
+        .iter()
+        .zip(&broken)
+        .map(|((_, o), br)| topological_order(mesh, o.dir, br))
+        .collect();
+
+    let mf = mesh.num_faces(0);
+    for _ in 0..config.max_iterations {
+        let q = emission_density(materials, &phi);
+        let mut phi_new = vec![0.0; n * groups];
+        let mut face_flux = vec![0.0; n * mf * groups];
+        let mut out = vec![0.0; mf * groups];
+        let mut psi = vec![0.0; groups];
+        let mut incoming = vec![0.0; mf * groups];
+        for (((ai, ord), order), br) in quadrature.iter().zip(&orders).zip(&broken) {
+            let _ = ai;
+            face_flux.iter_mut().for_each(|x| *x = 0.0);
+            for &cu in order {
+                let c = cu as usize;
+                let mat = materials.material(c);
+                incoming
+                    .copy_from_slice(&face_flux[c * mf * groups..(c + 1) * mf * groups]);
+                solve_cell(
+                    mesh,
+                    c,
+                    ord.dir,
+                    config.kernel,
+                    &mat.sigma_t,
+                    &q[c * groups..(c + 1) * groups],
+                    &incoming,
+                    &mut out,
+                    &mut psi,
+                );
+                for g in 0..groups {
+                    phi_new[c * groups + g] += ord.weight * psi[g];
+                }
+                // Push outgoing face fluxes to downwind neighbours.
+                for f in 0..mesh.num_faces(c) {
+                    let face = mesh.face(c, f);
+                    if face.flow(ord.dir) <= 0.0 {
+                        continue;
+                    }
+                    let Some(nb) = face.neighbor.cell() else {
+                        continue;
+                    };
+                    if !br.is_empty() && br.contains(&(c as u32, nb as u32)) {
+                        continue;
+                    }
+                    for f2 in 0..mesh.num_faces(nb) {
+                        if mesh.face(nb, f2).neighbor == jsweep_mesh::Neighbor::Interior(c) {
+                            for g in 0..groups {
+                                face_flux[(nb * mf + f2) * groups + g] = out[f * groups + g];
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        iterations += 1;
+        residual = relative_change(&phi_new, &phi);
+        phi = phi_new;
+        if residual < config.tolerance {
+            break;
+        }
+    }
+
+    SnSolution {
+        phi,
+        iterations,
+        residual,
+        stats: Vec::new(),
+    }
+}
+
+/// Global topological order of cells for one direction (Kahn),
+/// honouring cycle-broken edges.
+fn topological_order<T: SweepTopology + ?Sized>(
+    mesh: &T,
+    dir: [f64; 3],
+    broken: &std::collections::HashSet<(u32, u32)>,
+) -> Vec<u32> {
+    let n = mesh.num_cells();
+    let mut indeg = vec![0u32; n];
+    for (c, deg) in indeg.iter_mut().enumerate() {
+        for up in mesh.upwind_neighbors(c, dir) {
+            if broken.is_empty() || !broken.contains(&(up as u32, c as u32)) {
+                *deg += 1;
+            }
+        }
+    }
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&c| indeg[c as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(c) = stack.pop() {
+        order.push(c);
+        for nb in mesh.downwind_neighbors(c as usize, dir) {
+            if !broken.is_empty() && broken.contains(&(c, nb as u32)) {
+                continue;
+            }
+            indeg[nb] -= 1;
+            if indeg[nb] == 0 {
+                stack.push(nb as u32);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        n,
+        "cyclic sweep dependencies; enable SnConfig::break_cycles"
+    );
+    order
+}
+
+/// The JSweep parallel solver.
+///
+/// `problem` carries the decomposition and priorities (see
+/// [`jsweep_graph::problem::SweepProblem::build`]); the patch set's rank
+/// distribution determines the number of simulated MPI ranks.
+pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
+    mesh: Arc<T>,
+    problem: Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: Arc<MaterialSet>,
+    config: &SnConfig,
+) -> SnSolution {
+    let n = mesh.num_cells();
+    let groups = materials.num_groups();
+    let num_ranks = problem.patches.num_ranks();
+    let mut phi = vec![0.0; n * groups];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let mut all_stats = Vec::new();
+
+    for _ in 0..config.max_iterations {
+        let emission = Arc::new(emission_density(&materials, &phi));
+        let flux_bins: Arc<FluxBins> = Arc::new(
+            (0..problem.num_patches())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        );
+        let factory = Arc::new(SweepFactory::new(SweepSetup {
+            mesh: mesh.clone(),
+            problem: problem.clone(),
+            quadrature: quadrature.clone(),
+            materials: materials.clone(),
+            emission,
+            kernel: config.kernel,
+            grain: config.grain,
+            flux_bins: flux_bins.clone(),
+        }));
+        let stats = run_universe(
+            num_ranks,
+            factory,
+            RuntimeConfig {
+                num_workers: config.workers_per_rank,
+                termination: config.termination,
+            },
+        );
+        all_stats.push(RunStats::aggregate(&stats));
+
+        // Fold the per-(patch, angle) contributions in angle order for a
+        // schedule-independent floating-point result.
+        let mut phi_new = vec![0.0; n * groups];
+        for p in problem.patches.patches() {
+            let mut bin = flux_bins[p.index()].lock();
+            bin.sort_by_key(|(angle, _)| *angle);
+            let cells = problem.patches.cells(p);
+            for (_, part) in bin.iter() {
+                assert_eq!(part.len(), cells.len() * groups);
+                for (li, &cell) in cells.iter().enumerate() {
+                    for g in 0..groups {
+                        phi_new[cell as usize * groups + g] += part[li * groups + g];
+                    }
+                }
+            }
+        }
+
+        iterations += 1;
+        residual = relative_change(&phi_new, &phi);
+        phi = phi_new;
+        if residual < config.tolerance {
+            break;
+        }
+    }
+
+    SnSolution {
+        phi,
+        iterations,
+        residual,
+        stats: all_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsweep_graph::problem::ProblemOptions;
+    use jsweep_mesh::{partition, StructuredMesh};
+    use crate::xs::Material;
+
+    fn simple_config() -> SnConfig {
+        SnConfig {
+            max_iterations: 8,
+            tolerance: 1e-9,
+            grain: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serial_infinite_medium() {
+        // Pure absorber with uniform source: φ → Q V-independent value
+        // in the interior... with vacuum boundaries the flux is below
+        // Q/σ_a; just verify positivity, symmetry and convergence.
+        let m = StructuredMesh::unit(6, 6, 6);
+        let mats = MaterialSet::homogeneous(216, Material::uniform(1, 1.0, 0.5, 1.0));
+        let q = QuadratureSet::sn(2);
+        let sol = solve_serial(&m, &q, &mats, &simple_config());
+        assert!(sol.phi.iter().all(|&x| x > 0.0));
+        // Centre flux above face-adjacent flux (leakage at the border).
+        let centre = m.cell_id(3, 3, 3);
+        let corner = m.cell_id(0, 0, 0);
+        assert!(sol.phi[centre] > sol.phi[corner]);
+        // Mirror symmetry of the cube problem.
+        let a = m.cell_id(1, 2, 3);
+        let b = m.cell_id(4, 3, 2);
+        assert!((sol.phi[a] - sol.phi[b]).abs() < 1e-10 * sol.phi[a].abs());
+    }
+
+    #[test]
+    fn serial_no_scattering_converges_in_two_iterations() {
+        // Without scattering the source never changes: iteration 2 sees
+        // zero change.
+        let m = StructuredMesh::unit(4, 4, 4);
+        let mats = MaterialSet::homogeneous(64, Material::uniform(1, 2.0, 0.0, 1.0));
+        let q = QuadratureSet::sn(2);
+        let sol = solve_serial(&m, &q, &mats, &simple_config());
+        assert_eq!(sol.iterations, 2);
+        assert!(sol.residual < 1e-15);
+    }
+
+    #[test]
+    fn parallel_matches_serial_structured() {
+        let m = Arc::new(StructuredMesh::unit(6, 6, 6));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            216,
+            Material::uniform(1, 1.0, 0.4, 1.0),
+        ));
+        let quad = QuadratureSet::sn(2);
+        let cfg = simple_config();
+        let serial = solve_serial(m.as_ref(), &quad, &mats, &cfg);
+
+        let ps = partition::decompose_structured(&m, (3, 3, 3), 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions {
+                share_octant_dags: true,
+                ..Default::default()
+            },
+        ));
+        let parallel = solve_parallel(m.clone(), prob, &quad, mats, &cfg);
+        assert_eq!(parallel.iterations, serial.iterations);
+        for (a, b) in parallel.phi.iter().zip(&serial.phi) {
+            assert!(
+                (a - b).abs() <= 1e-11 * b.abs().max(1e-30),
+                "flux mismatch {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_unstructured() {
+        let m = Arc::new(jsweep_mesh::tetgen::ball(3, 1.0));
+        let n = m.num_cells();
+        let mats = Arc::new(MaterialSet::homogeneous(
+            n,
+            Material::uniform(2, 1.5, 0.6, 2.0),
+        ));
+        let quad = QuadratureSet::sn(2);
+        let cfg = simple_config();
+        let serial = solve_serial(m.as_ref(), &quad, &mats, &cfg);
+        let ps = partition::decompose_unstructured(m.as_ref(), 60, 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions::default(),
+        ));
+        let parallel = solve_parallel(m.clone(), prob, &quad, mats, &cfg);
+        for (a, b) in parallel.phi.iter().zip(&serial.phi) {
+            assert!(
+                (a - b).abs() <= 1e-11 * b.abs().max(1e-30),
+                "flux mismatch {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_deterministic_across_runs() {
+        let m = Arc::new(StructuredMesh::unit(4, 4, 4));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            64,
+            Material::uniform(1, 1.0, 0.3, 1.0),
+        ));
+        let quad = QuadratureSet::sn(2);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions::default(),
+        ));
+        let cfg = simple_config();
+        let a = solve_parallel(m.clone(), prob.clone(), &quad, mats.clone(), &cfg);
+        let b = solve_parallel(m.clone(), prob, &quad, mats, &cfg);
+        assert_eq!(a.phi, b.phi, "angle-ordered reduction must be deterministic");
+    }
+
+    #[test]
+    fn diamond_difference_differs_from_step_but_agrees_in_parallel() {
+        let m = Arc::new(StructuredMesh::unit(4, 4, 4));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            64,
+            Material::uniform(1, 1.0, 0.3, 1.0),
+        ));
+        let quad = QuadratureSet::sn(2);
+        let mut cfg = simple_config();
+        cfg.kernel = KernelKind::DiamondDifference;
+        let serial = solve_serial(m.as_ref(), &quad, &mats, &cfg);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions::default(),
+        ));
+        let parallel = solve_parallel(m.clone(), prob, &quad, mats.clone(), &cfg);
+        for (a, b) in parallel.phi.iter().zip(&serial.phi) {
+            assert!((a - b).abs() <= 1e-11 * b.abs().max(1e-30));
+        }
+        // And DD really is a different discretisation from Step.
+        let mut cfg2 = simple_config();
+        cfg2.kernel = KernelKind::Step;
+        let step = solve_serial(m.as_ref(), &quad, &mats, &cfg2);
+        let diff: f64 = step
+            .phi
+            .iter()
+            .zip(&serial.phi)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "DD and Step should differ");
+    }
+}

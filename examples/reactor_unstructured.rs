@@ -1,0 +1,107 @@
+//! JSNT-U-style multigroup transport on an unstructured reactor mesh.
+//!
+//! ```text
+//! cargo run --release --example reactor_unstructured [cells_across] [ranks]
+//! ```
+//!
+//! Generates the reactor-core tetrahedral mesh (cylinder with guide-
+//! tube holes, Fig. 11b stand-in), BFS-partitions it into ~500-cell
+//! patches (the paper's JSNT-U default), and runs a 4-group S4 solve
+//! on the JSweep runtime. Prints decomposition quality and the flux in
+//! each radial ring.
+
+use jsweep::mesh::stats::partition_stats;
+use jsweep::mesh::tetgen;
+use jsweep::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let across: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(14);
+    let ranks: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(2);
+
+    let mesh = Arc::new(tetgen::reactor(across, 1.0, 1.0, 4));
+    println!(
+        "reactor mesh: {} tetrahedra, {} boundary faces",
+        mesh.num_cells(),
+        mesh.num_boundary_faces()
+    );
+
+    let patches = decompose_unstructured(mesh.as_ref(), 500, ranks);
+    let stats = partition_stats(&patches, mesh.as_ref());
+    println!(
+        "decomposition: {} patches (min {} / mean {:.0} / max {} cells), \
+         rank imbalance {:.3}, rank edge-cut {}",
+        stats.num_patches,
+        stats.patch_cells_min,
+        stats.patch_cells_mean,
+        stats.patch_cells_max,
+        stats.rank_imbalance,
+        stats.rank_edge_cut
+    );
+
+    // 4-group data: a fast group with low absorption down to a slow,
+    // more absorbing group; uniform fission-like source in group 0.
+    let groups = 4;
+    let material = Material {
+        sigma_t: vec![0.5, 0.8, 1.2, 2.0],
+        sigma_s: vec![0.3, 0.5, 0.7, 1.0],
+        source: vec![1.0, 0.0, 0.0, 0.0],
+    };
+    let materials = Arc::new(MaterialSet::homogeneous(mesh.num_cells(), material));
+    let quad = QuadratureSet::sn(4);
+    let problem = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            vertex_strategy: PriorityStrategy::Slbd,
+            patch_strategy: PriorityStrategy::Slbd,
+            ..Default::default()
+        },
+    ));
+    let config = SnConfig {
+        max_iterations: 25,
+        tolerance: 1e-7,
+        grain: 64,
+        workers_per_rank: 2,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let solution = solve_parallel(mesh.clone(), problem, &quad, materials, &config);
+    println!(
+        "solved in {} iterations, {:.2}s host time, residual {:.2e}",
+        solution.iterations,
+        t0.elapsed().as_secs_f64(),
+        solution.residual
+    );
+
+    // Radial flux profile, volume-averaged per ring, group by group.
+    let rings = 6;
+    let centre = 1.0; // cylinder axis at (radius, radius)
+    let mut ring_flux = vec![vec![0.0f64; groups]; rings];
+    let mut ring_vol = vec![0.0f64; rings];
+    for c in 0..mesh.num_cells() {
+        let p = mesh.cell_centroid(c);
+        let r = ((p[0] - centre).powi(2) + (p[1] - centre).powi(2)).sqrt();
+        let ring = ((r / 1.0) * rings as f64) as usize;
+        let ring = ring.min(rings - 1);
+        let v = mesh.cell_volume(c);
+        ring_vol[ring] += v;
+        for g in 0..groups {
+            ring_flux[ring][g] += solution.phi[c * groups + g] * v;
+        }
+    }
+    println!("\nradially averaged flux per energy group:");
+    println!("{:>10}  {:>10}  {:>10}  {:>10}  {:>10}", "ring", "g0", "g1", "g2", "g3");
+    for ring in 0..rings {
+        if ring_vol[ring] == 0.0 {
+            continue;
+        }
+        print!("{:>10}", format!("r{}", ring));
+        for g in 0..groups {
+            print!("  {:>10.4}", ring_flux[ring][g] / ring_vol[ring]);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,288 @@
+//! Cross-crate integration tests: the full JSweep stack (mesh →
+//! decomposition → DAG → runtime → physics) against the serial golden
+//! solver, across mesh families, kernels, decompositions and
+//! termination detectors.
+
+use jsweep::prelude::*;
+use jsweep::transport::kobayashi;
+use std::sync::Arc;
+
+fn assert_flux_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * y.abs().max(1e-30),
+            "flux mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+fn config() -> SnConfig {
+    SnConfig {
+        max_iterations: 6,
+        tolerance: 1e-10,
+        grain: 32,
+        workers_per_rank: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn structured_three_ranks_matches_serial() {
+    let mesh = Arc::new(StructuredMesh::unit(9, 9, 9));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        729,
+        Material::uniform(1, 1.2, 0.6, 1.0),
+    ));
+    let serial = solve_serial(mesh.as_ref(), &quad, &mats, &config());
+    let patches = decompose_structured(&mesh, (3, 3, 3), 3);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    let par = solve_parallel(mesh.clone(), prob, &quad, mats, &config());
+    assert_flux_close(&par.phi, &serial.phi, 1e-11);
+}
+
+#[test]
+fn kobayashi_parallel_matches_serial_dd() {
+    let k = kobayashi::kobayashi(12, 0.5);
+    let mesh = Arc::new(k.mesh);
+    let mats = Arc::new(k.materials);
+    let quad = QuadratureSet::sn(2);
+    let mut cfg = config();
+    cfg.kernel = KernelKind::DiamondDifference;
+    let serial = solve_serial(mesh.as_ref(), &quad, &mats, &cfg);
+    let patches = decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let par = solve_parallel(mesh.clone(), prob, &quad, mats, &cfg);
+    assert_flux_close(&par.phi, &serial.phi, 1e-11);
+}
+
+#[test]
+fn tet_ball_multigroup_matches_serial() {
+    let mesh = Arc::new(jsweep::mesh::tetgen::ball(3, 1.0));
+    let n = mesh.num_cells();
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        n,
+        Material {
+            sigma_t: vec![1.0, 2.0],
+            sigma_s: vec![0.5, 0.8],
+            source: vec![1.0, 0.5],
+        },
+    ));
+    let serial = solve_serial(mesh.as_ref(), &quad, &mats, &config());
+    let patches = decompose_unstructured(mesh.as_ref(), 64, 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let par = solve_parallel(mesh.clone(), prob, &quad, mats, &config());
+    assert_flux_close(&par.phi, &serial.phi, 1e-11);
+}
+
+#[test]
+fn safra_and_counting_terminations_agree() {
+    let mesh = Arc::new(StructuredMesh::unit(6, 6, 6));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        216,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let patches = decompose_structured(&mesh, (3, 3, 3), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let mut cfg_counting = config();
+    cfg_counting.termination = TerminationKind::Counting;
+    let mut cfg_safra = config();
+    cfg_safra.termination = TerminationKind::Safra;
+    let a = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &cfg_counting);
+    let b = solve_parallel(mesh.clone(), prob, &quad, mats, &cfg_safra);
+    assert_eq!(a.phi, b.phi, "termination protocol must not change physics");
+}
+
+#[test]
+fn every_priority_strategy_gives_identical_flux() {
+    // Scheduling order must never change the converged physics.
+    let mesh = Arc::new(StructuredMesh::unit(6, 6, 6));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        216,
+        Material::uniform(1, 1.0, 0.5, 2.0),
+    ));
+    let mut reference: Option<Vec<f64>> = None;
+    for strat in [
+        PriorityStrategy::Bfs,
+        PriorityStrategy::Ldcp,
+        PriorityStrategy::Slbd,
+    ] {
+        let patches = decompose_structured(&mesh, (3, 3, 3), 2);
+        let prob = Arc::new(SweepProblem::build(
+            mesh.as_ref(),
+            patches,
+            &quad,
+            &ProblemOptions {
+                vertex_strategy: strat,
+                patch_strategy: strat,
+                ..Default::default()
+            },
+        ));
+        let sol = solve_parallel(mesh.clone(), prob, &quad, mats.clone(), &config());
+        match &reference {
+            None => reference = Some(sol.phi),
+            Some(r) => assert_flux_close(&sol.phi, r, 1e-12),
+        }
+    }
+}
+
+#[test]
+fn grain_does_not_change_physics() {
+    let mesh = Arc::new(StructuredMesh::unit(6, 6, 6));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        216,
+        Material::uniform(1, 1.0, 0.3, 1.0),
+    ));
+    let patches = decompose_structured(&mesh, (2, 2, 2), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let mut reference: Option<Vec<f64>> = None;
+    for grain in [1, 7, 64, 100_000] {
+        let mut cfg = config();
+        cfg.grain = grain;
+        let sol = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &cfg);
+        match &reference {
+            None => reference = Some(sol.phi),
+            Some(r) => assert_flux_close(&sol.phi, r, 1e-12),
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_physics() {
+    let mesh = Arc::new(jsweep::mesh::tetgen::cube(2, 1.0));
+    let n = mesh.num_cells();
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        n,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let patches = decompose_unstructured(mesh.as_ref(), 12, 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let mut reference: Option<Vec<f64>> = None;
+    for workers in [1, 2, 4] {
+        let mut cfg = config();
+        cfg.workers_per_rank = workers;
+        let sol = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &cfg);
+        match &reference {
+            None => reference = Some(sol.phi),
+            Some(r) => assert_eq!(&sol.phi, r, "workers={workers}"),
+        }
+    }
+}
+
+#[test]
+fn deformed_mesh_sweeps_complete_with_cycle_breaking() {
+    use jsweep::graph::{cycles, Subgraph, SweepState};
+    use jsweep::quadrature::AngleId;
+    let mesh = jsweep::mesh::deformed::DeformedMesh::jittered(6, 6, 6, 0.35, 11);
+    let quad = QuadratureSet::sn(2);
+    let patches = PatchSet::single(mesh.num_cells());
+    for (a, o) in quad.iter() {
+        let broken = cycles::broken_edges_for_direction(&mesh, o.dir);
+        let sub = Subgraph::build(&mesh, &patches, PatchId(0), a, o.dir, &broken);
+        let mut st = SweepState::with_priorities(&sub, &vec![0; sub.num_vertices()]);
+        while !st.is_complete() {
+            let cluster = st.pop_cluster(&sub, 64, |_, _| {});
+            assert!(
+                !cluster.is_empty(),
+                "deadlock on deformed mesh, direction {:?} ({} broken edges)",
+                o.dir,
+                broken.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn des_and_threaded_runtime_compute_the_same_vertex_count() {
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let patches = decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    // DES vertex count.
+    let machine = MachineModel::cluster(2, 2);
+    let des = simulate(&prob, &machine, &SimOptions::default());
+    // Threaded-runtime vertex count: one sweep = one source iteration
+    // with zero scattering.
+    let mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.0, 1.0),
+    ));
+    let mut cfg = config();
+    cfg.max_iterations = 1;
+    let sol = solve_parallel(mesh.clone(), prob, &quad, mats, &cfg);
+    let threaded_vertices: u64 = sol.stats.iter().map(|s| s.work_done).sum();
+    assert_eq!(des.vertices, threaded_vertices);
+}
+
+#[test]
+fn deformed_mesh_parallel_matches_serial_with_cycle_breaking() {
+    use jsweep::mesh::deformed::DeformedMesh;
+    let mesh = Arc::new(DeformedMesh::jittered(6, 6, 6, 0.3, 17));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        216,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let mut cfg = config();
+    cfg.break_cycles = true;
+    let serial = solve_serial(mesh.as_ref(), &quad, &mats, &cfg);
+    let patches = jsweep::mesh::partition::rcb(mesh.as_ref(), 8);
+    let mut patches = patches;
+    patches.distribute((0..8).map(|p| (p % 2) as u32).collect(), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            check_cycles: true,
+            ..Default::default()
+        },
+    ));
+    let par = solve_parallel(mesh.clone(), prob, &quad, mats, &cfg);
+    assert_flux_close(&par.phi, &serial.phi, 1e-11);
+    assert!(par.phi.iter().all(|&x| x > 0.0));
+}

@@ -1,0 +1,253 @@
+//! Property-based tests (proptest) over the core invariants:
+//! quadrature moments, partition coverage, sweep-DAG acyclicity and
+//! degree balance, schedule-independence of sweep completion, coarse
+//! graph acyclicity (Theorem 1), SFC bijectivity and codec roundtrips.
+
+use jsweep::graph::coarse::{build_coarse, ClusterTrace};
+use jsweep::graph::priority::vertex_priorities;
+use jsweep::graph::{dag, PriorityStrategy, Subgraph, SweepState};
+use jsweep::mesh::{partition, tetgen, PatchSet, StructuredMesh, SweepTopology};
+use jsweep::quadrature::{AngleId, QuadratureSet};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random unit direction avoiding axis-aligned degeneracies.
+fn direction() -> impl Strategy<Value = [f64; 3]> {
+    (
+        -0.99f64..0.99,
+        -0.99f64..0.99,
+        0.05f64..0.99,
+    )
+        .prop_map(|(x, y, z)| {
+            let sx = if x == 0.0 { 0.01 } else { x };
+            let sy = if y == 0.0 { 0.01 } else { y };
+            let n = (sx * sx + sy * sy + z * z).sqrt();
+            [sx / n, sy / n, z / n]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn structured_subgraphs_balance_and_complete(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        nz in 2usize..6,
+        px in 1usize..4,
+        dir in direction(),
+    ) {
+        let mesh = StructuredMesh::unit(nx, ny, nz);
+        let (ps, _) = partition::structured_blocks(&mesh, (px, px, px));
+        let subs = Subgraph::build_all(&mesh, &ps, AngleId(0), dir, &HashSet::new());
+        // Degree balance invariant.
+        jsweep::graph::subgraph::check_edge_degree_balance(&subs).unwrap();
+        // Internal DAGs are acyclic.
+        for sub in &subs {
+            prop_assert!(dag::is_acyclic(&sub.internal_csr()));
+        }
+        // The whole multi-patch sweep completes (no lost dependencies).
+        let total = drive_sweep(&subs, 8);
+        prop_assert_eq!(total, mesh.num_cells());
+    }
+
+    #[test]
+    fn tet_subgraphs_complete(
+        half in 2usize..4,
+        target in 10usize..60,
+        dir in direction(),
+    ) {
+        let mesh = tetgen::ball(half, 1.0);
+        let ps = partition::greedy_bfs(&mesh, target);
+        let subs = Subgraph::build_all(&mesh, &ps, AngleId(0), dir, &HashSet::new());
+        let total = drive_sweep(&subs, 16);
+        prop_assert_eq!(total, mesh.num_cells());
+    }
+
+    #[test]
+    fn sweep_completion_is_grain_independent(
+        n in 2usize..6,
+        grain in 1usize..40,
+        dir in direction(),
+    ) {
+        let mesh = StructuredMesh::unit(n, n, n);
+        let (ps, _) = partition::structured_blocks(&mesh, (2, 2, 2));
+        let subs = Subgraph::build_all(&mesh, &ps, AngleId(0), dir, &HashSet::new());
+        let total = drive_sweep(&subs, grain);
+        prop_assert_eq!(total, mesh.num_cells());
+    }
+
+    #[test]
+    fn coarse_graph_is_acyclic_for_random_setups(
+        n in 3usize..7,
+        grain in 1usize..30,
+        dir in direction(),
+    ) {
+        let mesh = StructuredMesh::unit(n, n, n);
+        let (ps, _) = partition::structured_blocks(&mesh, (3, 3, 3));
+        let subs = Subgraph::build_all(&mesh, &ps, AngleId(0), dir, &HashSet::new());
+        let traces = trace_sweep(&subs, grain);
+        // build_coarse panics on Theorem-1 violations.
+        let tasks = build_coarse(&subs, &traces);
+        let coarse_vertices: usize = tasks.iter().map(|t| t.num_clusters()).sum();
+        let fine_vertices: usize = subs.iter().map(|s| s.num_vertices()).sum();
+        prop_assert!(coarse_vertices <= fine_vertices);
+    }
+
+    #[test]
+    fn rcb_partitions_cover_exactly(
+        n in 2usize..5,
+        parts in 1usize..9,
+    ) {
+        let mesh = tetgen::cube(n, 1.0);
+        let parts = parts.min(mesh.num_cells());
+        let ps = partition::rcb(&mesh, parts);
+        let mut seen = vec![false; mesh.num_cells()];
+        for p in ps.patches() {
+            for &c in ps.cells(p) {
+                prop_assert!(!seen[c as usize]);
+                seen[c as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_and_morton_are_bijective(bits in 1u32..5) {
+        use jsweep::mesh::sfc;
+        let n = 1u32 << bits;
+        let mut hkeys = HashSet::new();
+        let mut mkeys = HashSet::new();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    prop_assert!(hkeys.insert(sfc::hilbert3(x, y, z, bits)));
+                    prop_assert!(mkeys.insert(sfc::morton3(x, y, z, bits)));
+                    let (rx, ry, rz) = sfc::hilbert3_inv(sfc::hilbert3(x, y, z, bits), bits);
+                    prop_assert_eq!((rx, ry, rz), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_arbitrary(values in prop::collection::vec(any::<f64>(), 0..64)) {
+        use jsweep::comm::pack::{Reader, Writer};
+        let finite: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        let mut w = Writer::new();
+        w.put_f64_slice(&finite);
+        let mut r = Reader::new(w.finish());
+        prop_assert_eq!(r.get_f64_vec(), finite);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn quadrature_moments_hold(order in (1u32..8).prop_map(|k| 2 * k)) {
+        let q = QuadratureSet::sn(order);
+        let total: f64 = q.ordinates().iter().map(|o| o.weight).sum();
+        prop_assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+        for axis in 0..3 {
+            prop_assert!(q.integrate(|d| d[axis]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn break_cycles_always_yields_dag(
+        n in 2u32..12,
+        edges in prop::collection::vec((0u32..12, 0u32..12, 0.01f64..10.0), 0..40),
+    ) {
+        use jsweep::graph::cycles::break_cycles;
+        let edges: Vec<(u32, u32, f64)> = edges
+            .into_iter()
+            .map(|(s, d, w)| (s % n, d % n, w))
+            .collect();
+        let removed = break_cycles(n as usize, &edges);
+        let live: Vec<(u32, u32)> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed.contains(i))
+            .map(|(_, &(s, d, _))| (s, d))
+            .collect();
+        prop_assert!(dag::is_acyclic(&dag::Csr::from_edges(n as usize, &live)));
+    }
+}
+
+/// Serially drive a multi-patch sweep to completion; returns the
+/// number of vertices computed.
+fn drive_sweep(subs: &[Subgraph], grain: usize) -> usize {
+    let mut states: Vec<SweepState> = subs
+        .iter()
+        .map(|s| SweepState::with_priorities(s, &vertex_priorities(s, PriorityStrategy::Slbd)))
+        .collect();
+    let local: std::collections::HashMap<u32, (usize, u32)> = subs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, s)| {
+            s.cells
+                .iter()
+                .enumerate()
+                .map(move |(li, &c)| (c, (pi, li as u32)))
+        })
+        .collect();
+    let mut computed = 0usize;
+    loop {
+        let mut progressed = false;
+        for pi in 0..subs.len() {
+            while states[pi].has_ready() {
+                let mut remote = Vec::new();
+                let cluster = states[pi].pop_cluster(&subs[pi], grain, |_, re| remote.push(re));
+                computed += cluster.len();
+                progressed = true;
+                for re in remote {
+                    let (qi, lv) = local[&re.cell];
+                    states[qi].receive(lv);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for st in &states {
+        assert!(st.is_complete(), "sweep deadlocked");
+    }
+    computed
+}
+
+/// Like [`drive_sweep`] but recording clustering traces.
+fn trace_sweep(subs: &[Subgraph], grain: usize) -> Vec<ClusterTrace> {
+    let mut states: Vec<SweepState> = subs
+        .iter()
+        .map(|s| SweepState::with_priorities(s, &vertex_priorities(s, PriorityStrategy::Slbd)))
+        .collect();
+    let mut traces = vec![ClusterTrace::default(); subs.len()];
+    let local: std::collections::HashMap<u32, (usize, u32)> = subs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, s)| {
+            s.cells
+                .iter()
+                .enumerate()
+                .map(move |(li, &c)| (c, (pi, li as u32)))
+        })
+        .collect();
+    loop {
+        let mut progressed = false;
+        for pi in 0..subs.len() {
+            while states[pi].has_ready() {
+                let mut remote = Vec::new();
+                let cluster = states[pi].pop_cluster(&subs[pi], grain, |_, re| remote.push(re));
+                traces[pi].record(cluster);
+                progressed = true;
+                for re in remote {
+                    let (qi, lv) = local[&re.cell];
+                    states[qi].receive(lv);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    traces
+}

@@ -1,0 +1,289 @@
+//! Stress and robustness tests: message storms through the simulated
+//! MPI fabric, pool contention, termination under adversarial timing,
+//! and machine-model sanity for the simulator.
+
+use jsweep::comm::termination::{Safra, Verdict};
+use jsweep::comm::Universe;
+use jsweep::prelude::*;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Many ranks exchange a storm of randomly-addressed messages, each
+/// forwarded a fixed number of hops; Safra must detect quiescence only
+/// after every hop completes.
+#[test]
+fn safra_survives_message_storm() {
+    const RANKS: usize = 5;
+    const SEEDS_PER_RANK: u32 = 40;
+    const HOPS: u32 = 6;
+    let results = Universe::run(RANKS, |mut comm| {
+        let mut safra = Safra::new(comm.rank(), comm.size());
+        let mut hops_done = 0u64;
+        // Seed messages carry a remaining-hop counter.
+        for i in 0..SEEDS_PER_RANK {
+            let to = (comm.rank() + 1 + i as usize) % comm.size();
+            comm.send(to, 1, Bytes::copy_from_slice(&HOPS.to_le_bytes()));
+            safra.on_send();
+        }
+        loop {
+            while let Some(m) = comm.try_recv() {
+                match safra.on_message(&m, &comm) {
+                    Verdict::NotMine => {
+                        safra.on_receive();
+                        hops_done += 1;
+                        let remaining =
+                            u32::from_le_bytes(m.payload[..4].try_into().unwrap());
+                        if remaining > 1 {
+                            // Pseudo-random forward based on content.
+                            let to = (comm.rank() + remaining as usize) % comm.size();
+                            comm.send(
+                                to,
+                                1,
+                                Bytes::copy_from_slice(&(remaining - 1).to_le_bytes()),
+                            );
+                            safra.on_send();
+                        }
+                    }
+                    Verdict::Terminated => return hops_done,
+                    Verdict::Continue => {}
+                }
+            }
+            if safra.maybe_advance(true, &comm) == Verdict::Terminated {
+                return hops_done;
+            }
+            std::thread::yield_now();
+        }
+    });
+    let total: u64 = results.iter().sum();
+    assert_eq!(
+        total,
+        (RANKS as u64) * (SEEDS_PER_RANK as u64) * (HOPS as u64),
+        "some hops were lost or termination fired early"
+    );
+}
+
+/// A diamond-of-programs workload where one hot program receives
+/// streams from many producers while workers contend for the pool.
+#[test]
+fn runtime_fan_in_under_contention() {
+    use jsweep::core::{ComputeCtx, PatchProgram, ProgramFactory, RuntimeConfig};
+    use parking_lot::Mutex;
+
+    const PRODUCERS: u32 = 60;
+
+    struct FanIn {
+        id: ProgramId,
+        received: u32,
+        fired: bool,
+        total: Arc<Mutex<u32>>,
+    }
+    impl PatchProgram for FanIn {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _p: Bytes) {
+            self.received += 1;
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if self.id.patch.0 < PRODUCERS {
+                // Producer: send one stream to the sink, once.
+                if !self.fired {
+                    self.fired = true;
+                    ctx.work_done = 1;
+                    ctx.send(jsweep::core::Stream {
+                        src: self.id,
+                        dst: ProgramId::new(PatchId(PRODUCERS), TaskTag(0)),
+                        payload: Bytes::new(),
+                    });
+                }
+            } else {
+                // Sink: account everything received so far.
+                let mut t = self.total.lock();
+                *t += self.received;
+                ctx.work_done = self.received as u64;
+                self.received = 0;
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.received == 0
+        }
+        fn remaining_work(&self) -> u64 {
+            0
+        }
+    }
+
+    struct FanInFactory {
+        ranks: usize,
+        total: Arc<Mutex<u32>>,
+    }
+    impl ProgramFactory for FanInFactory {
+        type Program = FanIn;
+        fn create(&self, id: ProgramId) -> FanIn {
+            FanIn {
+                id,
+                received: 0,
+                fired: false,
+                total: self.total.clone(),
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            (0..=PRODUCERS)
+                .filter(|p| (*p as usize) % self.ranks == rank)
+                .map(|p| ProgramId::new(PatchId(p), TaskTag(0)))
+                .collect()
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize % self.ranks
+        }
+        fn priority(&self, id: ProgramId) -> i64 {
+            // Adversarial: the sink has the lowest priority.
+            -(i64::from(id.patch.0 == PRODUCERS))
+        }
+        fn initial_workload(&self, id: ProgramId) -> u64 {
+            u64::from(id.patch.0 < PRODUCERS)
+        }
+    }
+
+    for ranks in [1, 3] {
+        let total = Arc::new(parking_lot::Mutex::new(0u32));
+        let factory = Arc::new(FanInFactory {
+            ranks,
+            total: total.clone(),
+        });
+        let stats = jsweep::core::run_universe(
+            ranks,
+            factory,
+            RuntimeConfig {
+                num_workers: 4,
+                termination: TerminationKind::Safra,
+            },
+        );
+        assert_eq!(*total.lock(), PRODUCERS, "ranks={ranks}");
+        let work: u64 = stats.iter().map(|s| s.work_done).sum();
+        assert_eq!(work, 2 * PRODUCERS as u64);
+    }
+}
+
+/// Machine-model sanity: the simulator must react monotonically to
+/// resource changes.
+#[test]
+fn des_model_monotonicity() {
+    let mesh = StructuredMesh::unit(12, 12, 12);
+    let quad = QuadratureSet::sn(2);
+    let patches = jsweep::mesh::partition::decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = SweepProblem::build(
+        &mesh,
+        patches,
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    );
+    let base = MachineModel::cluster(2, 4);
+    let t_base = simulate(&prob, &base, &SimOptions::default()).time;
+
+    // Slower kernel -> slower sweep.
+    let mut slow_kernel = base.clone();
+    slow_kernel.t_vertex *= 10.0;
+    assert!(simulate(&prob, &slow_kernel, &SimOptions::default()).time > t_base);
+
+    // Much higher latency -> slower sweep.
+    let mut high_latency = base.clone();
+    high_latency.latency *= 1000.0;
+    assert!(simulate(&prob, &high_latency, &SimOptions::default()).time > t_base);
+
+    // Much lower bandwidth -> slower sweep.
+    let mut thin_pipe = base.clone();
+    thin_pipe.bandwidth /= 1e6;
+    assert!(simulate(&prob, &thin_pipe, &SimOptions::default()).time > t_base);
+
+    // Zero-cost network -> no slower than the base.
+    let mut free_net = base.clone();
+    free_net.latency = 0.0;
+    free_net.t_route = 0.0;
+    free_net.t_pack_per_byte = 0.0;
+    assert!(simulate(&prob, &free_net, &SimOptions::default()).time <= t_base);
+}
+
+/// The threaded runtime must survive thousands of tiny programs with
+/// single-stream interactions (scheduler churn).
+#[test]
+fn runtime_many_tiny_programs() {
+    use jsweep::core::{ComputeCtx, PatchProgram, ProgramFactory, RuntimeConfig};
+
+    const N: u32 = 2000;
+
+    struct Hop {
+        id: ProgramId,
+        go: bool,
+        done: bool,
+    }
+    impl PatchProgram for Hop {
+        fn init(&mut self) {
+            self.go = self.id.patch.0 == 0;
+        }
+        fn input(&mut self, _src: ProgramId, _p: Bytes) {
+            self.go = true;
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if self.go && !self.done {
+                self.done = true;
+                ctx.work_done = 1;
+                if self.id.patch.0 + 1 < N {
+                    ctx.send(jsweep::core::Stream {
+                        src: self.id,
+                        dst: ProgramId::new(PatchId(self.id.patch.0 + 1), TaskTag(0)),
+                        payload: Bytes::new(),
+                    });
+                }
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            true
+        }
+        fn remaining_work(&self) -> u64 {
+            u64::from(!self.done)
+        }
+    }
+    struct HopFactory {
+        ranks: usize,
+    }
+    impl ProgramFactory for HopFactory {
+        type Program = Hop;
+        fn create(&self, id: ProgramId) -> Hop {
+            Hop {
+                id,
+                go: false,
+                done: false,
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            (0..N)
+                .filter(|p| (*p as usize) % self.ranks == rank)
+                .map(|p| ProgramId::new(PatchId(p), TaskTag(0)))
+                .collect()
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize % self.ranks
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            1
+        }
+    }
+
+    let stats = jsweep::core::run_universe(
+        4,
+        Arc::new(HopFactory { ranks: 4 }),
+        RuntimeConfig {
+            num_workers: 2,
+            termination: TerminationKind::Counting,
+        },
+    );
+    let total: u64 = stats.iter().map(|s| s.work_done).sum();
+    assert_eq!(total, N as u64);
+    // The chain crosses ranks at every hop (round-robin placement).
+    let sent: u64 = stats.iter().map(|s| s.streams_sent).sum();
+    assert_eq!(sent, (N - 1) as u64);
+}
