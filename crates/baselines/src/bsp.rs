@@ -112,9 +112,7 @@ pub fn simulate_bsp(problem: &SweepProblem, machine: &MachineModel) -> DesResult
             .iter()
             .fold(0.0f64, |acc, &x| acc.max(x / workers));
         let comm_max = (0..ranks)
-            .map(|r| {
-                rank_msgs[r] as f64 * machine.latency + rank_bytes[r] / machine.bandwidth
-            })
+            .map(|r| rank_msgs[r] as f64 * machine.latency + rank_bytes[r] / machine.bandwidth)
             .fold(0.0f64, f64::max);
         let barrier = machine.latency * (ranks as f64).log2().max(1.0);
         time += compute_max + comm_max + barrier;

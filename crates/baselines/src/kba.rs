@@ -40,7 +40,10 @@ impl KbaLayout {
 /// same rank.
 pub fn kba_patches(mesh: &StructuredMesh, layout: &KbaLayout) -> PatchSet {
     let (nx, ny, nz) = mesh.dims();
-    assert!(nx % layout.px == 0 && ny % layout.py == 0, "KBA needs an even split");
+    assert!(
+        nx % layout.px == 0 && ny % layout.py == 0,
+        "KBA needs an even split"
+    );
     let bx = nx / layout.px;
     let by = ny / layout.py;
     let bz = layout.chunk_z.min(nz);

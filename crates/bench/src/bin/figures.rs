@@ -37,8 +37,20 @@ fn main() {
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = vec![
-            "fig9a", "fig9b", "fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b",
-            "fig15", "fig16", "fig17a", "fig17b", "table1", "cg_ablation",
+            "fig9a",
+            "fig9b",
+            "fig12a",
+            "fig12b",
+            "fig13a",
+            "fig13b",
+            "fig14a",
+            "fig14b",
+            "fig15",
+            "fig16",
+            "fig17a",
+            "fig17b",
+            "table1",
+            "cg_ablation",
         ]
         .into_iter()
         .map(String::from)
@@ -71,6 +83,9 @@ fn main() {
             t.print();
             t.write_tsv(&out_dir).expect("write TSV");
         }
-        eprintln!("[{id}] done in {:.1}s (host time)", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{id}] done in {:.1}s (host time)",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -4,7 +4,9 @@
 //! setup simulated here, and (c) the axis mapping. EXPERIMENTS.md
 //! records paper-vs-measured values produced by these functions.
 
-use crate::setups::{cores, machine_with_groups, structured_problem, tianhe, unstructured_problem, Strategies};
+use crate::setups::{
+    cores, machine_with_groups, structured_problem, tianhe, unstructured_problem, Strategies,
+};
 use crate::table::{pct, secs, Table};
 use crate::Scale;
 use jsweep_baselines::{bsp, kba, psd};
@@ -13,7 +15,11 @@ use jsweep_graph::{coarse, PriorityStrategy};
 use jsweep_mesh::tetgen;
 use jsweep_quadrature::QuadratureSet;
 
-fn sim_default(problem: &jsweep_des::SweepProblem, machine: &jsweep_des::MachineModel, grain: usize) -> jsweep_des::DesResult {
+fn sim_default(
+    problem: &jsweep_des::SweepProblem,
+    machine: &jsweep_des::MachineModel,
+    grain: usize,
+) -> jsweep_des::DesResult {
     simulate(
         problem,
         machine,
@@ -103,7 +109,13 @@ pub fn fig12(scale: Scale, large: bool) -> Table {
     let quad = QuadratureSet::sn(4);
     let (n, patch, rank_list, id, title): (usize, usize, Vec<usize>, &str, &str) = if large {
         match scale {
-            Scale::Smoke => (24, 8, vec![2, 4], "fig12b", "JSNT-S strong scaling, Kobayashi-800 (scaled)"),
+            Scale::Smoke => (
+                24,
+                8,
+                vec![2, 4],
+                "fig12b",
+                "JSNT-S strong scaling, Kobayashi-800 (scaled)",
+            ),
             Scale::Full => (
                 80,
                 6,
@@ -114,7 +126,13 @@ pub fn fig12(scale: Scale, large: bool) -> Table {
         }
     } else {
         match scale {
-            Scale::Smoke => (16, 8, vec![2, 4], "fig12a", "JSNT-S strong scaling, Kobayashi-400 (scaled)"),
+            Scale::Smoke => (
+                16,
+                8,
+                vec![2, 4],
+                "fig12a",
+                "JSNT-S strong scaling, Kobayashi-400 (scaled)",
+            ),
             Scale::Full => (
                 64,
                 6,
@@ -183,7 +201,11 @@ pub fn fig13a(scale: Scale) -> Vec<Table> {
     for &psize in &patch_sizes {
         let prob = unstructured_problem(&mesh, psize, ranks, &quad, Strategies::SLBD2);
         let r = sim_default(&prob, &machine, 64);
-        t1.push(vec![psize.to_string(), secs(r.time), r.messages.to_string()]);
+        t1.push(vec![
+            psize.to_string(),
+            secs(r.time),
+            r.messages.to_string(),
+        ]);
     }
 
     let grains: Vec<usize> = match scale {
@@ -198,7 +220,11 @@ pub fn fig13a(scale: Scale) -> Vec<Table> {
     let prob = unstructured_problem(&mesh, 500, ranks, &quad, Strategies::SLBD2);
     for &g in &grains {
         let r = sim_default(&prob, &machine, g);
-        t2.push(vec![g.to_string(), secs(r.time), r.compute_calls.to_string()]);
+        t2.push(vec![
+            g.to_string(),
+            secs(r.time),
+            r.compute_calls.to_string(),
+        ]);
     }
     vec![t1, t2]
 }
@@ -216,10 +242,28 @@ pub fn fig13b(scale: Scale) -> Table {
         Scale::Full => vec![2, 4, 8, 16, 32],
     };
     let strategies = [
-        ("BFS", Strategies { patch: PriorityStrategy::Bfs, vertex: PriorityStrategy::Bfs }),
-        ("BFS+SLBD", Strategies { patch: PriorityStrategy::Bfs, vertex: PriorityStrategy::Slbd }),
+        (
+            "BFS",
+            Strategies {
+                patch: PriorityStrategy::Bfs,
+                vertex: PriorityStrategy::Bfs,
+            },
+        ),
+        (
+            "BFS+SLBD",
+            Strategies {
+                patch: PriorityStrategy::Bfs,
+                vertex: PriorityStrategy::Slbd,
+            },
+        ),
         ("SLBD", Strategies::SLBD2),
-        ("SLBD+BFS", Strategies { patch: PriorityStrategy::Slbd, vertex: PriorityStrategy::Bfs }),
+        (
+            "SLBD+BFS",
+            Strategies {
+                patch: PriorityStrategy::Slbd,
+                vertex: PriorityStrategy::Bfs,
+            },
+        ),
     ];
     let mut t = Table::new(
         "fig13b",
@@ -246,30 +290,47 @@ pub fn fig13b(scale: Scale) -> Table {
 /// ~200k cells; paper cores = 8× (14a) / 16× (14b) simulated cores.
 pub fn fig14(scale: Scale, large: bool) -> Table {
     let quad = QuadratureSet::sn(4);
-    let (mesh, rank_list, factor, id, title): (jsweep_mesh::TetMesh, Vec<usize>, usize, &str, &str) =
-        if large {
-            match scale {
-                Scale::Smoke => (tetgen::ball(6, 1.0), vec![2, 4], 16, "fig14b", "JSNT-U strong scaling, large ball (scaled)"),
-                Scale::Full => (
-                    tetgen::ball(20, 1.0),
-                    vec![16, 32, 64, 128, 256],
-                    16,
-                    "fig14b",
-                    "JSNT-U strong scaling, large ball (scaled)",
-                ),
-            }
-        } else {
-            match scale {
-                Scale::Smoke => (tetgen::ball(5, 1.0), vec![1, 2], 8, "fig14a", "JSNT-U strong scaling, small ball (scaled)"),
-                Scale::Full => (
-                    tetgen::ball(12, 1.0),
-                    vec![2, 4, 8, 16, 32, 64],
-                    8,
-                    "fig14a",
-                    "JSNT-U strong scaling, small ball (scaled)",
-                ),
-            }
-        };
+    let (mesh, rank_list, factor, id, title): (
+        jsweep_mesh::TetMesh,
+        Vec<usize>,
+        usize,
+        &str,
+        &str,
+    ) = if large {
+        match scale {
+            Scale::Smoke => (
+                tetgen::ball(6, 1.0),
+                vec![2, 4],
+                16,
+                "fig14b",
+                "JSNT-U strong scaling, large ball (scaled)",
+            ),
+            Scale::Full => (
+                tetgen::ball(20, 1.0),
+                vec![16, 32, 64, 128, 256],
+                16,
+                "fig14b",
+                "JSNT-U strong scaling, large ball (scaled)",
+            ),
+        }
+    } else {
+        match scale {
+            Scale::Smoke => (
+                tetgen::ball(5, 1.0),
+                vec![1, 2],
+                8,
+                "fig14a",
+                "JSNT-U strong scaling, small ball (scaled)",
+            ),
+            Scale::Full => (
+                tetgen::ball(12, 1.0),
+                vec![2, 4, 8, 16, 32, 64],
+                8,
+                "fig14a",
+                "JSNT-U strong scaling, small ball (scaled)",
+            ),
+        }
+    };
     let mut t = Table::new(
         id,
         title,
@@ -347,7 +408,15 @@ pub fn fig16(scale: Scale) -> Table {
     let mut t = Table::new(
         "fig16",
         "JSNT-S per-core time breakdown (seconds, coarsened-graph sweep)",
-        &["paper_cores", "kernel", "graph_op", "pack_unpack", "comm", "idle", "total"],
+        &[
+            "paper_cores",
+            "kernel",
+            "graph_op",
+            "pack_unpack",
+            "comm",
+            "idle",
+            "total",
+        ],
     );
     for &ranks in &rank_list {
         let prob = structured_problem(n, 8, ranks, &quad, Strategies::SLBD2);
@@ -584,7 +653,13 @@ pub fn cg_ablation(scale: Scale) -> Table {
     let mut t = Table::new(
         "cg_ablation",
         "Coarsened graph vs per-vertex DAG (one sweep iteration)",
-        &["variant", "time_s", "compute_calls", "graph_op_core_s", "messages"],
+        &[
+            "variant",
+            "time_s",
+            "compute_calls",
+            "graph_op_core_s",
+            "messages",
+        ],
     );
     t.push(vec![
         "DAG (fine)".into(),

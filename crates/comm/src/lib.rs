@@ -158,11 +158,7 @@ impl Comm {
             }
             acc
         } else {
-            self.send(
-                0,
-                TAG_COLLECTIVE,
-                Bytes::copy_from_slice(&x.to_le_bytes()),
-            );
+            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()));
             let m = self.recv_match(TAG_COLLECTIVE);
             f64::from_le_bytes(m.payload[..8].try_into().unwrap())
         }
@@ -187,11 +183,7 @@ impl Comm {
             }
             all
         } else {
-            self.send(
-                0,
-                TAG_COLLECTIVE,
-                Bytes::copy_from_slice(&x.to_le_bytes()),
-            );
+            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()));
             let m = self.recv_match(TAG_COLLECTIVE);
             m.payload
                 .chunks_exact(8)

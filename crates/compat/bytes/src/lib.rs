@@ -1,0 +1,350 @@
+//! Offline, API-compatible stand-in for the subset of the [`bytes`]
+//! crate that jsweep uses: [`Bytes`] (cheap-clone immutable payloads),
+//! [`BytesMut`] (growable write buffer) and the [`Buf`]/[`BufMut`]
+//! cursor traits.
+//!
+//! Semantics mirror the real crate: `get_u32` is big-endian, the `_le`
+//! variants are little-endian, reads consume from the front and panic
+//! on underflow. Only the methods the workspace actually calls (plus a
+//! few obvious neighbours) are provided.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Internally an `Arc<[u8]>` plus a `[start, end)` window so that
+/// clones are reference bumps and [`Buf::advance`] is O(1).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copy `data` into a new owned `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the (remaining) window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Return a sub-window sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable, writable byte buffer; freeze it into a [`Bytes`].
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+macro_rules! buf_get {
+    ($($name:ident, $name_le:ident -> $ty:ty);* $(;)?) => {
+        $(
+            /// Read a big-endian value, consuming it from the front.
+            fn $name(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::from_be_bytes(raw)
+            }
+
+            /// Read a little-endian value, consuming it from the front.
+            fn $name_le(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read access to a buffer of bytes with an implicit front cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes (always the full remainder here: every
+    /// implementation in this shim is contiguous).
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when nothing remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Copy bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    buf_get! {
+        get_u16, get_u16_le -> u16;
+        get_u32, get_u32_le -> u32;
+        get_u64, get_u64_le -> u64;
+        get_i32, get_i32_le -> i32;
+        get_i64, get_i64_le -> i64;
+        get_f32, get_f32_le -> f32;
+        get_f64, get_f64_le -> f64;
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put {
+    ($($name:ident, $name_le:ident -> $ty:ty);* $(;)?) => {
+        $(
+            /// Append a big-endian value.
+            fn $name(&mut self, v: $ty) {
+                self.put_slice(&v.to_be_bytes());
+            }
+
+            /// Append a little-endian value.
+            fn $name_le(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put! {
+        put_u16, put_u16_le -> u16;
+        put_u32, put_u32_le -> u32;
+        put_u64, put_u64_le -> u64;
+        put_i32, put_i32_le -> i32;
+        put_i64, put_i64_le -> i64;
+        put_f32, put_f32_le -> f32;
+        put_f64, put_f64_le -> f64;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_endianness() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        let frozen = w.freeze();
+        assert_eq!(frozen[..4], [0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut r = frozen.clone();
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.remaining(), 0);
+        // The original is unaffected by reads on the clone.
+        assert_eq!(frozen.len(), 8);
+    }
+
+    #[test]
+    fn bytes_equality_ignores_window_offsets() {
+        let mut a = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        a.advance(2);
+        let b = Bytes::copy_from_slice(&[3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let b = a.slice(6..11);
+        assert_eq!(&b[..], b"world");
+    }
+}

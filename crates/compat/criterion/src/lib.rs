@@ -1,0 +1,240 @@
+//! Offline, API-compatible stand-in for the subset of the
+//! [`criterion`] crate that jsweep's benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], [`Bencher::iter`]
+//! and [`Bencher::iter_batched`].
+//!
+//! Measurement is a plain wall-clock harness: after a short warm-up,
+//! `sample_size` samples are collected within the configured
+//! measurement time and the mean / min / max time per iteration is
+//! printed. No statistics engine, plots or baselines — but numbers are
+//! honest and the benches compile, run and can be eyeballed. Replace
+//! with the real crate (same manifest name) when a registry is
+//! reachable.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim treats
+/// them all as per-iteration batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch in the real crate.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier helper mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: how many iterations fit in ~1ms?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            if t0.elapsed() > Duration::from_millis(1) || iters_per_sample > 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.per_iter
+                .push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(t0.elapsed().as_secs_f64());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.per_iter.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let n = self.per_iter.len() as f64;
+        let mean = self.per_iter.iter().sum::<f64>() / n;
+        let min = self.per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self
+            .per_iter
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring the two
+/// forms the real macro accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running every group (benches use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        quick().bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        quick().bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![0u8; 64],
+                |v| v.iter().map(|&x| x as u32).sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -110,7 +110,10 @@ pub fn run_rank<F: ProgramFactory>(
 
     // Progress tracking: local committed workload.
     let local_ids = factory.programs_on_rank(rank);
-    let total_work: u64 = local_ids.iter().map(|&id| factory.initial_workload(id)).sum();
+    let total_work: u64 = local_ids
+        .iter()
+        .map(|&id| factory.initial_workload(id))
+        .sum();
     let mut work_done = 0u64;
 
     // All patch-programs start active (§III-A).

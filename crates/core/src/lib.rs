@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! JSweep core: the patch-centric data-driven abstraction and its
 //! runtime system (paper §III–§IV).
 //!

@@ -14,7 +14,9 @@ pub struct TaskTag(pub u32);
 /// Identity of a patch-program: `(patch, task)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProgramId {
+    /// Hosting patch.
     pub patch: PatchId,
+    /// Task on that patch (for Sn sweeps, the angle id).
     pub task: TaskTag,
 }
 

@@ -62,7 +62,10 @@ impl MachineModel {
     /// process per 12-core processor, one core reserved for the master,
     /// 11 workers.
     pub fn tianhe2(cores: usize) -> MachineModel {
-        assert!(cores >= 12 && cores.is_multiple_of(12), "Tianhe-II allocates whole 12-core processors");
+        assert!(
+            cores >= 12 && cores.is_multiple_of(12),
+            "Tianhe-II allocates whole 12-core processors"
+        );
         MachineModel::cluster(cores / 12, 11)
     }
 

@@ -10,8 +10,8 @@
 //! rather than being assumed.
 
 use crate::machine::MachineModel;
-use jsweep_graph::problem::SweepProblem;
 use jsweep_graph::coarse::{ClusterTrace, CoarseSweepState, CoarsenedTask};
+use jsweep_graph::problem::SweepProblem;
 use jsweep_graph::SweepState;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -170,10 +170,7 @@ impl TaskModel for FineModel<'_> {
         let groups = &mut self.groups;
         let cluster = self.states[tid].pop_cluster(sub, grain, |_v, re| {
             let dst_local = patches.local_index(re.cell as usize) as u32;
-            groups
-                .entry(re.patch.index())
-                .or_default()
-                .push(dst_local);
+            groups.entry(re.patch.index()).or_default().push(dst_local);
         });
         if let Some(traces) = &mut self.traces {
             traces[a][p].record(cluster.clone());
@@ -538,11 +535,7 @@ impl<'m, M: TaskModel> Sim<'m, M> {
 }
 
 /// Simulate one DAG-driven sweep iteration of `problem` on `machine`.
-pub fn simulate(
-    problem: &SweepProblem,
-    machine: &MachineModel,
-    opts: &SimOptions,
-) -> DesResult {
+pub fn simulate(problem: &SweepProblem, machine: &MachineModel, opts: &SimOptions) -> DesResult {
     assert_eq!(
         machine.ranks,
         problem.patches.num_ranks(),
@@ -601,16 +594,8 @@ mod tests {
     #[test]
     fn more_workers_is_not_slower() {
         let prob = small_problem(2);
-        let slow = simulate(
-            &prob,
-            &MachineModel::cluster(2, 1),
-            &SimOptions::default(),
-        );
-        let fast = simulate(
-            &prob,
-            &MachineModel::cluster(2, 8),
-            &SimOptions::default(),
-        );
+        let slow = simulate(&prob, &MachineModel::cluster(2, 1), &SimOptions::default());
+        let fast = simulate(&prob, &MachineModel::cluster(2, 8), &SimOptions::default());
         assert!(
             fast.time <= slow.time * 1.05,
             "8 workers ({}) slower than 1 ({})",

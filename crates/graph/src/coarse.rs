@@ -66,8 +66,9 @@ pub struct CoarsenedTask {
     pub clusters: Vec<Vec<u32>>,
     /// Coarse in-degree (internal + remote incoming coarse edges).
     pub in_degree: Vec<u32>,
-    /// Internal coarse edges, CSR.
+    /// Internal coarse edges, CSR offsets (indexing [`Self::int_dst`]).
     pub int_off: Vec<u32>,
+    /// Internal coarse edges, CSR destination vertices.
     pub int_dst: Vec<u32>,
     /// Outgoing remote coarse edges per coarse vertex.
     pub remote: Vec<Vec<CoarseRemoteEdge>>,
@@ -390,8 +391,7 @@ mod tests {
 
         // Replay at cluster level: every original vertex must execute
         // exactly once, and cluster order must respect coarse edges.
-        let mut states: Vec<CoarseSweepState> =
-            tasks.iter().map(CoarseSweepState::new).collect();
+        let mut states: Vec<CoarseSweepState> = tasks.iter().map(CoarseSweepState::new).collect();
         let slot: std::collections::HashMap<u32, usize> = subs
             .iter()
             .enumerate()

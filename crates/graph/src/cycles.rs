@@ -110,12 +110,7 @@ mod tests {
 
     #[test]
     fn two_disjoint_cycles_break_two_edges() {
-        let edges = [
-            (0, 1, 2.0),
-            (1, 0, 1.0),
-            (2, 3, 4.0),
-            (3, 2, 3.0),
-        ];
+        let edges = [(0, 1, 2.0), (1, 0, 1.0), (2, 3, 4.0), (3, 2, 3.0)];
         let removed = break_cycles(4, &edges);
         assert_eq!(removed.len(), 2);
         assert!(removed.contains(&1) && removed.contains(&3));

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Sweep-DAG machinery: the data structures behind JSweep's Sn sweep
 //! component (paper §V).
 //!

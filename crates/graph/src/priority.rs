@@ -144,9 +144,7 @@ pub fn patch_priorities(
             } else {
                 // Cyclic patch graph: approximate the critical path by
                 // reverse BFS depth from the sink patches.
-                let sinks: Vec<u32> = (0..n as u32)
-                    .filter(|&p| g.succ(p).is_empty())
-                    .collect();
+                let sinks: Vec<u32> = (0..n as u32).filter(|&p| g.succ(p).is_empty()).collect();
                 distance_to_targets(&g, &sinks)
                     .into_iter()
                     .map(|d| {
@@ -250,8 +248,7 @@ mod tests {
     fn subgraphs() -> (StructuredMesh, PatchSet, Vec<Subgraph>) {
         let m = StructuredMesh::unit(6, 6, 6);
         let ps = partition::decompose_structured(&m, (3, 3, 3), 2);
-        let subs =
-            Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
+        let subs = Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
         (m, ps, subs)
     }
 

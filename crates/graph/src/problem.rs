@@ -184,7 +184,7 @@ mod tests {
         assert_eq!(prob.total_vertices, 216 * 24);
         // Angles of the same octant share the same subgraph allocation.
         let groups: std::collections::HashSet<*const Vec<Subgraph>> =
-            prob.subs.iter().map(|a| Arc::as_ptr(a)).collect();
+            prob.subs.iter().map(Arc::as_ptr).collect();
         assert_eq!(groups.len(), 8, "one DAG per octant");
     }
 
@@ -195,7 +195,7 @@ mod tests {
         let q = QuadratureSet::sn(2);
         let prob = SweepProblem::build(&m, ps, &q, &ProblemOptions::default());
         let groups: std::collections::HashSet<*const Vec<Subgraph>> =
-            prob.subs.iter().map(|a| Arc::as_ptr(a)).collect();
+            prob.subs.iter().map(Arc::as_ptr).collect();
         assert_eq!(groups.len(), 8, "no sharing requested");
     }
 
@@ -230,7 +230,7 @@ mod tests {
         assert!(prob.broken.iter().all(|b| b.is_empty()));
         // Shared allocations per octant.
         let uniq: std::collections::HashSet<*const HashSet<(u32, u32)>> =
-            prob.broken.iter().map(|b| Arc::as_ptr(b)).collect();
+            prob.broken.iter().map(Arc::as_ptr).collect();
         assert_eq!(uniq.len(), 8);
     }
 

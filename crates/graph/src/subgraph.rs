@@ -315,8 +315,7 @@ mod tests {
     #[test]
     fn opposite_directions_swap_degrees() {
         let (m, ps) = setup();
-        let subs_fwd =
-            Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
+        let subs_fwd = Subgraph::build_all(&m, &ps, AngleId(0), [1.0, 1.0, 1.0], &HashSet::new());
         let subs_bwd =
             Subgraph::build_all(&m, &ps, AngleId(1), [-1.0, -1.0, -1.0], &HashSet::new());
         let total_edges_fwd: usize = subs_fwd.iter().map(|s| s.num_edges()).sum();
@@ -344,14 +343,7 @@ mod tests {
         let ps = PatchSet::single(2);
         let mut broken = HashSet::new();
         broken.insert((0u32, 1u32));
-        let sub = Subgraph::build(
-            &m,
-            &ps,
-            PatchId(0),
-            AngleId(0),
-            [1.0, 0.0, 0.0],
-            &broken,
-        );
+        let sub = Subgraph::build(&m, &ps, PatchId(0), AngleId(0), [1.0, 0.0, 0.0], &broken);
         assert_eq!(sub.in_degree, vec![0, 0]);
         assert!(sub.int_dst.is_empty());
     }

@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn chain_completes_in_one_cluster_with_large_grain() {
         let sub = line_subgraph(8);
-        let mut st = SweepState::with_priorities(&sub, &vec![0; 8]);
+        let mut st = SweepState::with_priorities(&sub, &[0; 8]);
         let cluster = st.pop_cluster(&sub, 1000, |_, _| panic!("no remote edges"));
         assert_eq!(cluster.len(), 8);
         assert!(st.is_complete());
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn grain_one_needs_n_calls() {
         let sub = line_subgraph(5);
-        let mut st = SweepState::with_priorities(&sub, &vec![0; 5]);
+        let mut st = SweepState::with_priorities(&sub, &[0; 5]);
         let mut calls = 0;
         while !st.is_complete() {
             let c = st.pop_cluster(&sub, 1, |_, _| {});
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn remaining_counts_down() {
         let sub = line_subgraph(4);
-        let mut st = SweepState::with_priorities(&sub, &vec![0; 4]);
+        let mut st = SweepState::with_priorities(&sub, &[0; 4]);
         assert_eq!(st.remaining(), 4);
         st.pop_cluster(&sub, 2, |_, _| {});
         assert_eq!(st.remaining(), 2);
@@ -274,16 +274,8 @@ mod tests {
         let ps = PatchSet::single(m.num_cells());
         let q = jsweep_quadrature::QuadratureSet::sn(2);
         for (a, o) in q.iter() {
-            let sub = Subgraph::build(
-                &m,
-                &ps,
-                jsweep_mesh::PatchId(0),
-                a,
-                o.dir,
-                &HashSet::new(),
-            );
-            let prio =
-                crate::priority::vertex_priorities(&sub, crate::PriorityStrategy::Slbd);
+            let sub = Subgraph::build(&m, &ps, jsweep_mesh::PatchId(0), a, o.dir, &HashSet::new());
+            let prio = crate::priority::vertex_priorities(&sub, crate::PriorityStrategy::Slbd);
             let mut st = SweepState::with_priorities(&sub, &prio);
             let mut seen = vec![false; m.num_cells()];
             while !st.is_complete() {

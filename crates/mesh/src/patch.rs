@@ -135,7 +135,11 @@ impl PatchSet {
     }
 
     /// Patches adjacent to `p` (sharing at least one cell face).
-    pub fn neighbor_patches<T: SweepTopology + ?Sized>(&self, p: PatchId, mesh: &T) -> Vec<PatchId> {
+    pub fn neighbor_patches<T: SweepTopology + ?Sized>(
+        &self,
+        p: PatchId,
+        mesh: &T,
+    ) -> Vec<PatchId> {
         let mut nbs: Vec<u32> = self
             .ghost_cells(p, mesh)
             .iter()

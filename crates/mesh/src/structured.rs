@@ -227,7 +227,9 @@ mod tests {
     fn corner_cell_has_three_boundary_faces() {
         let m = StructuredMesh::unit(3, 3, 3);
         let c = m.cell_id(0, 0, 0);
-        let boundary = (0..6).filter(|&f| m.face(c, f).neighbor.is_boundary()).count();
+        let boundary = (0..6)
+            .filter(|&f| m.face(c, f).neighbor.is_boundary())
+            .count();
         assert_eq!(boundary, 3);
     }
 

@@ -97,7 +97,11 @@ impl TetMesh {
                 let raw = cross(sub(b, a), sub(cc, a));
                 let area = 0.5 * norm(raw);
                 assert!(area > 0.0, "tet {c} face {f}: degenerate face");
-                let mut normal = [raw[0] / (2.0 * area), raw[1] / (2.0 * area), raw[2] / (2.0 * area)];
+                let mut normal = [
+                    raw[0] / (2.0 * area),
+                    raw[1] / (2.0 * area),
+                    raw[2] / (2.0 * area),
+                ];
                 // Orient outward: away from the opposite vertex.
                 let opp = p[f];
                 let fc = [

@@ -41,8 +41,8 @@ pub fn tets_from_voxels(
     let mut tets: Vec<[u32; 4]> = Vec::new();
 
     let vid = |vertex_ids: &mut HashMap<(usize, usize, usize), u32>,
-                   vertices: &mut Vec<[f64; 3]>,
-                   key: (usize, usize, usize)|
+               vertices: &mut Vec<[f64; 3]>,
+               key: (usize, usize, usize)|
      -> u32 {
         *vertex_ids.entry(key).or_insert_with(|| {
             let id = vertices.len() as u32;
@@ -62,13 +62,8 @@ pub fn tets_from_voxels(
                     continue;
                 }
                 // Corner lattice coordinates for bitmask 0..8.
-                let corner = |mask: usize| {
-                    (
-                        i + (mask & 1),
-                        j + ((mask >> 1) & 1),
-                        k + ((mask >> 2) & 1),
-                    )
-                };
+                let corner =
+                    |mask: usize| (i + (mask & 1), j + ((mask >> 1) & 1), k + ((mask >> 2) & 1));
                 for perm in KUHN_PERMS {
                     let mut mask = 0usize;
                     let mut tet = [0u32; 4];

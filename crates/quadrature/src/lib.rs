@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn ordinate_octant_roundtrip() {
         let o = Ordinate {
-            dir: [-0.5, 0.5, -0.70710678],
+            dir: [-0.5, 0.5, -std::f64::consts::FRAC_1_SQRT_2],
             weight: 1.0,
         };
         let oct = o.octant();

@@ -43,7 +43,10 @@ impl QuadratureSet {
     /// Panics when `order` is odd or zero.
     pub fn level_symmetric(order: SnOrder) -> QuadratureSet {
         let n = order.0;
-        assert!(n >= 2 && n.is_multiple_of(2), "Sn order must be even and >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "Sn order must be even and >= 2, got {n}"
+        );
         let levels = level_cosines(n);
         let half = (n / 2) as usize;
 

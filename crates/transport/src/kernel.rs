@@ -135,14 +135,24 @@ mod tests {
         let st = 4.0;
         let expected = q / st;
         let mut incoming = vec![0.0; 6];
-        for f in 0..6 {
+        for (f, inc) in incoming.iter_mut().enumerate() {
             if m.face(0, f).flow(dir) < 0.0 {
-                incoming[f] = expected;
+                *inc = expected;
             }
         }
         let mut out = vec![0.0; 6];
         let mut psi = vec![0.0];
-        solve_cell(&m, 0, dir, KernelKind::Step, &[st], &[q], &incoming, &mut out, &mut psi);
+        solve_cell(
+            &m,
+            0,
+            dir,
+            KernelKind::Step,
+            &[st],
+            &[q],
+            &incoming,
+            &mut out,
+            &mut psi,
+        );
         assert!((psi[0] - expected).abs() < 1e-14);
         assert!((out[1] - expected).abs() < 1e-14); // +x face downwind
     }
@@ -155,9 +165,9 @@ mod tests {
         let st = 1.5;
         let expected = q / st;
         let mut incoming = vec![0.0; 6];
-        for f in 0..6 {
+        for (f, inc) in incoming.iter_mut().enumerate() {
             if m.face(0, f).flow(dir) < 0.0 {
-                incoming[f] = expected;
+                *inc = expected;
             }
         }
         let mut out = vec![0.0; 6];
@@ -174,9 +184,9 @@ mod tests {
             &mut psi,
         );
         assert!((psi[0] - expected).abs() < 1e-13);
-        for f in 0..6 {
+        for (f, o) in out.iter().enumerate() {
             if m.face(0, f).flow(dir) > 0.0 {
-                assert!((out[f] - expected).abs() < 1e-13);
+                assert!((o - expected).abs() < 1e-13);
             }
         }
     }
@@ -190,7 +200,17 @@ mod tests {
         incoming[0] = 1.0; // -x face is upwind for +x direction
         let mut out = vec![0.0; 6];
         let mut psi = vec![0.0];
-        solve_cell(&m, 0, dir, KernelKind::Step, &[2.0], &[0.0], &incoming, &mut out, &mut psi);
+        solve_cell(
+            &m,
+            0,
+            dir,
+            KernelKind::Step,
+            &[2.0],
+            &[0.0],
+            &incoming,
+            &mut out,
+            &mut psi,
+        );
         assert!(psi[0] > 0.0 && psi[0] < 1.0);
         assert!(out[1] < 1.0);
     }
@@ -230,7 +250,17 @@ mod tests {
         incoming[0] = 0.7;
         let mut out = vec![0.0; 6];
         let mut psi = vec![0.0];
-        solve_cell(&m, 0, dir, KernelKind::Step, &[0.0], &[0.0], &incoming, &mut out, &mut psi);
+        solve_cell(
+            &m,
+            0,
+            dir,
+            KernelKind::Step,
+            &[0.0],
+            &[0.0],
+            &incoming,
+            &mut out,
+            &mut psi,
+        );
         assert!((out[1] - 0.7).abs() < 1e-14);
     }
 
@@ -244,7 +274,17 @@ mod tests {
         let incoming = vec![0.0; 6 * groups];
         let mut out = vec![0.0; 6 * groups];
         let mut psi = vec![0.0; groups];
-        solve_cell(&m, 0, dir, KernelKind::Step, &sigma_t, &q, &incoming, &mut out, &mut psi);
+        solve_cell(
+            &m,
+            0,
+            dir,
+            KernelKind::Step,
+            &sigma_t,
+            &q,
+            &incoming,
+            &mut out,
+            &mut psi,
+        );
         // Each group must match an independent single-group solve.
         for g in 0..groups {
             let inc1 = vec![0.0; 6];
@@ -276,7 +316,17 @@ mod tests {
         for c in 0..m.num_cells() {
             let incoming = vec![0.5; 4];
             let mut out = vec![0.0; 4];
-            solve_cell(&m, c, dir, KernelKind::Step, &[1.0], &[0.5], &incoming, &mut out, &mut psi);
+            solve_cell(
+                &m,
+                c,
+                dir,
+                KernelKind::Step,
+                &[1.0],
+                &[0.5],
+                &incoming,
+                &mut out,
+                &mut psi,
+            );
             assert!(psi[0] > 0.0 && psi[0].is_finite());
         }
     }

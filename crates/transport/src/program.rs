@@ -278,8 +278,13 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
             kernel: s.kernel,
             grain: s.grain,
             groups,
-            weight: s.quadrature.ordinate(jsweep_quadrature::AngleId(id.task.0)).weight,
-            dir: s.quadrature.direction(jsweep_quadrature::AngleId(id.task.0)),
+            weight: s
+                .quadrature
+                .ordinate(jsweep_quadrature::AngleId(id.task.0))
+                .weight,
+            dir: s
+                .quadrature
+                .direction(jsweep_quadrature::AngleId(id.task.0)),
             max_faces: mf,
             state,
             face_flux: vec![0.0; n * mf * groups],

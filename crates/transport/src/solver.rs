@@ -84,8 +84,7 @@ fn emission_density(materials: &MaterialSet, phi: &[f64]) -> Vec<f64> {
     for c in 0..n {
         let m = materials.material(c);
         for g in 0..groups {
-            q[c * groups + g] =
-                (m.sigma_s[g] * phi[c * groups + g] + m.source[g]) * inv_4pi;
+            q[c * groups + g] = (m.sigma_s[g] * phi[c * groups + g] + m.source[g]) * inv_4pi;
         }
     }
     q
@@ -158,8 +157,7 @@ pub fn solve_serial<T: SweepTopology + ?Sized>(
             for &cu in order {
                 let c = cu as usize;
                 let mat = materials.material(c);
-                incoming
-                    .copy_from_slice(&face_flux[c * mf * groups..(c + 1) * mf * groups]);
+                incoming.copy_from_slice(&face_flux[c * mf * groups..(c + 1) * mf * groups]);
                 solve_cell(
                     mesh,
                     c,
@@ -334,9 +332,9 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::xs::Material;
     use jsweep_graph::problem::ProblemOptions;
     use jsweep_mesh::{partition, StructuredMesh};
-    use crate::xs::Material;
 
     fn simple_config() -> SnConfig {
         SnConfig {
@@ -455,7 +453,10 @@ mod tests {
         let cfg = simple_config();
         let a = solve_parallel(m.clone(), prob.clone(), &quad, mats.clone(), &cfg);
         let b = solve_parallel(m.clone(), prob, &quad, mats, &cfg);
-        assert_eq!(a.phi, b.phi, "angle-ordered reduction must be deterministic");
+        assert_eq!(
+            a.phi, b.phi,
+            "angle-ordered reduction must be deterministic"
+        );
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl Particle {
 /// Advance a particle inside cell `c` to the cell's boundary (or to
 /// exhaustion). Returns `(track_length, next)` where `next` is the
 /// neighbouring cell if the particle survives and stays in the domain.
-fn advance(
-    mesh: &StructuredMesh,
-    c: usize,
-    p: &mut Particle,
-) -> (f64, Option<usize>) {
+fn advance(mesh: &StructuredMesh, c: usize, p: &mut Particle) -> (f64, Option<usize>) {
     let [dx, dy, dz] = mesh.spacing();
     let h = [dx, dy, dz];
     let origin = mesh.origin();
@@ -303,12 +299,7 @@ pub fn trace_parallel(
             .map(|p| Mutex::new(vec![0.0; patches.cells(p).len()]))
             .collect(),
     );
-    let seed: Arc<SeedBins> = Arc::new(
-        patches
-            .patches()
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
-    );
+    let seed: Arc<SeedBins> = Arc::new(patches.patches().map(|_| Mutex::new(Vec::new())).collect());
     for p in particles {
         if let Some(cell) = locate(&mesh, p.pos) {
             let patch = patches.patch_of(cell);
@@ -386,8 +377,8 @@ mod tests {
         let tally = trace_serial(&mesh, &[p]);
         // Crosses 0.5 in cell 0, then 1.0 in cells 1..3, exits.
         assert!((tally[0] - 0.5).abs() < 1e-12);
-        for c in 1..4 {
-            assert!((tally[c] - 1.0).abs() < 1e-12, "cell {c}: {}", tally[c]);
+        for (c, t) in tally.iter().enumerate().take(4).skip(1) {
+            assert!((t - 1.0).abs() < 1e-12, "cell {c}: {t}");
         }
     }
 

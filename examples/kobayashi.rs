@@ -61,7 +61,10 @@ fn main() {
     println!(
         "serial {t_serial:.2}s / parallel {t_parallel:.2}s; max relative flux difference {max_rel:.2e}"
     );
-    assert!(max_rel < 1e-9, "parallel flux deviates from the golden result");
+    assert!(
+        max_rel < 1e-9,
+        "parallel flux deviates from the golden result"
+    );
 
     println!("\nflux along the duct centreline (y=z=5 cm):");
     println!("{:>8}  {:>12}", "x (cm)", "phi");

@@ -81,14 +81,14 @@ fn main() {
     // Radial tally profile (track length per shell).
     let shells = 8;
     let mut shell_tally = vec![0.0f64; shells];
-    for c in 0..mesh.num_cells() {
+    for (c, track) in parallel.iter().enumerate() {
         let p = mesh.cell_centroid(c);
         let r = (0..3)
             .map(|ax| (p[ax] - centre[ax]).powi(2))
             .sum::<f64>()
             .sqrt();
         let s = ((r / (n as f64 / 2.0)) * shells as f64) as usize;
-        shell_tally[s.min(shells - 1)] += parallel[c];
+        shell_tally[s.min(shells - 1)] += track;
     }
     println!("\ntrack length per radial shell:");
     for (s, v) in shell_tally.iter().enumerate() {

@@ -88,19 +88,22 @@ fn main() {
         let ring = ring.min(rings - 1);
         let v = mesh.cell_volume(c);
         ring_vol[ring] += v;
-        for g in 0..groups {
-            ring_flux[ring][g] += solution.phi[c * groups + g] * v;
+        for (g, rf) in ring_flux[ring].iter_mut().enumerate() {
+            *rf += solution.phi[c * groups + g] * v;
         }
     }
     println!("\nradially averaged flux per energy group:");
-    println!("{:>10}  {:>10}  {:>10}  {:>10}  {:>10}", "ring", "g0", "g1", "g2", "g3");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "ring", "g0", "g1", "g2", "g3"
+    );
     for ring in 0..rings {
         if ring_vol[ring] == 0.0 {
             continue;
         }
         print!("{:>10}", format!("r{}", ring));
-        for g in 0..groups {
-            print!("  {:>10.4}", ring_flux[ring][g] / ring_vol[ring]);
+        for flux in &ring_flux[ring] {
+            print!("  {:>10.4}", flux / ring_vol[ring]);
         }
         println!();
     }

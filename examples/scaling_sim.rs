@@ -63,7 +63,11 @@ fn main() {
             speedup,
             100.0 * eff,
             100.0 * result.breakdown.kernel / total,
-            100.0 * (result.breakdown.graph_op + result.breakdown.pack_unpack + result.breakdown.comm) / total,
+            100.0
+                * (result.breakdown.graph_op
+                    + result.breakdown.pack_unpack
+                    + result.breakdown.comm)
+                / total,
             100.0 * result.breakdown.idle / total,
         );
         ranks *= 2;

@@ -114,7 +114,13 @@ fn safra_and_counting_terminations_agree() {
     cfg_counting.termination = TerminationKind::Counting;
     let mut cfg_safra = config();
     cfg_safra.termination = TerminationKind::Safra;
-    let a = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &cfg_counting);
+    let a = solve_parallel(
+        mesh.clone(),
+        prob.clone(),
+        &quad,
+        mats.clone(),
+        &cfg_counting,
+    );
     let b = solve_parallel(mesh.clone(), prob, &quad, mats, &cfg_safra);
     assert_eq!(a.phi, b.phi, "termination protocol must not change physics");
 }
@@ -211,7 +217,7 @@ fn worker_count_does_not_change_physics() {
 #[test]
 fn deformed_mesh_sweeps_complete_with_cycle_breaking() {
     use jsweep::graph::{cycles, Subgraph, SweepState};
-    use jsweep::quadrature::AngleId;
+
     let mesh = jsweep::mesh::deformed::DeformedMesh::jittered(6, 6, 6, 0.35, 11);
     let quad = QuadratureSet::sn(2);
     let patches = PatchSet::single(mesh.num_cells());

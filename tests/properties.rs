@@ -6,24 +6,19 @@
 use jsweep::graph::coarse::{build_coarse, ClusterTrace};
 use jsweep::graph::priority::vertex_priorities;
 use jsweep::graph::{dag, PriorityStrategy, Subgraph, SweepState};
-use jsweep::mesh::{partition, tetgen, PatchSet, StructuredMesh, SweepTopology};
+use jsweep::mesh::{partition, tetgen, StructuredMesh, SweepTopology};
 use jsweep::quadrature::{AngleId, QuadratureSet};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// Random unit direction avoiding axis-aligned degeneracies.
 fn direction() -> impl Strategy<Value = [f64; 3]> {
-    (
-        -0.99f64..0.99,
-        -0.99f64..0.99,
-        0.05f64..0.99,
-    )
-        .prop_map(|(x, y, z)| {
-            let sx = if x == 0.0 { 0.01 } else { x };
-            let sy = if y == 0.0 { 0.01 } else { y };
-            let n = (sx * sx + sy * sy + z * z).sqrt();
-            [sx / n, sy / n, z / n]
-        })
+    (-0.99f64..0.99, -0.99f64..0.99, 0.05f64..0.99).prop_map(|(x, y, z)| {
+        let sx = if x == 0.0 { 0.01 } else { x };
+        let sy = if y == 0.0 { 0.01 } else { y };
+        let n = (sx * sx + sy * sy + z * z).sqrt();
+        [sx / n, sy / n, z / n]
+    })
 }
 
 proptest! {

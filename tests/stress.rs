@@ -2,10 +2,10 @@
 //! MPI fabric, pool contention, termination under adversarial timing,
 //! and machine-model sanity for the simulator.
 
+use bytes::Bytes;
 use jsweep::comm::termination::{Safra, Verdict};
 use jsweep::comm::Universe;
 use jsweep::prelude::*;
-use bytes::Bytes;
 use std::sync::Arc;
 
 /// Many ranks exchange a storm of randomly-addressed messages, each
@@ -31,8 +31,7 @@ fn safra_survives_message_storm() {
                     Verdict::NotMine => {
                         safra.on_receive();
                         hops_done += 1;
-                        let remaining =
-                            u32::from_le_bytes(m.payload[..4].try_into().unwrap());
+                        let remaining = u32::from_le_bytes(m.payload[..4].try_into().unwrap());
                         if remaining > 1 {
                             // Pseudo-random forward based on content.
                             let to = (comm.rank() + remaining as usize) % comm.size();
