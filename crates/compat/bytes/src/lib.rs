@@ -16,11 +16,14 @@ use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// Internally an `Arc<[u8]>` plus a `[start, end)` window so that
-/// clones are reference bumps and [`Buf::advance`] is O(1).
+/// Internally an `Arc<Vec<u8>>` plus a `[start, end)` window so that
+/// clones are reference bumps, [`Buf::advance`] / [`Bytes::slice`] are
+/// O(1), and `Vec<u8> -> Bytes` (and therefore [`BytesMut::freeze`])
+/// moves the allocation instead of copying it — the zero-copy property
+/// the frame codec in `jsweep-core` relies on.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -65,10 +68,9 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }

@@ -49,6 +49,7 @@ impl std::fmt::Display for BenchmarkId {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -56,6 +57,9 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
+            // Like the real crate: `cargo bench -- --test` runs every
+            // routine once, untimed — a CI smoke mode.
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -74,7 +78,8 @@ impl Criterion {
         self
     }
 
-    /// Run one benchmark and print its timing summary.
+    /// Run one benchmark and print its timing summary (or, in `--test`
+    /// mode, execute the routine once and report `ok`).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
     where
         F: FnMut(&mut Bencher),
@@ -83,9 +88,14 @@ impl Criterion {
             budget: self.measurement_time,
             samples: self.sample_size,
             per_iter: Vec::new(),
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        b.report(id);
+        if self.test_mode {
+            println!("Testing {id} ... ok");
+        } else {
+            b.report(id);
+        }
         self
     }
 }
@@ -95,6 +105,7 @@ pub struct Bencher {
     budget: Duration,
     samples: usize,
     per_iter: Vec<f64>,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -103,6 +114,10 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up + calibration: how many iterations fit in ~1ms?
         let mut iters_per_sample = 1u64;
         loop {
@@ -136,6 +151,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
         let deadline = Instant::now() + self.budget;
         for _ in 0..self.samples {
             let input = setup();

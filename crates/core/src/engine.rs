@@ -4,13 +4,31 @@
 //! router and progress tracker; workers execute patch-programs from the
 //! shared [`Pool`]. The call [`run_rank`] embodies one rank; use
 //! [`run_universe`] to run a whole simulated MPI world.
+//!
+//! The data plane is **batched end-to-end** (the paper's §II
+//! "communication aggregation", profiled in Fig. 16):
+//!
+//! * workers accumulate compute outputs into one `Report` per flush
+//!   (at most [`RuntimeConfig::report_flush_streams`] streams, flushed
+//!   eagerly before a worker would block), so the master channel does
+//!   not carry one message per compute round;
+//! * the master routes through a precomputed **route table** (one
+//!   `rank_of`/`priority` evaluation per program, ever) and coalesces
+//!   all outbound streams per destination rank per drain round into a
+//!   single multi-stream frame built in a reusable per-destination
+//!   writer ([`crate::program::frame_push`]);
+//! * incoming frames are unpacked zero-copy and handed to the pool as
+//!   one [`Pool::deliver_batch`] call.
 
 use crate::pool::Pool;
-use crate::program::{pack_stream, unpack_stream, ComputeCtx, ProgramFactory, Stream};
+use crate::program::{frame_push, unpack_frame, ComputeCtx, ProgramFactory, ProgramId, Stream};
 use crate::stats::{Breakdown, Category, RunStats};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use jsweep_comm::pack::Writer;
 use jsweep_comm::termination::{Counting, Safra, Verdict};
 use jsweep_comm::{Comm, Universe};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,10 +46,22 @@ pub enum TerminationKind {
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads per rank (the paper reserves one core for the
-    /// master and uses the rest as workers).
+    /// master and uses the rest as workers). Also the number of
+    /// ready-queue shards in the [`Pool`].
     pub num_workers: usize,
     /// Termination detector.
     pub termination: TerminationKind,
+    /// Batching knob: max output streams a worker buffers across
+    /// compute calls before flushing a report to the master. Batches
+    /// are always flushed before a worker blocks, so this trades
+    /// master-channel traffic against stream latency. `1` restores
+    /// one-report-per-compute behaviour.
+    pub report_flush_streams: usize,
+    /// Batching knob: max streams packed into one outbound frame. A
+    /// destination's frame is sent mid-round once it fills; otherwise
+    /// frames flush at the end of each master drain round. `1`
+    /// restores one-message-per-stream behaviour.
+    pub max_frame_streams: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -39,60 +69,300 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             num_workers: 2,
             termination: TerminationKind::Counting,
+            report_flush_streams: 32,
+            max_frame_streams: 256,
         }
     }
 }
 
-/// User stream messages travel under this tag.
-const TAG_STREAM: u32 = 0;
+/// Multi-stream frames travel under this tag.
+const TAG_FRAME: u32 = 0;
 
-/// Report a worker sends the master after each compute round.
+/// Report a worker sends the master after one or more compute rounds.
+#[derive(Default)]
 struct Report {
     outputs: Vec<Stream>,
     work_done: u64,
 }
 
+impl Report {
+    fn is_empty(&self) -> bool {
+        self.outputs.is_empty() && self.work_done == 0
+    }
+}
+
+/// Send the accumulated report to the master (no-op when empty).
+fn flush_report(pool: &Pool, to_master: &Sender<Report>, batch: &mut Report, bd: &mut Breakdown) {
+    if batch.is_empty() {
+        return;
+    }
+    let report = std::mem::take(batch);
+    bd.timed(Category::Output, || {
+        let _ = to_master.send(report);
+    });
+    pool.release_report();
+}
+
 fn worker_loop<F: ProgramFactory>(
+    worker: usize,
     pool: Arc<Pool>,
     factory: Arc<F>,
     to_master: Sender<Report>,
+    flush_streams: usize,
 ) -> (Breakdown, u64) {
+    /// Claims taken per pool round-trip. Only already-ready programs
+    /// are batched, so sparse workloads still flow one at a time.
+    const CLAIM_BATCH: usize = 8;
     let mut bd = Breakdown::default();
     let mut compute_calls = 0u64;
-    while let Some(claim) = pool.take(&mut bd) {
-        let mut program = match claim.program {
-            Some(p) => p,
-            None => bd.timed(Category::Other, || {
-                Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>
-            }),
-        };
-        if !claim.initialized {
-            bd.timed(Category::Other, || program.init());
-        }
-        bd.timed(Category::Input, || {
-            for (src, payload) in claim.pending {
-                program.input(src, payload);
+    let mut batch = Report::default();
+    let mut claims: Vec<crate::pool::Claim> = Vec::new();
+    let mut finishes: Vec<crate::pool::FinishEntry> = Vec::new();
+    loop {
+        // Flush the batch before blocking, never while work is ready:
+        // streams keep moving, and quiescence stays honest.
+        if pool.try_take_batch(worker, CLAIM_BATCH, &mut claims) == 0 {
+            flush_report(&pool, &to_master, &mut batch, &mut bd);
+            if pool.take_batch(worker, CLAIM_BATCH, &mut claims, &mut bd) == 0 {
+                break;
             }
-        });
-        let mut ctx = ComputeCtx::default();
-        let t0 = Instant::now();
-        program.compute(&mut ctx);
-        let dt = t0.elapsed().as_secs_f64();
-        compute_calls += 1;
-        bd.add(Category::Kernel, ctx.kernel_seconds);
-        bd.add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
-        let halted = program.vote_to_halt();
-        if !ctx.out.is_empty() || ctx.work_done > 0 {
-            bd.timed(Category::Output, || {
-                let _ = to_master.send(Report {
-                    outputs: ctx.out,
-                    work_done: ctx.work_done,
+        }
+        for claim in claims.drain(..) {
+            let mut program = match claim.program {
+                Some(p) => p,
+                None => bd.timed(Category::Other, || {
+                    Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>
+                }),
+            };
+            if !claim.initialized {
+                bd.timed(Category::Other, || program.init());
+            }
+            let mut pending = claim.pending;
+            bd.timed(Category::Input, || {
+                for (src, payload) in pending.drain(..) {
+                    program.input(src, payload);
+                }
+            });
+            let mut ctx = ComputeCtx::default();
+            let t0 = Instant::now();
+            program.compute(&mut ctx);
+            let dt = t0.elapsed().as_secs_f64();
+            compute_calls += 1;
+            bd.add(Category::Kernel, ctx.kernel_seconds);
+            bd.add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
+            let halted = program.vote_to_halt();
+            if !ctx.out.is_empty() || ctx.work_done > 0 {
+                bd.timed(Category::Output, || {
+                    if batch.is_empty() {
+                        // Must precede the batch's `finish_batch`:
+                        // while this program still counts as Running,
+                        // quiet cannot be observed with our outputs in
+                        // hand.
+                        pool.hold_report();
+                    }
+                    batch.outputs.append(&mut ctx.out);
+                    batch.work_done += ctx.work_done;
                 });
+            }
+            finishes.push(crate::pool::FinishEntry {
+                id: claim.id,
+                program,
+                halted,
+                scratch: pending,
             });
         }
-        pool.finish(claim.id, program, halted);
+        // One lock per same-shard run instead of one per program.
+        pool.finish_batch(&mut finishes);
+        if batch.outputs.len() >= flush_streams {
+            flush_report(&pool, &to_master, &mut batch, &mut bd);
+        }
     }
+    flush_report(&pool, &to_master, &mut batch, &mut bd);
     (bd, compute_calls)
+}
+
+/// One outbound frame under construction (writer reused across
+/// flushes; see [`jsweep_comm::pack::Writer::take`]).
+struct FrameSlot {
+    w: Writer,
+    count: u64,
+}
+
+/// Route-table entry: hosting rank and scheduling priority, evaluated
+/// once per program instead of per stream.
+#[derive(Clone, Copy)]
+struct RouteEntry {
+    rank: usize,
+    priority: i64,
+}
+
+fn route_lookup<F: ProgramFactory>(
+    routes: &mut HashMap<ProgramId, RouteEntry>,
+    factory: &F,
+    id: ProgramId,
+) -> RouteEntry {
+    *routes.entry(id).or_insert_with(|| RouteEntry {
+        rank: factory.rank_of(id),
+        priority: factory.priority(id),
+    })
+}
+
+/// Master-side routing state of one rank: route table, per-destination
+/// outbound frames, and the stats/timing they feed.
+///
+/// Priorities are snapshotted into the route table (one
+/// `ProgramFactory::priority` evaluation per program); factories with
+/// genuinely dynamic priorities should re-`activate` explicitly.
+struct Master<'f, F: ProgramFactory> {
+    rank: usize,
+    factory: &'f F,
+    routes: HashMap<ProgramId, RouteEntry>,
+    frames: Vec<FrameSlot>,
+    /// Destination ranks with a non-empty frame (pushed on the 0→1
+    /// stream transition; duplicates are benign, `flush_one` skips
+    /// empty frames).
+    dirty: Vec<usize>,
+    local: Vec<(Stream, i64)>,
+    max_frame_streams: u64,
+    stats: RunStats,
+    bd: Breakdown,
+    safra: Safra,
+    work_done: u64,
+}
+
+impl<'f, F: ProgramFactory> Master<'f, F> {
+    fn new(rank: usize, size: usize, factory: &'f F, config: &RuntimeConfig) -> Master<'f, F> {
+        // Precompute the route table from the placement the factory
+        // already describes; any id it misses (dynamically created
+        // targets) falls back to one factory evaluation, cached.
+        let mut routes = HashMap::new();
+        for r in 0..size {
+            for id in factory.programs_on_rank(r) {
+                // Only local destinations are ever delivered with a
+                // priority; remote entries are routing-only, so skip
+                // their (potentially expensive) priority evaluation.
+                let priority = if r == rank { factory.priority(id) } else { 0 };
+                routes.insert(id, RouteEntry { rank: r, priority });
+            }
+        }
+        Master {
+            rank,
+            factory,
+            routes,
+            frames: (0..size)
+                .map(|_| FrameSlot {
+                    w: Writer::new(),
+                    count: 0,
+                })
+                .collect(),
+            dirty: Vec::new(),
+            local: Vec::new(),
+            max_frame_streams: config.max_frame_streams.max(1) as u64,
+            stats: RunStats {
+                rank,
+                ..Default::default()
+            },
+            bd: Breakdown::default(),
+            safra: Safra::new(rank, size),
+            work_done: 0,
+        }
+    }
+
+    /// Priority of a local program (route-table hit or cached fallback).
+    fn priority_of(&mut self, id: ProgramId) -> i64 {
+        route_lookup(&mut self.routes, self.factory, id).priority
+    }
+
+    /// Route one worker report: local streams are delivered to the pool
+    /// in one batch, remote streams are appended to their destination
+    /// frames (sent by [`Master::flush_frames`], or mid-round when a
+    /// frame fills). Shared by the busy drain loop and the idle
+    /// `recv_timeout` fallback — both paths get identical routing and
+    /// timing.
+    fn route_report(&mut self, pool: &Pool, comm: &Comm, report: Report) {
+        self.work_done += report.work_done;
+        self.stats.work_done += report.work_done;
+        if report.outputs.is_empty() {
+            return;
+        }
+        let t_route = Instant::now();
+        // Pack and send time inside this loop is booked to its own
+        // category and must not also count as Route.
+        let mut non_route_seconds = 0.0;
+        let mut pack_seconds = 0.0;
+        for stream in report.outputs {
+            let entry = route_lookup(&mut self.routes, self.factory, stream.dst);
+            if entry.rank == self.rank {
+                self.stats.streams_local += 1;
+                self.local.push((stream, entry.priority));
+            } else {
+                let t_pack = Instant::now();
+                let count = {
+                    let slot = &mut self.frames[entry.rank];
+                    frame_push(&mut slot.w, &stream);
+                    slot.count += 1;
+                    slot.count
+                };
+                pack_seconds += t_pack.elapsed().as_secs_f64();
+                if count == 1 {
+                    self.dirty.push(entry.rank);
+                }
+                if count >= self.max_frame_streams {
+                    let t_flush = Instant::now();
+                    self.flush_one(comm, entry.rank);
+                    non_route_seconds += t_flush.elapsed().as_secs_f64();
+                }
+            }
+        }
+        if !self.local.is_empty() {
+            pool.deliver_batch(self.local.drain(..));
+        }
+        non_route_seconds += pack_seconds;
+        self.bd.add(Category::Pack, pack_seconds);
+        self.bd.add(
+            Category::Route,
+            (t_route.elapsed().as_secs_f64() - non_route_seconds).max(0.0),
+        );
+    }
+
+    /// Send `dst`'s frame if it has content.
+    fn flush_one(&mut self, comm: &Comm, dst: usize) {
+        let slot = &mut self.frames[dst];
+        if slot.count == 0 {
+            return;
+        }
+        let payload = slot.w.take();
+        self.stats.streams_sent += slot.count;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        slot.count = 0;
+        self.bd
+            .timed(Category::Comm, || comm.send(dst, TAG_FRAME, payload));
+        self.safra.on_send();
+    }
+
+    /// Send every pending frame (end of a drain round).
+    fn flush_frames(&mut self, comm: &Comm) {
+        while let Some(dst) = self.dirty.pop() {
+            self.flush_one(comm, dst);
+        }
+    }
+
+    /// An incoming frame: unpack zero-copy, deliver as one pool batch.
+    fn recv_frame(&mut self, pool: &Pool, payload: Bytes) {
+        self.safra.on_receive();
+        self.stats.frames_received += 1;
+        let streams = self.bd.timed(Category::Unpack, || unpack_frame(payload));
+        self.stats.streams_received += streams.len() as u64;
+        let t0 = Instant::now();
+        let routes = &mut self.routes;
+        let factory = self.factory;
+        pool.deliver_batch(streams.into_iter().map(|s| {
+            let prio = route_lookup(routes, factory, s.dst).priority;
+            (s, prio)
+        }));
+        self.bd.add(Category::Route, t0.elapsed().as_secs_f64());
+    }
 }
 
 /// Run one rank of a patch-centric data-driven computation to global
@@ -106,7 +376,8 @@ pub fn run_rank<F: ProgramFactory>(
     let t_start = Instant::now();
     let rank = comm.rank();
     let size = comm.size();
-    let pool = Arc::new(Pool::new());
+    let pool = Arc::new(Pool::new(config.num_workers));
+    let mut m = Master::new(rank, size, factory.as_ref(), config);
 
     // Progress tracking: local committed workload.
     let local_ids = factory.programs_on_rank(rank);
@@ -114,11 +385,11 @@ pub fn run_rank<F: ProgramFactory>(
         .iter()
         .map(|&id| factory.initial_workload(id))
         .sum();
-    let mut work_done = 0u64;
 
     // All patch-programs start active (§III-A).
     for &id in &local_ids {
-        pool.activate(id, factory.priority(id));
+        let prio = m.priority_of(id);
+        pool.activate(id, prio);
     }
 
     // Workers.
@@ -128,21 +399,16 @@ pub fn run_rank<F: ProgramFactory>(
         let pool = pool.clone();
         let factory = factory.clone();
         let tx = to_master.clone();
+        let flush_streams = config.report_flush_streams.max(1);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{rank}-worker-{w}"))
-                .spawn(move || worker_loop(pool, factory, tx))
+                .spawn(move || worker_loop(w, pool, factory, tx, flush_streams))
                 .expect("spawn worker"),
         );
     }
     drop(to_master);
 
-    let mut stats = RunStats {
-        rank,
-        ..Default::default()
-    };
-    let mut master = Breakdown::default();
-    let mut safra = Safra::new(rank, size);
     let mut counting = Counting::new(rank, size);
 
     'main: loop {
@@ -151,43 +417,20 @@ pub fn run_rank<F: ProgramFactory>(
         // Drain worker reports: route streams, track progress.
         while let Ok(report) = from_workers.try_recv() {
             progress = true;
-            work_done += report.work_done;
-            stats.work_done += report.work_done;
-            for stream in report.outputs {
-                let dst_rank = master.timed(Category::Route, || factory.rank_of(stream.dst));
-                if dst_rank == rank {
-                    master.timed(Category::Route, || {
-                        let prio = factory.priority(stream.dst);
-                        pool.deliver(stream, prio);
-                    });
-                    stats.streams_local += 1;
-                } else {
-                    let packed = master.timed(Category::Pack, || pack_stream(&stream));
-                    stats.bytes_sent += packed.len() as u64;
-                    master.timed(Category::Comm, || comm.send(dst_rank, TAG_STREAM, packed));
-                    safra.on_send();
-                    stats.streams_sent += 1;
-                }
-            }
+            m.route_report(&pool, &comm, report);
         }
+        // One frame per destination per drain round.
+        m.flush_frames(&comm);
 
-        // Drain network messages: incoming streams + protocol traffic.
-        while let Some(msg) = master.timed(Category::Comm, || comm.try_recv()) {
+        // Drain network messages: incoming frames + protocol traffic.
+        while let Some(msg) = m.bd.timed(Category::Comm, || comm.try_recv()) {
             progress = true;
             match msg.tag {
-                TAG_STREAM => {
-                    safra.on_receive();
-                    let stream = master.timed(Category::Unpack, || unpack_stream(msg.payload));
-                    master.timed(Category::Route, || {
-                        let prio = factory.priority(stream.dst);
-                        pool.deliver(stream, prio);
-                    });
-                    stats.streams_received += 1;
-                }
+                TAG_FRAME => m.recv_frame(&pool, msg.payload),
                 _ => {
                     let v = match config.termination {
                         TerminationKind::Counting => counting.on_message(&msg, &comm),
-                        TerminationKind::Safra => safra.on_message(&msg, &comm),
+                        TerminationKind::Safra => m.safra.on_message(&msg, &comm),
                     };
                     if v == Verdict::Terminated {
                         break 'main;
@@ -200,17 +443,19 @@ pub fn run_rank<F: ProgramFactory>(
         match config.termination {
             TerminationKind::Counting => {
                 debug_assert!(
-                    work_done <= total_work,
-                    "programs over-reported work ({work_done} > committed {total_work})"
+                    m.work_done <= total_work,
+                    "programs over-reported work ({} > committed {total_work})",
+                    m.work_done
                 );
-                let remaining = total_work.saturating_sub(work_done);
+                let remaining = total_work.saturating_sub(m.work_done);
                 if counting.maybe_report(remaining, &comm) == Verdict::Terminated {
                     break 'main;
                 }
             }
             TerminationKind::Safra => {
+                debug_assert!(m.dirty.is_empty(), "unflushed frames at idle check");
                 let idle = !progress && pool.is_quiet();
-                if safra.maybe_advance(idle, &comm) == Verdict::Terminated {
+                if m.safra.maybe_advance(idle, &comm) == Verdict::Terminated {
                     break 'main;
                 }
             }
@@ -220,42 +465,24 @@ pub fn run_rank<F: ProgramFactory>(
             // Nothing to do right now: park briefly on the worker
             // channel (the latency-critical path).
             let t0 = Instant::now();
-            match from_workers.recv_timeout(Duration::from_micros(200)) {
-                Ok(report) => {
-                    master.add(Category::Idle, t0.elapsed().as_secs_f64());
-                    work_done += report.work_done;
-                    stats.work_done += report.work_done;
-                    for stream in report.outputs {
-                        let dst_rank = factory.rank_of(stream.dst);
-                        if dst_rank == rank {
-                            let prio = factory.priority(stream.dst);
-                            pool.deliver(stream, prio);
-                            stats.streams_local += 1;
-                        } else {
-                            let packed = master.timed(Category::Pack, || pack_stream(&stream));
-                            stats.bytes_sent += packed.len() as u64;
-                            master
-                                .timed(Category::Comm, || comm.send(dst_rank, TAG_STREAM, packed));
-                            safra.on_send();
-                            stats.streams_sent += 1;
-                        }
-                    }
-                }
-                Err(_) => {
-                    master.add(Category::Idle, t0.elapsed().as_secs_f64());
-                }
+            let parked = from_workers.recv_timeout(Duration::from_micros(200));
+            m.bd.add(Category::Idle, t0.elapsed().as_secs_f64());
+            if let Ok(report) = parked {
+                m.route_report(&pool, &comm, report);
+                m.flush_frames(&comm);
             }
         }
     }
 
     // Shut workers down and collect their breakdowns.
     pool.stop();
+    let mut stats = m.stats;
     for h in handles {
         let (bd, calls) = h.join().expect("worker panicked");
         stats.workers.push(bd);
         stats.compute_calls += calls;
     }
-    stats.master = master;
+    stats.master = m.bd;
     stats.wall_seconds = t_start.elapsed().as_secs_f64();
     stats
 }
@@ -275,8 +502,7 @@ pub fn run_universe<F: ProgramFactory>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{PatchProgram, ProgramId, TaskTag};
-    use bytes::Bytes;
+    use crate::program::{PatchProgram, ProgramId, TaskTag, STREAM_WIRE_OVERHEAD};
     use jsweep_mesh::PatchId;
     use parking_lot::Mutex;
 
@@ -372,6 +598,7 @@ mod tests {
             RuntimeConfig {
                 num_workers: workers,
                 termination: term,
+                ..Default::default()
             },
         );
         let total_work: u64 = stats.iter().map(|s| s.work_done).sum();
@@ -406,7 +633,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_track_streams() {
+    fn stats_track_streams_and_frames() {
         let log = Arc::new(Mutex::new(Vec::new()));
         let factory = Arc::new(ChainFactory {
             n: 6,
@@ -419,10 +646,158 @@ mod tests {
         let received: u64 = stats.iter().map(|s| s.streams_received).sum();
         assert_eq!(sent, 5);
         assert_eq!(received, 5);
+        // A chain is latency-bound: every frame carries one stream.
+        let frames: u64 = stats.iter().map(|s| s.frames_sent).sum();
+        let frames_in: u64 = stats.iter().map(|s| s.frames_received).sum();
+        assert_eq!(frames, 5);
+        assert_eq!(frames_in, 5);
         let calls: u64 = stats.iter().map(|s| s.compute_calls).sum();
         assert!(calls >= 6);
+        // Exact wire accounting: 20-byte record header + 8-byte token.
         let bytes: u64 = stats.iter().map(|s| s.bytes_sent).sum();
-        assert_eq!(bytes, 5 * (16 + 8));
+        assert_eq!(bytes, 5 * (STREAM_WIRE_OVERHEAD as u64 + 8));
+    }
+
+    /// One program on rank 0 fans a burst of streams out to rank 1 in a
+    /// single compute call: aggregation must pack the burst into fewer
+    /// frames than streams, with byte accounting still exact.
+    struct Burst {
+        id: ProgramId,
+        fan: u32,
+        fired: bool,
+        pending: u64,
+        received: Arc<Mutex<u32>>,
+    }
+
+    impl PatchProgram for Burst {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _payload: Bytes) {
+            *self.received.lock() += 1;
+            self.pending += 1;
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if self.id.patch.0 == 0 {
+                if !self.fired {
+                    self.fired = true;
+                    ctx.work_done = 1;
+                    for k in 0..self.fan {
+                        ctx.send(Stream {
+                            src: self.id,
+                            dst: ProgramId::new(PatchId(1 + k), TaskTag(0)),
+                            payload: Bytes::copy_from_slice(&u64::from(k).to_le_bytes()),
+                        });
+                    }
+                }
+            } else {
+                // Work = inputs consumed, so accounting is exact no
+                // matter how activation and delivery interleave.
+                ctx.work_done = self.pending;
+                self.pending = 0;
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.pending == 0
+        }
+        fn remaining_work(&self) -> u64 {
+            self.pending
+        }
+    }
+
+    struct BurstFactory {
+        fan: u32,
+        received: Arc<Mutex<u32>>,
+    }
+
+    impl ProgramFactory for BurstFactory {
+        type Program = Burst;
+        fn create(&self, id: ProgramId) -> Burst {
+            Burst {
+                id,
+                fan: self.fan,
+                fired: false,
+                pending: 0,
+                received: self.received.clone(),
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            if rank == 0 {
+                vec![ProgramId::new(PatchId(0), TaskTag(0))]
+            } else {
+                (0..self.fan)
+                    .map(|k| ProgramId::new(PatchId(1 + k), TaskTag(0)))
+                    .collect()
+            }
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            usize::from(id.patch.0 != 0)
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            // Source: the one firing compute. Receivers: the one
+            // stream each will consume.
+            1
+        }
+    }
+
+    #[test]
+    fn burst_aggregates_into_fewer_frames() {
+        let fan = 8u32;
+        let received = Arc::new(Mutex::new(0));
+        let factory = Arc::new(BurstFactory {
+            fan,
+            received: received.clone(),
+        });
+        let stats = run_universe(2, factory, RuntimeConfig::default());
+        assert_eq!(*received.lock(), fan);
+        let r0 = &stats[0];
+        assert_eq!(r0.streams_sent, u64::from(fan));
+        // The whole burst leaves one compute call and one drain round:
+        // strictly fewer frames than streams (1, with default knobs).
+        assert!(
+            r0.frames_sent < r0.streams_sent,
+            "burst was not aggregated: {} frames for {} streams",
+            r0.frames_sent,
+            r0.streams_sent
+        );
+        assert_eq!(r0.frames_sent, 1);
+        // Byte accounting is framing-independent and exact.
+        assert_eq!(
+            r0.bytes_sent,
+            u64::from(fan) * (STREAM_WIRE_OVERHEAD as u64 + 8)
+        );
+        let r1 = &stats[1];
+        assert_eq!(r1.streams_received, u64::from(fan));
+        assert_eq!(r1.frames_received, r0.frames_sent);
+    }
+
+    #[test]
+    fn burst_unbatched_knobs_restore_stream_granularity() {
+        let fan = 6u32;
+        let received = Arc::new(Mutex::new(0));
+        let factory = Arc::new(BurstFactory {
+            fan,
+            received: received.clone(),
+        });
+        let stats = run_universe(
+            2,
+            factory,
+            RuntimeConfig {
+                max_frame_streams: 1,
+                report_flush_streams: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(*received.lock(), fan);
+        let r0 = &stats[0];
+        assert_eq!(r0.streams_sent, u64::from(fan));
+        assert_eq!(r0.frames_sent, u64::from(fan));
+        // Same bytes either way: frames add no per-frame header.
+        assert_eq!(
+            r0.bytes_sent,
+            u64::from(fan) * (STREAM_WIRE_OVERHEAD as u64 + 8)
+        );
     }
 
     /// Two programs that ping-pong a fixed number of times exercise
@@ -505,11 +880,30 @@ mod tests {
                 RuntimeConfig {
                     num_workers: 1,
                     termination: term,
+                    ..Default::default()
                 },
             );
             let total: u64 = stats.iter().map(|s| s.work_done).sum();
             assert_eq!(total, 50, "termination {term:?}");
         }
+    }
+
+    #[test]
+    fn ping_pong_accounting_is_exact_across_ranks() {
+        let factory = Arc::new(PingPongFactory { rounds: 25 });
+        let stats = run_universe(2, factory, RuntimeConfig::default());
+        for s in &stats {
+            // Every stream crosses ranks with an empty payload.
+            assert_eq!(s.streams_sent, 25);
+            assert_eq!(s.bytes_sent, 25 * STREAM_WIRE_OVERHEAD as u64);
+            assert!(s.frames_sent >= 1);
+            assert!(s.frames_sent <= s.streams_sent);
+        }
+        // Per-direction conservation: everything sent was received.
+        assert_eq!(stats[0].streams_sent, stats[1].streams_received);
+        assert_eq!(stats[1].streams_sent, stats[0].streams_received);
+        assert_eq!(stats[0].frames_sent, stats[1].frames_received);
+        assert_eq!(stats[1].frames_sent, stats[0].frames_received);
     }
 
     #[test]

@@ -39,5 +39,7 @@ pub mod program;
 pub mod stats;
 
 pub use engine::{run_rank, run_universe, RuntimeConfig, TerminationKind};
-pub use program::{ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag};
+pub use program::{
+    pack_frame, unpack_frame, ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag,
+};
 pub use stats::{Breakdown, RunStats};

@@ -3,9 +3,22 @@
 //! Holds every local patch-program's state machine (Fig. 7): a program
 //! is `Idle` (inactive), `Ready` (active, queued by priority) or
 //! `Running` (claimed by a worker). Stream delivery reactivates idle
-//! programs; workers take the globally highest-priority ready program —
-//! the limiting ideal of the paper's lightest-worker assignment, since
-//! no worker ever sits idle while an active program exists on the rank.
+//! programs.
+//!
+//! The ready queue is **sharded**: programs hash to one of `S` shards
+//! (one per worker by construction in the engine), each with its own
+//! lock and priority heap. A worker drains its own shard first and
+//! **steals** from the others when it runs dry, so workers stop
+//! contending on a single `Mutex<BinaryHeap>` while no worker ever sits
+//! idle while an active program exists on the rank. Priority order is
+//! exact within a shard and approximate across shards — the same
+//! trade the paper's per-worker task queues make against the
+//! lightest-worker ideal.
+//!
+//! Delivery is **batched**: [`Pool::deliver_batch`] buckets a whole
+//! frame's streams by shard and enqueues each bucket under one lock
+//! acquisition, so an incoming `k`-stream frame costs at most `S` lock
+//! round-trips instead of `k`.
 
 use crate::program::{PatchProgram, ProgramId, Stream};
 use crate::stats::{Breakdown, Category};
@@ -13,7 +26,34 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Multiply-mix hasher for [`ProgramId`] keys (two `u32` writes).
+/// SipHash's DoS resistance buys nothing for internal slot maps and
+/// costs real time on the take/deliver/finish hot path.
+#[derive(Default)]
+struct IdHasher {
+    state: u64,
+}
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.state =
+            (self.state.rotate_left(29) ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdMap<V> = HashMap<ProgramId, V, BuildHasherDefault<IdHasher>>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
@@ -30,6 +70,31 @@ struct Slot {
     priority: i64,
 }
 
+impl Slot {
+    fn new(priority: i64) -> Slot {
+        Slot {
+            state: SlotState::Idle,
+            pending: Vec::new(),
+            program: None,
+            initialized: false,
+            priority,
+        }
+    }
+}
+
+/// One program's return to the pool, for [`Pool::finish_batch`].
+pub struct FinishEntry {
+    /// Program identity (from its [`Claim`]).
+    pub id: ProgramId,
+    /// The program instance, back from the worker.
+    pub program: Box<dyn PatchProgram>,
+    /// The program's `vote_to_halt()` after this round.
+    pub halted: bool,
+    /// The drained `Claim::pending` buffer; its capacity is recycled
+    /// into the slot so the next deliveries don't allocate.
+    pub scratch: Vec<(ProgramId, Bytes)>,
+}
+
 /// A claimed program, handed to a worker by [`Pool::take`].
 pub struct Claim {
     /// Program identity.
@@ -43,59 +108,175 @@ pub struct Claim {
     pub initialized: bool,
 }
 
-struct Inner {
-    slots: HashMap<ProgramId, Slot>,
-    /// Max-heap on (priority, lowest program id).
-    ready: BinaryHeap<(i64, Reverse<ProgramId>)>,
-    /// Ready + Running programs.
-    active: usize,
-    stop: bool,
+struct Shard {
+    slots: IdMap<Slot>,
+    /// Max-heap on (priority, lowest program id). Entries are **lazily
+    /// deleted**: a priority change while a program is `Ready` pushes a
+    /// fresh entry and leaves the old one behind; [`Pool::take`] skips
+    /// any entry whose slot is no longer `Ready` at that priority.
+    heap: BinaryHeap<(i64, Reverse<ProgramId>)>,
 }
 
-/// Shared per-rank program pool.
+/// One shard plus its lock-free occupancy signal.
+struct ShardCell {
+    shard: Mutex<Shard>,
+    /// `Ready` slots in this shard — lets steal scans skip empty
+    /// shards without touching their locks.
+    ready: AtomicUsize,
+}
+
+/// Shared per-rank program pool (sharded; see module docs).
 pub struct Pool {
-    inner: Mutex<Inner>,
+    shards: Vec<ShardCell>,
+    /// Slots currently `Ready` across all shards (heap entries may
+    /// exceed this due to lazy deletion).
+    ready: AtomicUsize,
+    /// `Ready` + `Running` slots.
+    active: AtomicUsize,
+    /// Worker report batches holding outputs not yet handed to the
+    /// master. Counted so [`Pool::is_quiet`] cannot report quiescence
+    /// while a worker still buffers undelivered streams (that would
+    /// let the Safra detector terminate early).
+    held_reports: AtomicUsize,
+    /// Workers blocked in [`Pool::take`]. Publishers skip the sleep
+    /// lock + notify entirely while this is zero (the common case on a
+    /// busy rank).
+    sleepers: AtomicUsize,
+    stop: AtomicBool,
+    /// Sleep coordination: a sleeper registers in `sleepers` and
+    /// re-checks `ready`/`stop` under this lock before waiting;
+    /// publishers bump `ready` first and notify under the same lock,
+    /// so no wakeup can be lost.
+    sleep: Mutex<()>,
     cv: Condvar,
 }
 
 impl Default for Pool {
     fn default() -> Self {
-        Self::new()
+        Self::new(1)
     }
 }
 
 impl Pool {
-    /// Empty pool.
-    pub fn new() -> Pool {
+    /// Empty pool with `num_shards` ready-queue shards (the engine
+    /// passes one per worker; `0` is clamped to `1`).
+    pub fn new(num_shards: usize) -> Pool {
+        let n = num_shards.max(1);
         Pool {
-            inner: Mutex::new(Inner {
-                slots: HashMap::new(),
-                ready: BinaryHeap::new(),
-                active: 0,
-                stop: false,
-            }),
+            shards: (0..n)
+                .map(|_| ShardCell {
+                    shard: Mutex::new(Shard {
+                        slots: IdMap::default(),
+                        heap: BinaryHeap::new(),
+                    }),
+                    ready: AtomicUsize::new(0),
+                })
+                .collect(),
+            ready: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            held_reports: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            sleep: Mutex::new(()),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Number of ready-queue shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: ProgramId) -> usize {
+        let key = (u64::from(id.patch.0) << 32) | u64::from(id.task.0);
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shards.len()
+    }
+
+    /// Account `newly` Idle→Ready transitions (whose `ready` counters
+    /// were already bumped under their shard locks) and wake sleeping
+    /// workers. `ready` must be incremented while the shard lock is
+    /// held: a claimer can only decrement after popping the entry
+    /// under that same lock, so the counter can never transiently
+    /// underflow (and wrap) no matter how the publisher is scheduled.
+    fn publish_ready(&self, newly: usize) {
+        if newly == 0 {
+            return;
+        }
+        self.active.fetch_add(newly, Ordering::SeqCst);
+        self.wake(newly);
+    }
+
+    /// Bump both ready counters for shard `s`; call with the shard
+    /// lock held (see [`Pool::publish_ready`]).
+    fn add_ready(&self, s: usize, n: usize) {
+        if n > 0 {
+            self.shards[s].ready.fetch_add(n, Ordering::SeqCst);
+            self.ready.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
+    /// Wake sleepers for `n` new items. Publishers bump `ready` before
+    /// calling this; a sleeper registers in `sleepers` *before* its
+    /// final `ready` re-check (both SeqCst), so reading `sleepers == 0`
+    /// here proves any concurrent sleeper will still see our update and
+    /// skip the wait — the notify can be elided.
+    fn wake(&self, n: usize) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _g = self.sleep.lock();
+        if n == 1 {
+            self.cv.notify_one();
+        } else {
+            self.cv.notify_all();
         }
     }
 
     /// Register and activate a program with the given priority (initial
     /// activation: per §III-A all patch-programs start active).
+    ///
+    /// Re-activating a `Ready` program with a different priority
+    /// re-queues it at the new priority; the superseded heap entry is
+    /// skipped lazily by [`Pool::take`].
     pub fn activate(&self, id: ProgramId, priority: i64) {
-        let mut g = self.inner.lock();
-        let slot = g.slots.entry(id).or_insert(Slot {
-            state: SlotState::Idle,
-            pending: Vec::new(),
-            program: None,
-            initialized: false,
-            priority,
-        });
-        slot.priority = priority;
+        let s = self.shard_of(id);
+        let newly = {
+            let mut g = self.shards[s].shard.lock();
+            let slot = g.slots.entry(id).or_insert_with(|| Slot::new(priority));
+            slot.priority = priority;
+            match slot.state {
+                SlotState::Idle => {
+                    slot.state = SlotState::Ready;
+                    g.heap.push((priority, Reverse(id)));
+                    self.add_ready(s, 1);
+                    1
+                }
+                SlotState::Ready => {
+                    // Keep the heap consistent with the new priority;
+                    // the old entry becomes stale.
+                    g.heap.push((priority, Reverse(id)));
+                    0
+                }
+                // Running: the new priority takes effect on re-queue.
+                SlotState::Running => 0,
+            }
+        };
+        self.publish_ready(newly);
+    }
+
+    fn deliver_into(g: &mut Shard, stream: Stream, priority: i64) -> usize {
+        let slot = g
+            .slots
+            .entry(stream.dst)
+            .or_insert_with(|| Slot::new(priority));
+        slot.pending.push((stream.src, stream.payload));
         if slot.state == SlotState::Idle {
             slot.state = SlotState::Ready;
-            g.ready.push((priority, Reverse(id)));
-            g.active += 1;
-            drop(g);
-            self.cv.notify_one();
+            let prio = slot.priority;
+            g.heap.push((prio, Reverse(stream.dst)));
+            1
+        } else {
+            0
         }
     }
 
@@ -104,49 +285,189 @@ impl Pool {
     /// `priority` is used when the target was never registered (possible
     /// when a stream races ahead of startup activation).
     pub fn deliver(&self, stream: Stream, priority: i64) {
-        let mut g = self.inner.lock();
-        let slot = g.slots.entry(stream.dst).or_insert(Slot {
-            state: SlotState::Idle,
-            pending: Vec::new(),
-            program: None,
-            initialized: false,
-            priority,
-        });
-        slot.pending.push((stream.src, stream.payload));
-        if slot.state == SlotState::Idle {
-            slot.state = SlotState::Ready;
-            let prio = slot.priority;
-            g.ready.push((prio, Reverse(stream.dst)));
-            g.active += 1;
-            drop(g);
-            self.cv.notify_one();
+        let s = self.shard_of(stream.dst);
+        let newly = {
+            let mut g = self.shards[s].shard.lock();
+            let newly = Self::deliver_into(&mut g, stream, priority);
+            self.add_ready(s, newly);
+            newly
+        };
+        self.publish_ready(newly);
+    }
+
+    /// Deliver a whole frame's streams, locking each touched shard
+    /// exactly once (the pool half of §II communication aggregation;
+    /// per-stream `priority` as in [`Pool::deliver`]).
+    ///
+    /// Per-destination delivery order follows the batch's order. One
+    /// `Vec` collects the batch; shards are then served by in-place
+    /// scans, so the steady-state path does no per-shard allocation.
+    pub fn deliver_batch<I>(&self, batch: I)
+    where
+        I: IntoIterator<Item = (Stream, i64)>,
+    {
+        let mut items: Vec<Option<(Stream, i64)>> = batch.into_iter().map(Some).collect();
+        if items.is_empty() {
+            return;
+        }
+        let n = self.shards.len();
+        let mut newly = 0;
+        for s in 0..n {
+            let mut guard = None;
+            let mut shard_newly = 0;
+            for item in items.iter_mut() {
+                let belongs = item
+                    .as_ref()
+                    .is_some_and(|(stream, _)| self.shard_of(stream.dst) == s);
+                if !belongs {
+                    continue;
+                }
+                let (stream, prio) = item.take().expect("checked above");
+                let g = guard.get_or_insert_with(|| self.shards[s].shard.lock());
+                shard_newly += Self::deliver_into(g, stream, prio);
+            }
+            if guard.is_some() {
+                self.add_ready(s, shard_newly);
+                newly += shard_newly;
+            }
+        }
+        self.publish_ready(newly);
+    }
+
+    /// Pop the shard's best live heap entry into a claim (lazy
+    /// deletion: entries superseded by a priority change or already
+    /// claimed through a newer entry are skipped and dropped).
+    fn pop_claim(g: &mut Shard) -> Option<Claim> {
+        while let Some((prio, Reverse(id))) = g.heap.pop() {
+            let slot = g.slots.get_mut(&id).expect("heap entry has a slot");
+            if slot.state != SlotState::Ready || slot.priority != prio {
+                continue;
+            }
+            slot.state = SlotState::Running;
+            return Some(Claim {
+                id,
+                program: slot.program.take(),
+                pending: std::mem::take(&mut slot.pending),
+                initialized: slot.initialized,
+            });
+        }
+        None
+    }
+
+    /// Claim up to `max` programs from shard `s` under one lock
+    /// acquisition; returns how many were taken.
+    fn take_from_shard_batch(&self, s: usize, max: usize, out: &mut Vec<Claim>) -> usize {
+        let cell = &self.shards[s];
+        let mut g = cell.shard.lock();
+        let mut got = 0;
+        while got < max {
+            match Self::pop_claim(&mut g) {
+                Some(claim) => {
+                    out.push(claim);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got > 0 {
+            cell.ready.fetch_sub(got, Ordering::SeqCst);
+            self.ready.fetch_sub(got, Ordering::SeqCst);
+        }
+        got
+    }
+
+    /// Non-blocking claim: `worker`'s own shard first, then steal from
+    /// the others. Empty shards are skipped by their occupancy signal
+    /// without touching their locks. Returns `None` when nothing is
+    /// ready right now.
+    pub fn try_take(&self, worker: usize) -> Option<Claim> {
+        let mut one = Vec::with_capacity(1);
+        if self.try_take_batch(worker, 1, &mut one) > 0 {
+            one.pop()
+        } else {
+            None
         }
     }
 
-    /// Claim the highest-priority ready program, blocking while none is
-    /// available. Returns `None` after [`Pool::stop`] once the queue is
-    /// drained. Wait time is charged to `bd`'s `Idle` category.
-    pub fn take(&self, bd: &mut Breakdown) -> Option<Claim> {
-        let mut g = self.inner.lock();
-        loop {
-            if let Some((_, Reverse(id))) = g.ready.pop() {
-                let slot = g.slots.get_mut(&id).expect("ready program has a slot");
-                debug_assert_eq!(slot.state, SlotState::Ready);
-                slot.state = SlotState::Running;
-                let claim = Claim {
-                    id,
-                    program: slot.program.take(),
-                    pending: std::mem::take(&mut slot.pending),
-                    initialized: slot.initialized,
-                };
-                return Some(claim);
+    /// Non-blocking batched claim: pops up to `max` ready programs
+    /// (priority order within their shard) under one lock acquisition
+    /// per visited shard, appending to `out` — the worker-side
+    /// counterpart of [`Pool::deliver_batch`]. Returns how many claims
+    /// were appended.
+    ///
+    /// The batch is additionally capped at a fair share of what is
+    /// ready (`ready / shards`), so when few heavy programs are
+    /// active, workers still get one each instead of one worker
+    /// hoarding the whole queue; deep queues batch fully.
+    pub fn try_take_batch(&self, worker: usize, max: usize, out: &mut Vec<Claim>) -> usize {
+        let ready = self.ready.load(Ordering::SeqCst);
+        if ready == 0 {
+            return 0;
+        }
+        let n = self.shards.len();
+        let max = max.min((ready / n).max(1));
+        let mut got = 0;
+        for i in 0..n {
+            if got >= max {
+                break;
             }
-            if g.stop {
-                return None;
+            let s = (worker + i) % n;
+            if self.shards[s].ready.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            got += self.take_from_shard_batch(s, max - got, out);
+        }
+        got
+    }
+
+    /// Blocking [`Pool::try_take_batch`]: waits until at least one
+    /// program is claimed, or the pool stops with the queues drained
+    /// (returning 0). Wait time is charged to `bd`'s `Idle` category.
+    pub fn take_batch(
+        &self,
+        worker: usize,
+        max: usize,
+        out: &mut Vec<Claim>,
+        bd: &mut Breakdown,
+    ) -> usize {
+        loop {
+            let got = self.try_take_batch(worker, max, out);
+            if got > 0 {
+                return got;
+            }
+            let mut g = self.sleep.lock();
+            // Register as a sleeper *before* the final re-check:
+            // publishers bump `ready` and then look at `sleepers`, so
+            // either they see us (and notify) or we see their update
+            // here (and skip the wait).
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.ready.load(Ordering::SeqCst) > 0 {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                drop(g);
+                continue;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return 0;
             }
             let t0 = Instant::now();
             self.cv.wait(&mut g);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
             bd.add(Category::Idle, t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Claim the highest-priority ready program of `worker`'s shard
+    /// (stealing across shards when it is empty), blocking while none
+    /// is available anywhere. Returns `None` after [`Pool::stop`] once
+    /// the queues are drained. Wait time is charged to `bd`'s `Idle`
+    /// category.
+    pub fn take(&self, worker: usize, bd: &mut Breakdown) -> Option<Claim> {
+        let mut one = Vec::with_capacity(1);
+        if self.take_batch(worker, 1, &mut one, bd) > 0 {
+            one.pop()
+        } else {
+            None
         }
     }
 
@@ -154,33 +475,129 @@ impl Pool {
     /// `vote_to_halt()`; it re-queues when it stays active or received
     /// streams while running.
     pub fn finish(&self, id: ProgramId, program: Box<dyn PatchProgram>, halted: bool) {
-        let mut g = self.inner.lock();
-        let slot = g.slots.get_mut(&id).expect("finishing unknown program");
-        debug_assert_eq!(slot.state, SlotState::Running);
-        slot.program = Some(program);
-        slot.initialized = true;
-        if !halted || !slot.pending.is_empty() {
-            slot.state = SlotState::Ready;
-            let prio = slot.priority;
-            g.ready.push((prio, Reverse(id)));
-            drop(g);
-            self.cv.notify_one();
+        self.finish_recycle(id, program, halted, Vec::new());
+    }
+
+    /// [`Pool::finish`] that also hands back the emptied `pending`
+    /// buffer of the worker's [`Claim`], so the slot's next deliveries
+    /// reuse its capacity instead of allocating a fresh `Vec` per
+    /// claim cycle (a measurable share of per-stream cost).
+    pub fn finish_recycle(
+        &self,
+        id: ProgramId,
+        program: Box<dyn PatchProgram>,
+        halted: bool,
+        scratch: Vec<(ProgramId, Bytes)>,
+    ) {
+        debug_assert!(scratch.is_empty(), "recycled buffer must be drained");
+        let s = self.shard_of(id);
+        let requeued = {
+            let mut g = self.shards[s].shard.lock();
+            let requeued = Self::finish_into(
+                &mut g,
+                FinishEntry {
+                    id,
+                    program,
+                    halted,
+                    scratch,
+                },
+            );
+            if requeued {
+                self.add_ready(s, 1);
+            }
+            requeued
+        };
+        if requeued {
+            // Running -> Ready: already counted active.
+            self.wake(1);
         } else {
-            slot.state = SlotState::Idle;
-            g.active -= 1;
+            self.active.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
-    /// True when no program is ready or running (the rank is quiescent
-    /// apart from possible in-flight messages).
+    /// Apply one finish under an already-held shard guard; returns
+    /// whether the program was re-queued.
+    fn finish_into(g: &mut Shard, e: FinishEntry) -> bool {
+        let slot = g.slots.get_mut(&e.id).expect("finishing unknown program");
+        debug_assert_eq!(slot.state, SlotState::Running);
+        slot.program = Some(e.program);
+        slot.initialized = true;
+        if slot.pending.is_empty() && e.scratch.capacity() > slot.pending.capacity() {
+            slot.pending = e.scratch;
+        }
+        if !e.halted || !slot.pending.is_empty() {
+            slot.state = SlotState::Ready;
+            let prio = slot.priority;
+            g.heap.push((prio, Reverse(e.id)));
+            true
+        } else {
+            slot.state = SlotState::Idle;
+            false
+        }
+    }
+
+    /// Return a whole batch of programs after their compute rounds,
+    /// locking each run of same-shard entries once (the worker-side
+    /// counterpart of [`Pool::deliver_batch`] on the way out).
+    /// Entries are drained; `entries` keeps its capacity.
+    pub fn finish_batch(&self, entries: &mut Vec<FinishEntry>) {
+        let mut requeued = 0;
+        let mut idled = 0;
+        let mut held: Option<(usize, parking_lot::MutexGuard<'_, Shard>)> = None;
+        for e in entries.drain(..) {
+            let s = self.shard_of(e.id);
+            if held.as_ref().map(|(cur, _)| *cur) != Some(s) {
+                // Release before acquiring a different shard's lock:
+                // holding two shard locks at once would let workers
+                // whose batches visit shards in different rotation
+                // orders deadlock (ABBA).
+                drop(held.take());
+                held = Some((s, self.shards[s].shard.lock()));
+            }
+            let (_, g) = held.as_mut().expect("guard set above");
+            if Self::finish_into(g, e) {
+                self.add_ready(s, 1);
+                requeued += 1;
+            } else {
+                idled += 1;
+            }
+        }
+        drop(held);
+        if requeued > 0 {
+            // Running -> Ready: already counted active; `ready` was
+            // bumped per entry under the shard locks.
+            self.wake(requeued);
+        }
+        if idled > 0 {
+            self.active.fetch_sub(idled, Ordering::SeqCst);
+        }
+    }
+
+    /// A worker buffered a report (outputs/work not yet sent to the
+    /// master). Must be called *before* the producing program's
+    /// [`Pool::finish`], so quiescence is never visible while streams
+    /// sit in a worker-local batch.
+    pub fn hold_report(&self) {
+        self.held_reports.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The buffered report left the worker (sent to the master).
+    pub fn release_report(&self) {
+        self.held_reports.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when no program is ready or running and no worker holds a
+    /// buffered report (the rank is quiescent apart from possible
+    /// in-flight messages).
     pub fn is_quiet(&self) -> bool {
-        self.inner.lock().active == 0
+        self.active.load(Ordering::SeqCst) == 0 && self.held_reports.load(Ordering::SeqCst) == 0
     }
 
     /// Wake all workers and make further `take` calls return `None`
-    /// once the queue is empty.
+    /// once the queues are empty.
     pub fn stop(&self) {
-        self.inner.lock().stop = true;
+        self.stop.store(true, Ordering::SeqCst);
+        let _g = self.sleep.lock();
         self.cv.notify_all();
     }
 }
@@ -208,47 +625,48 @@ mod tests {
         ProgramId::new(PatchId(p), TaskTag(t))
     }
 
+    fn stream_to(dst: ProgramId) -> Stream {
+        Stream {
+            src: pid(999, 0),
+            dst,
+            payload: Bytes::new(),
+        }
+    }
+
     #[test]
     fn take_returns_highest_priority_first() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(0, 0), 1);
         pool.activate(pid(1, 0), 10);
         pool.activate(pid(2, 0), 5);
         let mut bd = Breakdown::default();
-        let a = pool.take(&mut bd).unwrap();
+        let a = pool.take(0, &mut bd).unwrap();
         assert_eq!(a.id, pid(1, 0));
         pool.finish(a.id, Box::new(Nop), true);
-        let b = pool.take(&mut bd).unwrap();
+        let b = pool.take(0, &mut bd).unwrap();
         assert_eq!(b.id, pid(2, 0));
     }
 
     #[test]
     fn tie_break_lowest_program_id() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(7, 1), 3);
         pool.activate(pid(7, 0), 3);
         let mut bd = Breakdown::default();
-        assert_eq!(pool.take(&mut bd).unwrap().id, pid(7, 0));
+        assert_eq!(pool.take(0, &mut bd).unwrap().id, pid(7, 0));
     }
 
     #[test]
     fn deliver_reactivates_idle_program() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(0, 0), 0);
         let mut bd = Breakdown::default();
-        let claim = pool.take(&mut bd).unwrap();
+        let claim = pool.take(0, &mut bd).unwrap();
         pool.finish(claim.id, Box::new(Nop), true); // halts -> idle
         assert!(pool.is_quiet());
-        pool.deliver(
-            Stream {
-                src: pid(1, 0),
-                dst: pid(0, 0),
-                payload: Bytes::new(),
-            },
-            0,
-        );
+        pool.deliver(stream_to(pid(0, 0)), 0);
         assert!(!pool.is_quiet());
-        let again = pool.take(&mut bd).unwrap();
+        let again = pool.take(0, &mut bd).unwrap();
         assert_eq!(again.id, pid(0, 0));
         assert_eq!(again.pending.len(), 1);
         assert!(again.initialized);
@@ -257,43 +675,36 @@ mod tests {
 
     #[test]
     fn deliver_during_running_requeues_on_finish() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(0, 0), 0);
         let mut bd = Breakdown::default();
-        let claim = pool.take(&mut bd).unwrap();
+        let claim = pool.take(0, &mut bd).unwrap();
         // Stream arrives while the program is running.
-        pool.deliver(
-            Stream {
-                src: pid(9, 9),
-                dst: pid(0, 0),
-                payload: Bytes::new(),
-            },
-            0,
-        );
+        pool.deliver(stream_to(pid(0, 0)), 0);
         pool.finish(claim.id, Box::new(Nop), true);
         // Despite voting to halt, the pending stream keeps it active.
         assert!(!pool.is_quiet());
-        let again = pool.take(&mut bd).unwrap();
+        let again = pool.take(0, &mut bd).unwrap();
         assert_eq!(again.pending.len(), 1);
     }
 
     #[test]
     fn non_halting_program_requeues() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(0, 0), 0);
         let mut bd = Breakdown::default();
-        let claim = pool.take(&mut bd).unwrap();
+        let claim = pool.take(0, &mut bd).unwrap();
         pool.finish(claim.id, Box::new(Nop), false);
         assert!(!pool.is_quiet());
     }
 
     #[test]
     fn stop_unblocks_takers() {
-        let pool = std::sync::Arc::new(Pool::new());
+        let pool = std::sync::Arc::new(Pool::new(2));
         let p2 = pool.clone();
         let h = std::thread::spawn(move || {
             let mut bd = Breakdown::default();
-            p2.take(&mut bd).is_none()
+            p2.take(0, &mut bd).is_none()
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
         pool.stop();
@@ -302,12 +713,142 @@ mod tests {
 
     #[test]
     fn activate_is_idempotent_while_ready() {
-        let pool = Pool::new();
+        let pool = Pool::new(1);
         pool.activate(pid(0, 0), 0);
         pool.activate(pid(0, 0), 0);
         let mut bd = Breakdown::default();
-        let claim = pool.take(&mut bd).unwrap();
+        let claim = pool.take(0, &mut bd).unwrap();
         pool.finish(claim.id, Box::new(Nop), true);
         assert!(pool.is_quiet(), "double activation corrupted the queue");
+    }
+
+    /// Regression (this PR): re-activating a `Ready` program at a new
+    /// priority used to leave the heap entry at the old priority, so
+    /// scheduling order ignored the update. The fix re-queues at the
+    /// new priority and lazily skips the stale entry.
+    #[test]
+    fn priority_change_while_ready_requeues_and_skips_stale_entry() {
+        let pool = Pool::new(1);
+        pool.activate(pid(0, 0), 1);
+        pool.activate(pid(1, 0), 3);
+        // Bump program 0 above program 1 while it is already Ready.
+        pool.activate(pid(0, 0), 5);
+        let mut bd = Breakdown::default();
+        let first = pool.take(0, &mut bd).unwrap();
+        assert_eq!(first.id, pid(0, 0), "new priority must win");
+        pool.finish(first.id, Box::new(Nop), true);
+        // The stale (1, pid 0) entry is still in the heap; popping it
+        // must skip, not double-claim or panic.
+        let second = pool.take(0, &mut bd).unwrap();
+        assert_eq!(second.id, pid(1, 0));
+        pool.finish(second.id, Box::new(Nop), true);
+        assert!(pool.try_take(0).is_none());
+        assert!(pool.is_quiet());
+    }
+
+    /// Lowering a priority must also take effect (the stale entry here
+    /// sorts *above* the live one and must be skipped on pop).
+    #[test]
+    fn priority_drop_while_ready_is_honoured() {
+        let pool = Pool::new(1);
+        pool.activate(pid(0, 0), 10);
+        pool.activate(pid(1, 0), 5);
+        pool.activate(pid(0, 0), 1); // demote below program 1
+        let mut bd = Breakdown::default();
+        assert_eq!(pool.take(0, &mut bd).unwrap().id, pid(1, 0));
+        assert_eq!(pool.take(0, &mut bd).unwrap().id, pid(0, 0));
+    }
+
+    #[test]
+    fn deliver_batch_locks_per_shard_and_activates_all() {
+        let pool = Pool::new(4);
+        let batch: Vec<(Stream, i64)> = (0..32u32).map(|p| (stream_to(pid(p, 0)), 0)).collect();
+        pool.deliver_batch(batch);
+        let mut seen = 0;
+        while pool.try_take(0).is_some() {
+            seen += 1;
+        }
+        // Claimed but never finished: all 32 are Running.
+        assert_eq!(seen, 32);
+        assert!(!pool.is_quiet());
+    }
+
+    #[test]
+    fn worker_steals_from_other_shards() {
+        let pool = Pool::new(4);
+        for p in 0..16u32 {
+            pool.activate(pid(p, 0), 0);
+        }
+        // A single worker (index 0) must drain every shard.
+        let mut drained = 0;
+        while let Some(claim) = pool.try_take(0) {
+            pool.finish(claim.id, Box::new(Nop), true);
+            drained += 1;
+        }
+        assert_eq!(drained, 16);
+        assert!(pool.is_quiet());
+    }
+
+    /// Regression: `finish_batch` once held a shard lock while
+    /// acquiring the next shard's lock, so two workers whose batches
+    /// visited shards in opposite rotation orders (worker 0 claims
+    /// shard 0 first, worker 1 claims shard 1 first — exactly what
+    /// `try_take_batch` produces) could deadlock ABBA-style.
+    #[test]
+    fn finish_batch_cross_shard_orders_do_not_deadlock() {
+        let pool = std::sync::Arc::new(Pool::new(2));
+        for p in 0..32u32 {
+            pool.activate(pid(p, 0), 0);
+        }
+        let mut threads = Vec::new();
+        for w in 0..2 {
+            let pool = pool.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut claims = Vec::new();
+                let mut finishes = Vec::new();
+                // halted=false keeps everything requeued: sustained
+                // cross-shard finish batches from both directions.
+                for _ in 0..3000 {
+                    if pool.try_take_batch(w, 8, &mut claims) == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for claim in claims.drain(..) {
+                        finishes.push(FinishEntry {
+                            id: claim.id,
+                            program: Box::new(Nop),
+                            halted: false,
+                            scratch: Vec::new(),
+                        });
+                    }
+                    pool.finish_batch(&mut finishes);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(!pool.is_quiet(), "programs stay active (halted=false)");
+    }
+
+    #[test]
+    fn held_reports_defer_quiescence() {
+        let pool = Pool::new(1);
+        assert!(pool.is_quiet());
+        pool.hold_report();
+        assert!(!pool.is_quiet(), "held worker outputs must block quiet");
+        pool.release_report();
+        assert!(pool.is_quiet());
+    }
+
+    #[test]
+    fn shard_mapping_is_stable_and_in_range() {
+        let pool = Pool::new(3);
+        for p in 0..100u32 {
+            let a = pool.shard_of(pid(p, 1));
+            let b = pool.shard_of(pid(p, 1));
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
     }
 }

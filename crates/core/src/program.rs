@@ -126,30 +126,82 @@ pub trait ProgramFactory: Send + Sync + 'static {
     fn initial_workload(&self, id: ProgramId) -> u64;
 }
 
-/// Wire format of a stream: header (4×u32) + payload.
-pub(crate) fn pack_stream(stream: &Stream) -> Bytes {
-    let mut w = jsweep_comm::pack::Writer::with_capacity(16 + stream.payload.len());
+/// Wire overhead of one stream record inside a frame: 4×u32 ids +
+/// u32 payload length. Frames themselves add no further header — a
+/// frame is just a concatenation of self-delimiting stream records, so
+/// `bytes_sent` accounting is independent of how streams are grouped.
+pub const STREAM_WIRE_OVERHEAD: usize = 20;
+
+/// Append one stream record to a frame under construction.
+///
+/// The caller keeps one long-lived [`Writer`] per destination rank and
+/// pushes every stream bound there during a drain round; flushing with
+/// [`Writer::take`] yields a multi-stream frame in a single buffer
+/// (the paper's §II communication aggregation on the wire).
+///
+/// [`Writer`]: jsweep_comm::pack::Writer
+/// [`Writer::take`]: jsweep_comm::pack::Writer::take
+pub fn frame_push(w: &mut jsweep_comm::pack::Writer, stream: &Stream) {
     w.put_u32(stream.src.patch.0);
     w.put_u32(stream.src.task.0);
     w.put_u32(stream.dst.patch.0);
     w.put_u32(stream.dst.task.0);
-    let mut buf = w.finish().to_vec();
-    buf.extend_from_slice(&stream.payload);
-    Bytes::from(buf)
+    w.put_u32(stream.payload.len() as u32);
+    w.put_bytes(&stream.payload);
+}
+
+/// Pack a batch of streams into one frame (convenience over
+/// [`frame_push`] + [`Writer::take`] for tests and benches).
+///
+/// [`Writer::take`]: jsweep_comm::pack::Writer::take
+pub fn pack_frame(streams: &[Stream]) -> Bytes {
+    let cap: usize = streams
+        .iter()
+        .map(|s| STREAM_WIRE_OVERHEAD + s.payload.len())
+        .sum();
+    let mut w = jsweep_comm::pack::Writer::with_capacity(cap);
+    for s in streams {
+        frame_push(&mut w, s);
+    }
+    w.finish()
+}
+
+/// Decode a frame back into its streams.
+///
+/// Payloads are zero-copy windows into the frame's allocation
+/// ([`Bytes::slice`]), so unpacking a frame of `k` streams performs no
+/// payload copies — only `k` header reads.
+pub fn unpack_frame(mut frame: Bytes) -> Vec<Stream> {
+    use bytes::Buf;
+    let mut out = Vec::new();
+    while frame.has_remaining() {
+        let src_patch = frame.get_u32_le();
+        let src_task = frame.get_u32_le();
+        let dst_patch = frame.get_u32_le();
+        let dst_task = frame.get_u32_le();
+        let len = frame.get_u32_le() as usize;
+        let payload = frame.slice(0..len);
+        frame.advance(len);
+        out.push(Stream {
+            src: ProgramId::new(PatchId(src_patch), TaskTag(src_task)),
+            dst: ProgramId::new(PatchId(dst_patch), TaskTag(dst_task)),
+            payload,
+        });
+    }
+    out
+}
+
+/// Wire format of a single stream: a frame of one (kept as the unit
+/// the aggregated codec is benchmarked against).
+pub fn pack_stream(stream: &Stream) -> Bytes {
+    pack_frame(std::slice::from_ref(stream))
 }
 
 /// Inverse of [`pack_stream`].
-pub(crate) fn unpack_stream(mut payload: Bytes) -> Stream {
-    use bytes::Buf;
-    let src_patch = payload.get_u32_le();
-    let src_task = payload.get_u32_le();
-    let dst_patch = payload.get_u32_le();
-    let dst_task = payload.get_u32_le();
-    Stream {
-        src: ProgramId::new(PatchId(src_patch), TaskTag(src_task)),
-        dst: ProgramId::new(PatchId(dst_patch), TaskTag(dst_task)),
-        payload,
-    }
+pub fn unpack_stream(payload: Bytes) -> Stream {
+    let mut streams = unpack_frame(payload);
+    debug_assert_eq!(streams.len(), 1, "unpack_stream fed a multi-stream frame");
+    streams.pop().expect("empty stream message")
 }
 
 #[cfg(test)]
@@ -168,6 +220,71 @@ mod tests {
         assert_eq!(back.src, s.src);
         assert_eq!(back.dst, s.dst);
         assert_eq!(&back.payload[..], b"hello");
+    }
+
+    #[test]
+    fn frame_roundtrip_many_streams() {
+        let streams: Vec<Stream> = (0..9u32)
+            .map(|i| Stream {
+                src: ProgramId::new(PatchId(i), TaskTag(i % 3)),
+                dst: ProgramId::new(PatchId(100 + i), TaskTag(0)),
+                payload: Bytes::from(vec![i as u8; i as usize]),
+            })
+            .collect();
+        let frame = pack_frame(&streams);
+        assert_eq!(
+            frame.len(),
+            streams
+                .iter()
+                .map(|s| STREAM_WIRE_OVERHEAD + s.payload.len())
+                .sum::<usize>()
+        );
+        let back = unpack_frame(frame);
+        assert_eq!(back.len(), streams.len());
+        for (a, b) in back.iter().zip(&streams) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn frame_push_reuses_one_writer_across_flushes() {
+        let mut w = jsweep_comm::pack::Writer::new();
+        let s = Stream {
+            src: ProgramId::new(PatchId(1), TaskTag(0)),
+            dst: ProgramId::new(PatchId(2), TaskTag(0)),
+            payload: Bytes::copy_from_slice(b"abc"),
+        };
+        frame_push(&mut w, &s);
+        frame_push(&mut w, &s);
+        let first = w.take();
+        assert_eq!(unpack_frame(first).len(), 2);
+        // Same writer keeps serving the next frame.
+        frame_push(&mut w, &s);
+        assert_eq!(unpack_frame(w.take()).len(), 1);
+        assert!(unpack_frame(w.take()).is_empty());
+    }
+
+    #[test]
+    fn unpack_frame_payloads_share_frame_allocation() {
+        let payload = Bytes::from(vec![7u8; 32]);
+        let s = Stream {
+            src: ProgramId::new(PatchId(0), TaskTag(0)),
+            dst: ProgramId::new(PatchId(1), TaskTag(0)),
+            payload,
+        };
+        let frame = pack_frame(&[s.clone(), s]);
+        let whole = frame.clone(); // same allocation, independent cursor
+        let back = unpack_frame(frame);
+        let base = whole.as_ref().as_ptr() as usize;
+        let end = base + whole.len();
+        for b in &back {
+            assert_eq!(&b.payload[..], &[7u8; 32][..]);
+            // Zero-copy: the payload points into the frame allocation.
+            let p = b.payload.as_ref().as_ptr() as usize;
+            assert!(p >= base && p + b.payload.len() <= end);
+        }
     }
 
     #[test]

@@ -127,7 +127,14 @@ pub struct RunStats {
     pub streams_sent: u64,
     /// Streams received from other ranks.
     pub streams_received: u64,
-    /// Bytes sent to other ranks (stream payloads + headers).
+    /// Multi-stream frames sent to other ranks. Aggregation (§II)
+    /// shows up as `frames_sent < streams_sent`: each frame carries
+    /// every stream bound to one destination in one drain round.
+    pub frames_sent: u64,
+    /// Frames received from other ranks.
+    pub frames_received: u64,
+    /// Bytes sent to other ranks (stream payloads + record headers;
+    /// framing itself adds no bytes).
     pub bytes_sent: u64,
 }
 
@@ -153,6 +160,8 @@ impl RunStats {
             acc.streams_local += s.streams_local;
             acc.streams_sent += s.streams_sent;
             acc.streams_received += s.streams_received;
+            acc.frames_sent += s.frames_sent;
+            acc.frames_received += s.frames_received;
             acc.bytes_sent += s.bytes_sent;
         }
         acc

@@ -292,6 +292,9 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
             RuntimeConfig {
                 num_workers: config.workers_per_rank,
                 termination: config.termination,
+                // Default batching knobs: frame aggregation + report
+                // batching are pure overhead wins for sweeps.
+                ..Default::default()
             },
         );
         all_stats.push(RunStats::aggregate(&stats));

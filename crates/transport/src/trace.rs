@@ -318,6 +318,7 @@ pub fn trace_parallel(
         RuntimeConfig {
             num_workers: workers_per_rank,
             termination: TerminationKind::Safra,
+            ..Default::default()
         },
     );
     let mut tally = vec![0.0; mesh.num_cells()];

@@ -153,12 +153,219 @@ fn runtime_fan_in_under_contention() {
             RuntimeConfig {
                 num_workers: 4,
                 termination: TerminationKind::Safra,
+                ..Default::default()
             },
         );
         assert_eq!(*total.lock(), PRODUCERS, "ranks={ranks}");
         let work: u64 = stats.iter().map(|s| s.work_done).sum();
         assert_eq!(work, 2 * PRODUCERS as u64);
     }
+}
+
+/// Many threads race `deliver_batch` / `take` / `finish` on a sharded
+/// pool: every delivered stream must be consumed exactly once — none
+/// lost, none double-delivered.
+#[test]
+fn pool_deliver_batch_take_finish_race() {
+    use jsweep::core::pool::Pool;
+    use jsweep::core::{Breakdown, ComputeCtx, PatchProgram, Stream};
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const PRODUCERS: u64 = 3;
+    const BATCHES_PER_PRODUCER: u64 = 50;
+    const STREAMS_PER_BATCH: u64 = 32;
+    const PROGRAMS: u32 = 64;
+    const WORKERS: usize = 4;
+    const TOTAL: u64 = PRODUCERS * BATCHES_PER_PRODUCER * STREAMS_PER_BATCH;
+
+    struct Sink;
+    impl PatchProgram for Sink {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _payload: Bytes) {}
+        fn compute(&mut self, _ctx: &mut ComputeCtx) {}
+        fn vote_to_halt(&self) -> bool {
+            true
+        }
+        fn remaining_work(&self) -> u64 {
+            0
+        }
+    }
+
+    let pool = Arc::new(Pool::new(WORKERS));
+    let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    let mut takers = Vec::new();
+    for w in 0..WORKERS {
+        let pool = pool.clone();
+        let seen = seen.clone();
+        let consumed = consumed.clone();
+        takers.push(std::thread::spawn(move || {
+            let mut bd = Breakdown::default();
+            while let Some(claim) = pool.take(w, &mut bd) {
+                let n = claim.pending.len() as u64;
+                {
+                    let mut set = seen.lock();
+                    for (_src, payload) in &claim.pending {
+                        let tag = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                        assert!(set.insert(tag), "stream {tag} delivered twice");
+                    }
+                }
+                pool.finish(claim.id, Box::new(Sink), true);
+                consumed.fetch_add(n, Ordering::SeqCst);
+            }
+        }));
+    }
+
+    let mut producers = Vec::new();
+    for p in 0..PRODUCERS {
+        let pool = pool.clone();
+        producers.push(std::thread::spawn(move || {
+            for b in 0..BATCHES_PER_PRODUCER {
+                let batch: Vec<(Stream, i64)> = (0..STREAMS_PER_BATCH)
+                    .map(|k| {
+                        let tag = (p * BATCHES_PER_PRODUCER + b) * STREAMS_PER_BATCH + k;
+                        (
+                            Stream {
+                                src: ProgramId::new(PatchId(u32::MAX), TaskTag(0)),
+                                dst: ProgramId::new(
+                                    PatchId((tag % u64::from(PROGRAMS)) as u32),
+                                    TaskTag(0),
+                                ),
+                                payload: Bytes::copy_from_slice(&tag.to_le_bytes()),
+                            },
+                            (tag % 7) as i64,
+                        )
+                    })
+                    .collect();
+                pool.deliver_batch(batch);
+            }
+        }));
+    }
+    for h in producers {
+        h.join().unwrap();
+    }
+    // Drain: all delivered streams must surface, then takers unblock.
+    while consumed.load(Ordering::SeqCst) < TOTAL {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    pool.stop();
+    for h in takers {
+        h.join().unwrap();
+    }
+    assert_eq!(consumed.load(Ordering::SeqCst), TOTAL, "streams lost");
+    assert_eq!(seen.lock().len(), TOTAL as usize);
+    assert!(pool.is_quiet());
+}
+
+/// Frame accounting stays exact under a storm: summed per-rank
+/// `streams_sent` must equal peers' `streams_received`, frames must
+/// never exceed streams, and `bytes_sent` must match the wire format
+/// byte-for-byte.
+#[test]
+fn runtime_frame_accounting_exact_across_ranks() {
+    use jsweep::core::program::STREAM_WIRE_OVERHEAD;
+    use jsweep::core::{ComputeCtx, PatchProgram, ProgramFactory, RuntimeConfig};
+
+    const N: u32 = 120;
+    const RANKS: usize = 3;
+    const PAYLOAD: usize = 24;
+
+    // Every program sends one fixed-size stream to the next N/4
+    // programs (lots of same-destination-rank fan-out per compute).
+    struct Fan {
+        id: ProgramId,
+        fired: bool,
+        pending: u64,
+    }
+    impl PatchProgram for Fan {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _p: Bytes) {
+            self.pending += 1;
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            ctx.work_done = self.pending;
+            self.pending = 0;
+            if !self.fired {
+                self.fired = true;
+                for k in 1..=N / 4 {
+                    let dst = self.id.patch.0 + k;
+                    if dst < N {
+                        ctx.send(jsweep::core::Stream {
+                            src: self.id,
+                            dst: ProgramId::new(PatchId(dst), TaskTag(0)),
+                            payload: Bytes::from(vec![0u8; PAYLOAD]),
+                        });
+                    }
+                }
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.pending == 0
+        }
+        fn remaining_work(&self) -> u64 {
+            self.pending
+        }
+    }
+    struct FanFactory;
+    impl ProgramFactory for FanFactory {
+        type Program = Fan;
+        fn create(&self, id: ProgramId) -> Fan {
+            Fan {
+                id,
+                fired: false,
+                pending: 0,
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            (0..N)
+                .filter(|p| (*p as usize) % RANKS == rank)
+                .map(|p| ProgramId::new(PatchId(p), TaskTag(0)))
+                .collect()
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize % RANKS
+        }
+        fn priority(&self, id: ProgramId) -> i64 {
+            i64::from(id.patch.0)
+        }
+        fn initial_workload(&self, id: ProgramId) -> u64 {
+            // Streams program `id` will receive: senders are the N/4
+            // predecessors that exist.
+            u64::from(id.patch.0.min(N / 4))
+        }
+    }
+
+    let stats = jsweep::core::run_universe(
+        RANKS,
+        Arc::new(FanFactory),
+        RuntimeConfig {
+            num_workers: 2,
+            termination: TerminationKind::Counting,
+            ..Default::default()
+        },
+    );
+    let sent: u64 = stats.iter().map(|s| s.streams_sent).sum();
+    let received: u64 = stats.iter().map(|s| s.streams_received).sum();
+    let frames_out: u64 = stats.iter().map(|s| s.frames_sent).sum();
+    let frames_in: u64 = stats.iter().map(|s| s.frames_received).sum();
+    let bytes: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+    let local: u64 = stats.iter().map(|s| s.streams_local).sum();
+    // Each program p<N sends one stream to each of the N/4 successors
+    // that exist; streams either cross ranks or stay local.
+    let total_streams: u64 = (0..N).map(|p| u64::from((N - 1 - p).min(N / 4))).sum();
+    assert_eq!(sent + local, total_streams);
+    assert_eq!(sent, received, "streams lost in flight");
+    assert_eq!(frames_out, frames_in, "frames lost in flight");
+    assert!(frames_out <= sent);
+    assert!(frames_out >= 1);
+    assert_eq!(
+        bytes,
+        sent * (STREAM_WIRE_OVERHEAD + PAYLOAD) as u64,
+        "byte accounting must be exact regardless of framing"
+    );
 }
 
 /// Machine-model sanity: the simulator must react monotonically to
@@ -278,6 +485,7 @@ fn runtime_many_tiny_programs() {
         RuntimeConfig {
             num_workers: 2,
             termination: TerminationKind::Counting,
+            ..Default::default()
         },
     );
     let total: u64 = stats.iter().map(|s| s.work_done).sum();
