@@ -29,7 +29,7 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: figures [--scale smoke|full] [--out DIR] [ids...]");
                 println!("ids: fig9a fig9b fig12a fig12b fig13a fig13b fig14a fig14b");
-                println!("     fig15 fig16 fig17a fig17b table1 cg_ablation all");
+                println!("     fig15 fig16 fig17a fig17b table1 cg_ablation cg_replay all");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -51,6 +51,7 @@ fn main() {
             "fig17b",
             "table1",
             "cg_ablation",
+            "cg_replay",
         ]
         .into_iter()
         .map(String::from)
@@ -74,6 +75,7 @@ fn main() {
             "fig17b" => vec![figs::fig17(scale, true)],
             "table1" => vec![figs::table1(scale)],
             "cg_ablation" => vec![figs::cg_ablation(scale)],
+            "cg_replay" => vec![figs::cg_replay(scale)],
             other => {
                 eprintln!("unknown experiment id {other:?}; see --help");
                 std::process::exit(2);

@@ -716,6 +716,52 @@ pub fn cg_ablation(scale: Scale) -> Table {
     t
 }
 
+/// §V-E on the threaded runtime — fine DAG iterations vs coarse-graph
+/// replay inside `solve_parallel` (the wired counterpart of
+/// [`cg_ablation`], which models the same effect in the DES).
+///
+/// Paper: replaying the coarsened graph cuts scheduling overhead
+/// 7–10× once kernels are cheap relative to bookkeeping; in Fig. 16
+/// this is why the graph-op share stays small. Here both variants
+/// solve the quickstart-scale problem; rows report the mean *replay*
+/// iteration (iterations ≥ 2) wall and graph-op seconds, and the
+/// one-off plan build cost. The flux is asserted bit-identical.
+pub fn cg_replay(scale: Scale) -> Table {
+    use crate::setups::{replay_scenario, replay_tail_mean};
+    use jsweep_core::stats::Category;
+
+    let sc = match scale {
+        Scale::Smoke => replay_scenario(8, 4, 2, 3, 16),
+        Scale::Full => replay_scenario(16, 4, 2, 9, 16),
+    };
+    let fine = sc.solve(false);
+    let coarse = sc.solve(true);
+    assert_eq!(fine.phi, coarse.phi, "replay changed the physics");
+
+    let mut t = Table::new(
+        "cg_replay",
+        "Fine DAG vs coarse-graph replay in solve_parallel (per replay iteration)",
+        &["variant", "iter_wall_s", "iter_graph_op_s", "build_s"],
+    );
+    t.push(vec![
+        "DAG (fine)".into(),
+        secs(replay_tail_mean(&fine.stats, |s| s.wall_seconds)),
+        secs(replay_tail_mean(&fine.stats, |s| {
+            s.category_seconds(Category::GraphOp)
+        })),
+        "-".into(),
+    ]);
+    t.push(vec![
+        "Coarse replay".into(),
+        secs(replay_tail_mean(&coarse.stats, |s| s.wall_seconds)),
+        secs(replay_tail_mean(&coarse.stats, |s| {
+            s.category_seconds(Category::GraphOp)
+        })),
+        secs(coarse.coarse_build_seconds),
+    ]);
+    t
+}
+
 /// Run every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     let mut out = vec![fig09a(scale)];
@@ -732,6 +778,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.push(fig17(scale, true));
     out.push(table1(scale));
     out.push(cg_ablation(scale));
+    out.push(cg_replay(scale));
     out
 }
 
@@ -752,6 +799,17 @@ mod tests {
     fn smoke_table1_runs() {
         let t = table1(Scale::Smoke);
         assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn smoke_cg_replay_runs() {
+        // Also asserts bit-identical flux internally.
+        let t = cg_replay(Scale::Smoke);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let wall: f64 = row[1].parse().unwrap();
+            assert!(wall > 0.0);
+        }
     }
 
     #[test]

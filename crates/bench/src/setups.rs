@@ -79,6 +79,95 @@ pub fn unstructured_problem(
     )
 }
 
+/// The shared fine-vs-coarse replay scenario (§V-E) used by both the
+/// `coarse_replay` bench and the `cg_replay` figures experiment:
+/// `n³` cells in `patch³` block patches over `ranks` ranks, S2, one
+/// group with scattering, grain fine enough that per-vertex scheduling
+/// is a visible share of iteration time. Keeping it in one place keeps
+/// the committed bench baseline and the figures table in lockstep.
+pub struct ReplayScenario {
+    /// The mesh.
+    pub mesh: std::sync::Arc<StructuredMesh>,
+    /// Compiled problem (octant-shared DAGs).
+    pub problem: std::sync::Arc<jsweep_graph::SweepProblem>,
+    /// One-group scattering material everywhere.
+    pub materials: std::sync::Arc<jsweep_transport::MaterialSet>,
+    /// S2 ordinates.
+    pub quad: QuadratureSet,
+    /// Solver config template (`tolerance` is negative so every
+    /// iteration runs in both variants; set `coarsen` per run).
+    pub config: jsweep_transport::SnConfig,
+}
+
+/// Build the replay scenario. `iterations` is the exact sweep count
+/// each variant performs (the first records, the rest replay).
+pub fn replay_scenario(
+    n: usize,
+    patch: usize,
+    ranks: usize,
+    iterations: usize,
+    grain: usize,
+) -> ReplayScenario {
+    use jsweep_mesh::SweepTopology;
+    let mesh = std::sync::Arc::new(StructuredMesh::unit(n, n, n));
+    let ps = partition::decompose_structured(&mesh, (patch, patch, patch), ranks);
+    let quad = QuadratureSet::sn(2);
+    let materials = std::sync::Arc::new(jsweep_transport::MaterialSet::homogeneous(
+        mesh.num_cells(),
+        jsweep_transport::Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let problem = std::sync::Arc::new(jsweep_graph::SweepProblem::build(
+        mesh.as_ref(),
+        ps,
+        &quad,
+        &jsweep_graph::ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    let config = jsweep_transport::SnConfig {
+        max_iterations: iterations,
+        tolerance: -1.0,
+        grain,
+        workers_per_rank: 2,
+        ..Default::default()
+    };
+    ReplayScenario {
+        mesh,
+        problem,
+        materials,
+        quad,
+        config,
+    }
+}
+
+/// Mean of `f` over the replay-eligible iterations (every iteration
+/// after the first) — the single definition of the per-iteration
+/// metric the `coarse_replay` bench baseline and the `cg_replay`
+/// figures table both report.
+pub fn replay_tail_mean(
+    stats: &[jsweep_core::RunStats],
+    f: impl Fn(&jsweep_core::RunStats) -> f64,
+) -> f64 {
+    let tail = &stats[1..];
+    tail.iter().map(&f).sum::<f64>() / tail.len() as f64
+}
+
+impl ReplayScenario {
+    /// Solve with the given coarsening mode.
+    pub fn solve(&self, coarsen: bool) -> jsweep_transport::SnSolution {
+        let mut config = self.config.clone();
+        config.coarsen = coarsen;
+        jsweep_transport::solve_parallel(
+            self.mesh.clone(),
+            self.problem.clone(),
+            &self.quad,
+            self.materials.clone(),
+            &config,
+        )
+    }
+}
+
 /// Machine for a `groups`-group JSNT-U-style run (groups only affect
 /// message volume in the simulator).
 pub fn machine_with_groups(ranks: usize, groups: usize) -> MachineModel {

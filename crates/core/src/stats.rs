@@ -148,6 +148,14 @@ impl RunStats {
         acc
     }
 
+    /// Total seconds booked to `cat` across the master and every
+    /// worker thread. The one-line way to compare a category between
+    /// runs — e.g. watching `GraphOp` shrink when coarse-graph replay
+    /// (§V-E) replaces per-vertex scheduling.
+    pub fn category_seconds(&self, cat: Category) -> f64 {
+        self.master.get(cat) + self.workers.iter().map(|w| w.get(cat)).sum::<f64>()
+    }
+
     /// Sum the stats of several ranks (for reporting).
     pub fn aggregate(all: &[RunStats]) -> RunStats {
         let mut acc = RunStats::default();

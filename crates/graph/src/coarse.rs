@@ -33,6 +33,13 @@ pub struct ClusterTrace {
 
 impl ClusterTrace {
     /// Record one compute call's cluster.
+    ///
+    /// **Contract:** empty clusters are silently dropped — a `compute`
+    /// call that found no ready vertex forms no coarse vertex. Replay
+    /// code relies on this: every cluster of a [`CoarsenedTask`] is
+    /// non-empty, so a coarse-replay program may assert it never
+    /// executes (or emits the coarse edges of) an empty compute
+    /// cluster.
     pub fn record(&mut self, cluster: Vec<u32>) {
         if !cluster.is_empty() {
             self.clusters.push(cluster);

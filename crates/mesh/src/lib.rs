@@ -21,6 +21,8 @@
 //!   shapes of Fig. 11 and uniform red refinement in [`refine`] for the
 //!   weak-scaling study of Fig. 15.
 
+#![deny(missing_docs)]
+
 pub mod deformed;
 pub mod partition;
 pub mod patch;

@@ -24,7 +24,9 @@ use std::collections::VecDeque;
 /// Space-filling-curve family used for rank distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SfcKind {
+    /// Morton (Z-order) curve: cheap bit interleaving, moderate locality.
     Morton,
+    /// Hilbert curve: better locality, slightly costlier indexing.
     Hilbert,
 }
 

@@ -13,6 +13,7 @@ use crate::SweepTopology;
 pub struct PatchId(pub u32);
 
 impl PatchId {
+    /// The id as a `usize` array index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize

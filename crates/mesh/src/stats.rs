@@ -14,9 +14,11 @@ pub struct PartitionStats {
     pub num_patches: usize,
     /// Number of ranks.
     pub num_ranks: usize,
-    /// Smallest / mean / largest patch size in cells.
+    /// Smallest patch size in cells.
     pub patch_cells_min: usize,
+    /// Mean patch size in cells.
     pub patch_cells_mean: f64,
+    /// Largest patch size in cells.
     pub patch_cells_max: usize,
     /// Largest rank load divided by mean rank load (1.0 = perfect).
     pub rank_imbalance: f64,

@@ -21,9 +21,11 @@
 use crate::xs::{Material, MaterialSet};
 use jsweep_mesh::{StructuredMesh, SweepTopology};
 
-/// Materials of the Kobayashi geometry.
+/// Material id of the source region (lower corner cube).
 pub const MAT_SOURCE: u16 = 0;
+/// Material id of the void duct running along the x axis.
 pub const MAT_VOID: u16 = 1;
+/// Material id of the absorbing shield filling the rest of the cube.
 pub const MAT_SHIELD: u16 = 2;
 
 /// A configured Kobayashi problem.

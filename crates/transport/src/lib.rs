@@ -10,19 +10,26 @@
 //! * [`program`] — `SweepPatchProgram` (paper Listing 1): the
 //!   patch-program gluing [`jsweep_graph::SweepState`] to the kernels
 //!   and stream codec, plus its [`jsweep_core::ProgramFactory`];
+//! * [`replay`] — the compiled coarse-graph replay plan (§V-E):
+//!   cluster traces recorded in iteration 1 become the coarsened task
+//!   graph iterations ≥ 2 execute;
 //! * [`solver`] — source iteration drivers: the JSweep-parallel solver
 //!   on the threaded runtime and a serial reference solver used as the
 //!   golden result in tests;
 //! * [`kobayashi`] — the Kobayashi benchmark problem generator used by
 //!   the JSNT-S experiments (Figs. 12, 16, 17a).
 
+#![deny(missing_docs)]
+
 pub mod kernel;
 pub mod kobayashi;
 pub mod program;
+pub mod replay;
 pub mod solver;
 pub mod trace;
 pub mod xs;
 
 pub use kernel::KernelKind;
-pub use solver::{solve_parallel, solve_serial, SnConfig, SnSolution};
+pub use replay::CoarsePlan;
+pub use solver::{record_cluster_traces, solve_parallel, solve_serial, SnConfig, SnSolution};
 pub use xs::{Material, MaterialSet};

@@ -1,24 +1,39 @@
 //! `SweepPatchProgram` — paper Listing 1, with real physics attached.
 //!
 //! A program is one `(patch, angle)` sweep task. Its local context is
-//! the scheduling state ([`jsweep_graph::SweepState`]: counters + ready
-//! priority queue) plus the physics state: incoming face-flux storage
-//! for every local cell and the per-angle scalar-flux contribution.
+//! the scheduling state plus the physics state: incoming face-flux
+//! storage for every local cell and the per-angle scalar-flux
+//! contribution. The scheduling state comes in two flavours, selected
+//! per source iteration by [`SweepMode`]:
 //!
-//! Stream payload format (see `jsweep_comm::pack`):
-//! `u32 item_count`, then per item `u32 dst_cell`, `u32 src_cell`,
-//! `groups × f64` face flux values.
+//! * **Fine** ([`jsweep_graph::SweepState`]: per-vertex counters +
+//!   ready priority queue) — the DAG-driven first iteration, which can
+//!   record a [`ClusterTrace`] of the clusters its `compute()` calls
+//!   form;
+//! * **Coarse** ([`jsweep_graph::coarse::CoarseSweepState`] over a
+//!   [`ReplayTask`]) — the §V-E replay used from the second iteration
+//!   on: `compute()` pops one whole coarse vertex, executes its
+//!   recorded vertex list in order, and emits exactly one stream per
+//!   outgoing coarse edge, with no per-vertex bookkeeping.
+//!
+//! Stream payload formats (see `jsweep_comm::pack`): fine streams are
+//! `u32 item_count` then per item `u32 dst_cell`, `u32 src_cell`,
+//! `groups × f64` face flux values. Coarse streams prepend the target
+//! coarse-vertex index: `u32 dst_cluster`, then the same item block —
+//! one receive() per stream instead of one per item.
 
 use crate::kernel::{solve_cell, KernelKind};
+use crate::replay::{CoarsePlan, ReplayTask, TraceBins};
 use crate::xs::MaterialSet;
 use bytes::Bytes;
 use jsweep_comm::pack::{Reader, Writer};
 use jsweep_core::{ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag};
-use jsweep_graph::{SweepProblem, SweepState};
+use jsweep_graph::coarse::{ClusterTrace, CoarseSweepState};
+use jsweep_graph::{Subgraph, SweepProblem, SweepState};
 use jsweep_mesh::{Neighbor, PatchId, SweepTopology};
 use jsweep_quadrature::QuadratureSet;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Per-patch collection bin for scalar-flux contributions.
@@ -27,6 +42,23 @@ use std::sync::Arc;
 /// cells; the solver folds the bins in angle order after the sweep so
 /// the floating-point result is independent of scheduling order.
 pub type FluxBins = Vec<Mutex<Vec<(u32, Vec<f64>)>>>;
+
+/// Which scheduling mode the sweep programs of one iteration run in.
+#[derive(Clone)]
+pub enum SweepMode {
+    /// Per-vertex DAG-driven sweep. With `trace_bins` set, every task
+    /// records its [`ClusterTrace`] and deposits it on completion —
+    /// the recording pass of §V-E.
+    Fine {
+        /// Trace sink, indexed by [`SweepProblem::tid`].
+        trace_bins: Option<Arc<TraceBins>>,
+    },
+    /// Coarse-graph replay of a previously compiled [`CoarsePlan`].
+    Coarse {
+        /// The plan built from the recording iteration's traces.
+        plan: Arc<CoarsePlan>,
+    },
+}
 
 /// Everything the sweep programs of one source iteration share.
 pub struct SweepSetup<T: SweepTopology + Send + Sync + 'static> {
@@ -46,6 +78,8 @@ pub struct SweepSetup<T: SweepTopology + Send + Sync + 'static> {
     pub grain: usize,
     /// Scalar-flux bins, indexed by patch.
     pub flux_bins: Arc<FluxBins>,
+    /// Scheduling mode of this iteration (fine/record vs replay).
+    pub mode: SweepMode,
 }
 
 /// The factory handed to the JSweep runtime: one program per
@@ -68,6 +102,36 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepFactory<T> {
     }
 }
 
+/// Per-program scheduling state: the fine/coarse counterpart of the
+/// shared [`SweepMode`].
+enum Sched {
+    /// DAG-driven execution; `trace` is `Some` while recording.
+    Fine {
+        state: SweepState,
+        trace: Option<(ClusterTrace, Arc<TraceBins>)>,
+    },
+    /// Coarse replay over the compiled task. `vertices_left` tracks the
+    /// remaining workload in vertex units (the unit counting
+    /// termination accounts in), not clusters.
+    Coarse {
+        state: CoarseSweepState,
+        task: Arc<ReplayTask>,
+        vertices_left: u64,
+    },
+}
+
+/// Where the kernel loop deposits outgoing remote face fluxes.
+enum RemoteSink<'a> {
+    /// Fine mode: append stream items to per-destination-patch writers.
+    Streams {
+        writers: &'a mut HashMap<PatchId, Writer>,
+        counts: &'a mut HashMap<PatchId, u32>,
+    },
+    /// Coarse mode: stage values in the per-fine-remote-edge slots the
+    /// pre-resolved [`ReplayTask`] emissions read from.
+    Slots { vals: &'a mut [f64] },
+}
+
 /// The patch-program of one `(patch, angle)` sweep task.
 pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
     id: ProgramId,
@@ -82,150 +146,185 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
     weight: f64,
     dir: [f64; 3],
     max_faces: usize,
-    /// Scheduling state (counters + ready queue).
-    state: SweepState,
+    /// Scheduling state (fine counters + ready queue, or coarse replay).
+    sched: Sched,
     /// Incoming face flux per `local_cell * max_faces * groups`.
     face_flux: Vec<f64>,
     /// Scalar-flux accumulation per `local_cell * groups` (w_a · ψ̄).
     phi_part: Vec<f64>,
+    /// Coarse-mode staging: outgoing remote face flux per
+    /// `fine_remote_edge * groups` (empty in fine mode).
+    remote_vals: Vec<f64>,
     /// Scratch buffers.
     in_buf: Vec<f64>,
     out_buf: Vec<f64>,
     psi_buf: Vec<f64>,
 }
 
-impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> {
-    fn init(&mut self) {
-        // State is built in `create`; nothing further. Boundary faces
-        // already hold the vacuum condition (zeros).
-    }
-
-    fn input(&mut self, _src: ProgramId, payload: Bytes) {
-        let mut r = Reader::new(payload);
-        let n = r.get_u32();
-        for _ in 0..n {
-            let dst_cell = r.get_u32() as usize;
-            let src_cell = r.get_u32() as usize;
-            let li = self.problem.patches.local_index(dst_cell);
-            // Which face of dst_cell touches src_cell?
-            let mut face = usize::MAX;
-            for f in 0..self.setup_mesh.num_faces(dst_cell) {
-                if self.setup_mesh.face(dst_cell, f).neighbor == Neighbor::Interior(src_cell) {
-                    face = f;
-                    break;
-                }
+impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
+    /// Ingest one stream item (`dst_cell`, `src_cell`, `groups` flux
+    /// values): write the values into the destination cell's upwind
+    /// face slot. Returns the destination's local vertex index.
+    fn ingest_item(&mut self, r: &mut Reader) -> u32 {
+        let dst_cell = r.get_u32() as usize;
+        let src_cell = r.get_u32() as usize;
+        let li = self.problem.patches.local_index(dst_cell);
+        // Which face of dst_cell touches src_cell?
+        let mut face = usize::MAX;
+        for f in 0..self.setup_mesh.num_faces(dst_cell) {
+            if self.setup_mesh.face(dst_cell, f).neighbor == Neighbor::Interior(src_cell) {
+                face = f;
+                break;
             }
-            assert!(face != usize::MAX, "stream item with non-adjacent cells");
-            for g in 0..self.groups {
-                self.face_flux[(li * self.max_faces + face) * self.groups + g] = r.get_f64();
-            }
-            self.state.receive(li as u32);
         }
+        assert!(face != usize::MAX, "stream item with non-adjacent cells");
+        for g in 0..self.groups {
+            self.face_flux[(li * self.max_faces + face) * self.groups + g] = r.get_f64();
+        }
+        li as u32
     }
 
-    fn compute(&mut self, ctx: &mut ComputeCtx) {
-        let (p, a) = (self.id.patch.index(), self.id.task.0 as usize);
-        let subs_arc = self.problem.subs[a].clone();
-        let sub = &subs_arc[p];
+    /// Run the numerical kernel over `cluster` (in order): solve every
+    /// cell, accumulate the angular-weighted scalar flux, write local
+    /// downwind face fluxes in place and hand remote ones to `sink`.
+    /// Identical physics in both scheduling modes — which is what makes
+    /// the coarse replay bit-identical to the fine path.
+    fn kernel_cluster(
+        &mut self,
+        sub: &Subgraph,
+        broken: &HashSet<(u32, u32)>,
+        cluster: &[u32],
+        sink: &mut RemoteSink<'_>,
+    ) {
         let mesh = self.setup_mesh.clone();
         let materials = self.materials.clone();
         let emission = self.emission.clone();
         let problem = self.problem.clone();
         let patches = &problem.patches;
-        let broken = problem.broken[a].clone();
+        let groups = self.groups;
+        let mf = self.max_faces;
+        for &v in cluster {
+            let cell = sub.cells[v as usize] as usize;
+            let mat = materials.material(cell);
+            self.in_buf.clear();
+            self.in_buf.extend_from_slice(
+                &self.face_flux[(v as usize * mf) * groups..(v as usize * mf + mf) * groups],
+            );
+            self.out_buf.resize(mf * groups, 0.0);
+            self.psi_buf.resize(groups, 0.0);
+            let in_buf = std::mem::take(&mut self.in_buf);
+            let mut out_buf = std::mem::take(&mut self.out_buf);
+            let mut psi_buf = std::mem::take(&mut self.psi_buf);
+            solve_cell(
+                mesh.as_ref(),
+                cell,
+                self.dir,
+                self.kernel,
+                &mat.sigma_t,
+                &emission[cell * groups..(cell + 1) * groups],
+                &in_buf,
+                &mut out_buf,
+                &mut psi_buf,
+            );
+            self.in_buf = in_buf;
+            self.out_buf = out_buf;
+            self.psi_buf = psi_buf;
+            // Accumulate the angular-weighted cell flux.
+            for g in 0..groups {
+                self.phi_part[v as usize * groups + g] += self.weight * self.psi_buf[g];
+            }
+            // Distribute outgoing face fluxes.
+            for f in 0..mesh.num_faces(cell) {
+                let face = mesh.face(cell, f);
+                if face.flow(self.dir) <= 0.0 {
+                    continue;
+                }
+                let Some(nb) = face.neighbor.cell() else {
+                    continue;
+                };
+                if !broken.is_empty() && broken.contains(&(cell as u32, nb as u32)) {
+                    // Cycle-broken edge: the consumer treats this
+                    // face as vacuum; do not write or stream it.
+                    continue;
+                }
+                let nb_patch = patches.patch_of(nb);
+                if nb_patch == self.id.patch {
+                    // Local downwind neighbour: write straight into
+                    // its incoming face slot.
+                    let nli = patches.local_index(nb);
+                    let mut nface = usize::MAX;
+                    for f2 in 0..mesh.num_faces(nb) {
+                        if mesh.face(nb, f2).neighbor == Neighbor::Interior(cell) {
+                            nface = f2;
+                            break;
+                        }
+                    }
+                    for g in 0..groups {
+                        self.face_flux[(nli * mf + nface) * groups + g] =
+                            self.out_buf[f * groups + g];
+                    }
+                } else {
+                    match sink {
+                        RemoteSink::Streams { writers, counts } => {
+                            // Remote: append to the per-patch stream.
+                            let w = writers.entry(nb_patch).or_insert_with(|| {
+                                let mut w = Writer::with_capacity(64);
+                                w.put_u32(0); // patched below
+                                w
+                            });
+                            w.put_u32(nb as u32);
+                            w.put_u32(cell as u32);
+                            for g in 0..groups {
+                                w.put_f64(self.out_buf[f * groups + g]);
+                            }
+                            *counts.entry(nb_patch).or_default() += 1;
+                        }
+                        RemoteSink::Slots { vals } => {
+                            // Remote: stage in this fine edge's slot;
+                            // the coarse-edge emission reads it back.
+                            let local = sub
+                                .remote_succ(v)
+                                .iter()
+                                .position(|re| re.cell == nb as u32)
+                                .expect("remote face without subgraph edge");
+                            let k = sub.rem_off[v as usize] as usize + local;
+                            vals[k * groups..(k + 1) * groups]
+                                .copy_from_slice(&self.out_buf[f * groups..(f + 1) * groups]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fine-mode `compute()`: pop a cluster of ready vertices
+    /// (recording it when tracing), run the kernel, emit one stream per
+    /// target patch (clustering aggregates messages, §V-C benefit 2).
+    fn compute_fine(&mut self, ctx: &mut ComputeCtx, sub: &Subgraph, broken: &HashSet<(u32, u32)>) {
+        let Sched::Fine { state, trace } = &mut self.sched else {
+            unreachable!("compute_fine on a coarse program");
+        };
         // DAG bookkeeping: pop a cluster of ready vertices.
-        let cluster = self.state.pop_cluster(sub, self.grain, |_, _| {});
+        let cluster = state.pop_cluster(sub, self.grain, |_, _| {});
         if cluster.is_empty() {
             return;
+        }
+        if let Some((t, _)) = trace {
+            t.record(cluster.clone());
         }
         ctx.work_done = cluster.len() as u64;
 
         // Numerical kernel + stream assembly.
         let mut writers: HashMap<PatchId, Writer> = HashMap::new();
         let mut counts: HashMap<PatchId, u32> = HashMap::new();
-        let groups = self.groups;
-        let mf = self.max_faces;
         ctx.kernel(|| {
-            for &v in &cluster {
-                let cell = sub.cells[v as usize] as usize;
-                let mat = materials.material(cell);
-                self.in_buf.clear();
-                self.in_buf.extend_from_slice(
-                    &self.face_flux[(v as usize * mf) * groups..(v as usize * mf + mf) * groups],
-                );
-                self.out_buf.resize(mf * groups, 0.0);
-                self.psi_buf.resize(groups, 0.0);
-                let in_buf = std::mem::take(&mut self.in_buf);
-                let mut out_buf = std::mem::take(&mut self.out_buf);
-                let mut psi_buf = std::mem::take(&mut self.psi_buf);
-                solve_cell(
-                    mesh.as_ref(),
-                    cell,
-                    self.dir,
-                    self.kernel,
-                    &mat.sigma_t,
-                    &emission[cell * groups..(cell + 1) * groups],
-                    &in_buf,
-                    &mut out_buf,
-                    &mut psi_buf,
-                );
-                self.in_buf = in_buf;
-                self.out_buf = out_buf;
-                self.psi_buf = psi_buf;
-                // Accumulate the angular-weighted cell flux.
-                for g in 0..groups {
-                    self.phi_part[v as usize * groups + g] += self.weight * self.psi_buf[g];
-                }
-                // Distribute outgoing face fluxes.
-                for f in 0..mesh.num_faces(cell) {
-                    let face = mesh.face(cell, f);
-                    if face.flow(self.dir) <= 0.0 {
-                        continue;
-                    }
-                    let Some(nb) = face.neighbor.cell() else {
-                        continue;
-                    };
-                    if !broken.is_empty() && broken.contains(&(cell as u32, nb as u32)) {
-                        // Cycle-broken edge: the consumer treats this
-                        // face as vacuum; do not write or stream it.
-                        continue;
-                    }
-                    let nb_patch = patches.patch_of(nb);
-                    if nb_patch == self.id.patch {
-                        // Local downwind neighbour: write straight into
-                        // its incoming face slot.
-                        let nli = patches.local_index(nb);
-                        let mut nface = usize::MAX;
-                        for f2 in 0..mesh.num_faces(nb) {
-                            if mesh.face(nb, f2).neighbor == Neighbor::Interior(cell) {
-                                nface = f2;
-                                break;
-                            }
-                        }
-                        for g in 0..groups {
-                            self.face_flux[(nli * mf + nface) * groups + g] =
-                                self.out_buf[f * groups + g];
-                        }
-                    } else {
-                        // Remote: append to the per-patch stream.
-                        let w = writers.entry(nb_patch).or_insert_with(|| {
-                            let mut w = Writer::with_capacity(64);
-                            w.put_u32(0); // patched below
-                            w
-                        });
-                        w.put_u32(nb as u32);
-                        w.put_u32(cell as u32);
-                        for g in 0..groups {
-                            w.put_f64(self.out_buf[f * groups + g]);
-                        }
-                        *counts.entry(nb_patch).or_default() += 1;
-                    }
-                }
-            }
+            let mut sink = RemoteSink::Streams {
+                writers: &mut writers,
+                counts: &mut counts,
+            };
+            self.kernel_cluster(sub, broken, &cluster, &mut sink);
         });
 
-        // Emit one stream per target patch (clustering aggregates
-        // messages, §V-C benefit 2).
         let mut targets: Vec<(PatchId, Writer)> = writers.into_iter().collect();
         targets.sort_by_key(|(p, _)| *p);
         for (patch, w) in targets {
@@ -238,21 +337,166 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
             });
         }
 
-        // On completion, deposit the scalar-flux contribution.
-        if self.state.is_complete() {
-            let mut part = Vec::new();
-            std::mem::swap(&mut part, &mut self.phi_part);
-            let mut bin = self.flux_bins[self.id.patch.index()].lock();
-            bin.push((self.id.task.0, part));
+        // On completion, deposit the scalar-flux contribution and, when
+        // recording, the cluster trace.
+        let Sched::Fine { state, trace } = &mut self.sched else {
+            unreachable!();
+        };
+        if state.is_complete() {
+            if let Some((t, bins)) = trace.take() {
+                let tid = self
+                    .problem
+                    .tid(self.id.patch.index(), self.id.task.0 as usize);
+                *bins[tid].lock() = Some(t);
+            }
+            self.deposit_flux();
+        }
+    }
+
+    /// Coarse-mode `compute()` (§V-E replay): pop one whole coarse
+    /// vertex, execute its recorded vertex list in order, and emit
+    /// exactly one stream per outgoing coarse edge — no per-vertex
+    /// in-degree bookkeeping, no priority recomputation.
+    fn compute_coarse(
+        &mut self,
+        ctx: &mut ComputeCtx,
+        sub: &Subgraph,
+        broken: &HashSet<(u32, u32)>,
+    ) {
+        let (task, cv) = {
+            let Sched::Coarse {
+                state,
+                task,
+                vertices_left,
+            } = &mut self.sched
+            else {
+                unreachable!("compute_coarse on a fine program");
+            };
+            let Some(cv) = state.pop(&task.coarse) else {
+                return;
+            };
+            *vertices_left -= task.coarse.clusters[cv as usize].len() as u64;
+            (task.clone(), cv)
+        };
+        let cluster = &task.coarse.clusters[cv as usize];
+        // ClusterTrace::record drops empty clusters, so a compiled
+        // coarse vertex is never empty; executing one would emit its
+        // coarse edges without computing anything.
+        assert!(
+            !cluster.is_empty(),
+            "coarse replay scheduled an empty compute cluster (trace contract violated)"
+        );
+        ctx.work_done = cluster.len() as u64;
+
+        let mut vals = std::mem::take(&mut self.remote_vals);
+        let groups = self.groups;
+        // Serialization happens inside the kernel closure, exactly as
+        // the fine path packs its stream items there — keeping the
+        // Kernel/GraphOp split comparable between the two modes.
+        let streams = ctx.kernel(|| {
+            let mut sink = RemoteSink::Slots { vals: &mut vals };
+            self.kernel_cluster(sub, broken, cluster, &mut sink);
+            // One stream per outgoing coarse edge, items pre-resolved.
+            task.emits[cv as usize]
+                .iter()
+                .map(|emit| {
+                    let mut w = Writer::with_capacity(8 + emit.items.len() * (8 + 8 * groups));
+                    w.put_u32(emit.cluster);
+                    w.put_u32(emit.items.len() as u32);
+                    for item in &emit.items {
+                        w.put_u32(item.dst_cell);
+                        w.put_u32(item.src_cell);
+                        let k = item.rem_idx as usize;
+                        for g in 0..groups {
+                            w.put_f64(vals[k * groups + g]);
+                        }
+                    }
+                    Stream {
+                        src: self.id,
+                        dst: ProgramId::new(emit.patch, self.id.task),
+                        payload: w.finish(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        for stream in streams {
+            ctx.send(stream);
+        }
+        self.remote_vals = vals;
+
+        let Sched::Coarse { state, .. } = &self.sched else {
+            unreachable!();
+        };
+        if state.is_complete() {
+            self.deposit_flux();
+        }
+    }
+
+    /// Deposit the finished scalar-flux contribution into the patch bin.
+    fn deposit_flux(&mut self) {
+        let mut part = Vec::new();
+        std::mem::swap(&mut part, &mut self.phi_part);
+        let mut bin = self.flux_bins[self.id.patch.index()].lock();
+        bin.push((self.id.task.0, part));
+    }
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> {
+    fn init(&mut self) {
+        // State is built in `create`; nothing further. Boundary faces
+        // already hold the vacuum condition (zeros).
+    }
+
+    fn input(&mut self, _src: ProgramId, payload: Bytes) {
+        let mut r = Reader::new(payload);
+        if matches!(self.sched, Sched::Coarse { .. }) {
+            // One coarse edge per stream: all items, then a single
+            // in-degree decrement on the target coarse vertex.
+            let cv = r.get_u32();
+            let n = r.get_u32();
+            for _ in 0..n {
+                self.ingest_item(&mut r);
+            }
+            let Sched::Coarse { state, .. } = &mut self.sched else {
+                unreachable!();
+            };
+            state.receive(cv);
+        } else {
+            let n = r.get_u32();
+            for _ in 0..n {
+                let li = self.ingest_item(&mut r);
+                let Sched::Fine { state, .. } = &mut self.sched else {
+                    unreachable!();
+                };
+                state.receive(li);
+            }
+        }
+    }
+
+    fn compute(&mut self, ctx: &mut ComputeCtx) {
+        let (p, a) = (self.id.patch.index(), self.id.task.0 as usize);
+        let subs_arc = self.problem.subs[a].clone();
+        let sub = &subs_arc[p];
+        let broken = self.problem.broken[a].clone();
+        if matches!(self.sched, Sched::Coarse { .. }) {
+            self.compute_coarse(ctx, sub, &broken);
+        } else {
+            self.compute_fine(ctx, sub, &broken);
         }
     }
 
     fn vote_to_halt(&self) -> bool {
-        !self.state.has_ready()
+        match &self.sched {
+            Sched::Fine { state, .. } => !state.has_ready(),
+            Sched::Coarse { state, .. } => !state.has_ready(),
+        }
     }
 
     fn remaining_work(&self) -> u64 {
-        self.state.remaining()
+        match &self.sched {
+            Sched::Fine { state, .. } => state.remaining(),
+            Sched::Coarse { vertices_left, .. } => *vertices_left,
+        }
     }
 }
 
@@ -263,11 +507,34 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
         let s = &self.setup;
         let (p, a) = (id.patch.index(), id.task.0 as usize);
         let sub = &s.problem.subs[a][p];
-        let prio = s.problem.vprio[a][p].clone();
-        let state = SweepState::new(sub, prio);
         let groups = s.materials.num_groups();
         let mf = self.max_faces();
         let n = sub.num_vertices();
+        let (sched, remote_vals) = match &s.mode {
+            SweepMode::Fine { trace_bins } => {
+                let prio = s.problem.vprio[a][p].clone();
+                (
+                    Sched::Fine {
+                        state: SweepState::new(sub, prio),
+                        trace: trace_bins
+                            .as_ref()
+                            .map(|bins| (ClusterTrace::default(), bins.clone())),
+                    },
+                    Vec::new(),
+                )
+            }
+            SweepMode::Coarse { plan } => {
+                let task = plan.tasks[a][p].clone();
+                (
+                    Sched::Coarse {
+                        state: CoarseSweepState::new(&task.coarse),
+                        vertices_left: task.coarse.num_vertices() as u64,
+                        task,
+                    },
+                    vec![0.0; sub.rem_dst.len() * groups],
+                )
+            }
+        };
         SweepProgram {
             id,
             setup_mesh: s.mesh.clone(),
@@ -286,9 +553,10 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
                 .quadrature
                 .direction(jsweep_quadrature::AngleId(id.task.0)),
             max_faces: mf,
-            state,
+            sched,
             face_flux: vec![0.0; n * mf * groups],
             phi_part: vec![0.0; n * groups],
+            remote_vals,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
             psi_buf: Vec::new(),

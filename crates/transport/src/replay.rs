@@ -1,0 +1,189 @@
+//! The compiled coarse-graph replay plan (paper §V-E).
+//!
+//! The first fine-grained (DAG-driven) sweep iteration records, per
+//! `(patch, angle)` task, the vertex clusters its `compute()` calls
+//! formed ([`ClusterTrace`]). Because the mesh — and hence every sweep
+//! DAG — is constant across source iterations, those clusters can be
+//! cached as a **coarsened task graph** and replayed verbatim from the
+//! second iteration on: each coarse vertex executes its recorded vertex
+//! list in order, and each outgoing coarse edge becomes exactly one
+//! stream, so iterations ≥ 2 pay no per-vertex in-degree bookkeeping
+//! and no priority recomputation.
+//!
+//! [`build_plan`] runs [`jsweep_graph::coarse::build_coarse`] per angle
+//! (which enforces the Theorem-1 acyclicity guarantee on the *real*
+//! solver traces) and then resolves every coarse-edge item `P(ce)` down
+//! to the wire format the replay program emits: the destination cell,
+//! the source cell, and the slot in the per-task face-flux staging
+//! buffer the kernel writes while executing the source cluster.
+
+use jsweep_graph::coarse::{build_coarse, ClusterTrace, CoarsenedTask};
+use jsweep_graph::SweepProblem;
+use jsweep_mesh::PatchId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-task trace bins filled during the recording iteration, indexed
+/// by [`SweepProblem::tid`] (`angle * num_patches + patch`). A slot is
+/// `None` until its `(patch, angle)` program completes and deposits.
+pub type TraceBins = Vec<Mutex<Option<ClusterTrace>>>;
+
+/// Allocate empty trace bins for every `(patch, angle)` task.
+pub fn new_trace_bins(num_tasks: usize) -> TraceBins {
+    (0..num_tasks).map(|_| Mutex::new(None)).collect()
+}
+
+/// One item of a replayed coarse edge: which face-flux value travels,
+/// and where it lands.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayItem {
+    /// Consumer cell (global id) on the destination patch.
+    pub dst_cell: u32,
+    /// Producer cell (global id) on the source patch.
+    pub src_cell: u32,
+    /// Index of the fine remote edge in the source subgraph's remote
+    /// CSR — the slot of the staged outgoing face-flux values.
+    pub rem_idx: u32,
+}
+
+/// One outgoing coarse edge of a coarse vertex: a single stream to
+/// `(patch, same angle)` carrying the combined items `P(ce)`.
+#[derive(Debug, Clone)]
+pub struct ReplayEmit {
+    /// Patch owning the target coarse vertex.
+    pub patch: PatchId,
+    /// Target cluster index within that patch's coarsened task.
+    pub cluster: u32,
+    /// The coarse edge's items, in deterministic (source vertex,
+    /// destination cell) order.
+    pub items: Vec<ReplayItem>,
+}
+
+/// The replayable form of one `(patch, angle)` task: the coarsened
+/// task graph plus its pre-resolved stream emissions.
+#[derive(Debug, Clone)]
+pub struct ReplayTask {
+    /// The coarsened task (clusters, coarse in-degrees, internal coarse
+    /// edges) driving [`jsweep_graph::coarse::CoarseSweepState`].
+    pub coarse: CoarsenedTask,
+    /// `emits[cv]`: the streams emitted when coarse vertex `cv`
+    /// finishes — one per outgoing remote coarse edge.
+    pub emits: Vec<Vec<ReplayEmit>>,
+}
+
+/// The full coarse-graph replay plan of a sweep problem, built once
+/// after the recording iteration and shared by all later iterations.
+#[derive(Debug)]
+pub struct CoarsePlan {
+    /// `tasks[angle][patch]`.
+    pub tasks: Vec<Vec<Arc<ReplayTask>>>,
+    /// Host seconds spent coarsening (the paper reports this build cost
+    /// staying below one DAG-driven iteration).
+    pub build_seconds: f64,
+}
+
+impl CoarsePlan {
+    /// Total coarse vertices across all tasks.
+    pub fn num_coarse_vertices(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|per_patch| per_patch.iter())
+            .map(|t| t.coarse.num_clusters())
+            .sum()
+    }
+}
+
+/// Drain the recorded traces out of `bins` into `traces[angle][patch]`
+/// order (the layout [`build_plan`] consumes). Tasks that never
+/// deposited (empty patches) yield an empty trace.
+pub fn collect_traces(problem: &SweepProblem, bins: &TraceBins) -> Vec<Vec<ClusterTrace>> {
+    (0..problem.num_angles)
+        .map(|a| {
+            (0..problem.num_patches())
+                .map(|p| bins[problem.tid(p, a)].lock().take().unwrap_or_default())
+                .collect()
+        })
+        .collect()
+}
+
+/// Compile the coarse-graph replay plan from the recording iteration's
+/// traces (`traces[angle][patch]`).
+///
+/// Runs the Theorem-1 topological check per angle (via
+/// [`build_coarse`], which panics on a cyclic coarse graph — a
+/// scheduler bug) and resolves each coarse-edge item to its staging
+/// slot in the source subgraph's remote-edge CSR.
+pub fn build_plan(problem: &SweepProblem, traces: &[Vec<ClusterTrace>]) -> CoarsePlan {
+    assert_eq!(traces.len(), problem.num_angles);
+    let t0 = std::time::Instant::now();
+    let tasks: Vec<Vec<Arc<ReplayTask>>> = (0..problem.num_angles)
+        .map(|a| {
+            let subs = &problem.subs[a];
+            build_coarse(subs, &traces[a])
+                .into_iter()
+                .enumerate()
+                .map(|(p, coarse)| {
+                    let sub = &subs[p];
+                    let emits: Vec<Vec<ReplayEmit>> = coarse
+                        .remote
+                        .iter()
+                        .map(|edges| {
+                            edges
+                                .iter()
+                                .map(|e| ReplayEmit {
+                                    patch: e.patch,
+                                    cluster: e.cluster,
+                                    items: e
+                                        .items
+                                        .iter()
+                                        .map(|&(v, cell)| {
+                                            let local = sub
+                                                .remote_succ(v)
+                                                .iter()
+                                                .position(|re| re.cell == cell)
+                                                .expect("coarse-edge item without fine edge");
+                                            ReplayItem {
+                                                dst_cell: cell,
+                                                src_cell: sub.cells[v as usize],
+                                                rem_idx: sub.rem_off[v as usize] + local as u32,
+                                            }
+                                        })
+                                        .collect(),
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    Arc::new(ReplayTask { coarse, emits })
+                })
+                .collect()
+        })
+        .collect();
+    CoarsePlan {
+        tasks,
+        build_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bins_collect_to_default_traces() {
+        let m = jsweep_mesh::StructuredMesh::unit(2, 2, 2);
+        let ps = jsweep_mesh::partition::decompose_structured(&m, (2, 2, 2), 1);
+        let q = jsweep_quadrature::QuadratureSet::sn(2);
+        let prob = SweepProblem::build(
+            &m,
+            ps,
+            &q,
+            &jsweep_graph::problem::ProblemOptions::default(),
+        );
+        let bins = new_trace_bins(prob.num_tasks());
+        let traces = collect_traces(&prob, &bins);
+        assert_eq!(traces.len(), prob.num_angles);
+        assert!(traces
+            .iter()
+            .all(|per_patch| per_patch.iter().all(|t| t.clusters.is_empty())));
+    }
+}

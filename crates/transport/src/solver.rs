@@ -18,9 +18,11 @@
 #![allow(clippy::type_complexity)]
 
 use crate::kernel::{solve_cell, KernelKind};
-use crate::program::{FluxBins, SweepFactory, SweepSetup};
+use crate::program::{FluxBins, SweepFactory, SweepMode, SweepSetup};
+use crate::replay::{build_plan, collect_traces, new_trace_bins, CoarsePlan};
 use crate::xs::MaterialSet;
 use jsweep_core::{run_universe, RunStats, RuntimeConfig, TerminationKind};
+use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
 use jsweep_quadrature::QuadratureSet;
@@ -45,6 +47,12 @@ pub struct SnConfig {
     /// Detect and break cyclic sweep dependencies (needed for deformed
     /// meshes; adds a per-direction analysis pass).
     pub break_cycles: bool,
+    /// Coarse-graph replay (§V-E, parallel solver): record the first
+    /// iteration's vertex clusters, cache them as a coarsened task
+    /// graph, and run iterations ≥ 2 on it — skipping per-vertex
+    /// scheduling. Bit-identical flux either way; `false` keeps every
+    /// iteration on the fine DAG path.
+    pub coarsen: bool,
 }
 
 impl Default for SnConfig {
@@ -57,6 +65,7 @@ impl Default for SnConfig {
             workers_per_rank: 2,
             termination: TerminationKind::Counting,
             break_cycles: false,
+            coarsen: true,
         }
     }
 }
@@ -73,6 +82,9 @@ pub struct SnSolution {
     /// Runtime statistics per iteration (parallel solver only; one
     /// entry per iteration, aggregated over ranks).
     pub stats: Vec<RunStats>,
+    /// Host seconds spent building the coarse replay plan (parallel
+    /// solver with [`SnConfig::coarsen`]; `0.0` otherwise).
+    pub coarse_build_seconds: f64,
 }
 
 /// Emission density `(σ_s φ + Q)/4π` per cell and group.
@@ -208,6 +220,7 @@ pub fn solve_serial<T: SweepTopology + ?Sized>(
         iterations,
         residual,
         stats: Vec::new(),
+        coarse_build_seconds: 0.0,
     }
 }
 
@@ -249,11 +262,80 @@ fn topological_order<T: SweepTopology + ?Sized>(
     order
 }
 
+/// Run one parallel sweep iteration in the given scheduling mode:
+/// build the factory, run the universe, fold the per-(patch, angle)
+/// flux contributions in angle order (schedule-independent
+/// floating-point result). Returns the aggregated stats and `φ_new`.
+fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
+    mesh: &Arc<T>,
+    problem: &Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: &Arc<MaterialSet>,
+    config: &SnConfig,
+    phi: &[f64],
+    mode: SweepMode,
+) -> (RunStats, Vec<f64>) {
+    let n = mesh.num_cells();
+    let groups = materials.num_groups();
+    let num_ranks = problem.patches.num_ranks();
+    let emission = Arc::new(emission_density(materials, phi));
+    let flux_bins: Arc<FluxBins> = Arc::new(
+        (0..problem.num_patches())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+    );
+    let factory = Arc::new(SweepFactory::new(SweepSetup {
+        mesh: mesh.clone(),
+        problem: problem.clone(),
+        quadrature: quadrature.clone(),
+        materials: materials.clone(),
+        emission,
+        kernel: config.kernel,
+        grain: config.grain,
+        flux_bins: flux_bins.clone(),
+        mode,
+    }));
+    let stats = run_universe(
+        num_ranks,
+        factory,
+        RuntimeConfig {
+            num_workers: config.workers_per_rank,
+            termination: config.termination,
+            // Default batching knobs: frame aggregation + report
+            // batching are pure overhead wins for sweeps.
+            ..Default::default()
+        },
+    );
+
+    let mut phi_new = vec![0.0; n * groups];
+    for p in problem.patches.patches() {
+        let mut bin = flux_bins[p.index()].lock();
+        bin.sort_by_key(|(angle, _)| *angle);
+        let cells = problem.patches.cells(p);
+        for (_, part) in bin.iter() {
+            assert_eq!(part.len(), cells.len() * groups);
+            for (li, &cell) in cells.iter().enumerate() {
+                for g in 0..groups {
+                    phi_new[cell as usize * groups + g] += part[li * groups + g];
+                }
+            }
+        }
+    }
+    (RunStats::aggregate(&stats), phi_new)
+}
+
 /// The JSweep parallel solver.
 ///
 /// `problem` carries the decomposition and priorities (see
 /// [`jsweep_graph::problem::SweepProblem::build`]); the patch set's rank
 /// distribution determines the number of simulated MPI ranks.
+///
+/// With [`SnConfig::coarsen`] (the default), the first iteration runs
+/// the fine DAG-driven sweep while recording each task's cluster
+/// formation; the recorded clusters are compiled into a coarse replay
+/// plan (§V-E, with the Theorem-1 acyclicity check), and every later
+/// iteration replays it — same flux bit-for-bit, with the graph-op
+/// share of the [`RunStats`] breakdown visibly reduced.
 pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
     mesh: Arc<T>,
     problem: Arc<SweepProblem>,
@@ -261,66 +343,48 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
     materials: Arc<MaterialSet>,
     config: &SnConfig,
 ) -> SnSolution {
-    let n = mesh.num_cells();
-    let groups = materials.num_groups();
-    let num_ranks = problem.patches.num_ranks();
-    let mut phi = vec![0.0; n * groups];
+    let mut phi = vec![0.0; mesh.num_cells() * materials.num_groups()];
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     let mut all_stats = Vec::new();
+    let mut plan: Option<Arc<CoarsePlan>> = None;
+    let mut coarse_build_seconds = 0.0;
 
     for _ in 0..config.max_iterations {
-        let emission = Arc::new(emission_density(&materials, &phi));
-        let flux_bins: Arc<FluxBins> = Arc::new(
-            (0..problem.num_patches())
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
-        );
-        let factory = Arc::new(SweepFactory::new(SweepSetup {
-            mesh: mesh.clone(),
-            problem: problem.clone(),
-            quadrature: quadrature.clone(),
-            materials: materials.clone(),
-            emission,
-            kernel: config.kernel,
-            grain: config.grain,
-            flux_bins: flux_bins.clone(),
-        }));
-        let stats = run_universe(
-            num_ranks,
-            factory,
-            RuntimeConfig {
-                num_workers: config.workers_per_rank,
-                termination: config.termination,
-                // Default batching knobs: frame aggregation + report
-                // batching are pure overhead wins for sweeps.
-                ..Default::default()
-            },
-        );
-        all_stats.push(RunStats::aggregate(&stats));
-
-        // Fold the per-(patch, angle) contributions in angle order for a
-        // schedule-independent floating-point result.
-        let mut phi_new = vec![0.0; n * groups];
-        for p in problem.patches.patches() {
-            let mut bin = flux_bins[p.index()].lock();
-            bin.sort_by_key(|(angle, _)| *angle);
-            let cells = problem.patches.cells(p);
-            for (_, part) in bin.iter() {
-                assert_eq!(part.len(), cells.len() * groups);
-                for (li, &cell) in cells.iter().enumerate() {
-                    for g in 0..groups {
-                        phi_new[cell as usize * groups + g] += part[li * groups + g];
-                    }
-                }
+        let (mode, bins) = match (&plan, config.coarsen) {
+            (Some(p), _) => (SweepMode::Coarse { plan: p.clone() }, None),
+            (None, true) => {
+                let b = Arc::new(new_trace_bins(problem.num_tasks()));
+                (
+                    SweepMode::Fine {
+                        trace_bins: Some(b.clone()),
+                    },
+                    Some(b),
+                )
             }
-        }
+            (None, false) => (SweepMode::Fine { trace_bins: None }, None),
+        };
+        let (stats, phi_new) =
+            sweep_iteration(&mesh, &problem, quadrature, &materials, config, &phi, mode);
+        all_stats.push(stats);
 
         iterations += 1;
         residual = relative_change(&phi_new, &phi);
         phi = phi_new;
         if residual < config.tolerance {
             break;
+        }
+        // Compile the replay plan once the recording iteration is in —
+        // skipped when no iteration remains to replay it (converged
+        // above, or max_iterations exhausted).
+        if iterations >= config.max_iterations {
+            break;
+        }
+        if let Some(b) = bins {
+            let traces = collect_traces(&problem, &b);
+            let built = build_plan(&problem, &traces);
+            coarse_build_seconds = built.build_seconds;
+            plan = Some(Arc::new(built));
         }
     }
 
@@ -329,7 +393,40 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
         iterations,
         residual,
         stats: all_stats,
+        coarse_build_seconds,
     }
+}
+
+/// Run a single fine-mode parallel sweep iteration (zero incoming
+/// flux) recording every task's cluster formation; returns the traces
+/// as `traces[angle][patch]` — the layout
+/// [`crate::replay::build_plan`] and
+/// [`jsweep_graph::coarse::build_coarse`] consume.
+///
+/// This is the recording half of §V-E exposed on its own, for tests
+/// and benchmarks that want to inspect real solver traces (e.g. the
+/// Theorem-1 property test).
+pub fn record_cluster_traces<T: SweepTopology + Send + Sync + 'static>(
+    mesh: Arc<T>,
+    problem: Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: Arc<MaterialSet>,
+    config: &SnConfig,
+) -> Vec<Vec<ClusterTrace>> {
+    let bins = Arc::new(new_trace_bins(problem.num_tasks()));
+    let phi = vec![0.0; mesh.num_cells() * materials.num_groups()];
+    let _ = sweep_iteration(
+        &mesh,
+        &problem,
+        quadrature,
+        &materials,
+        config,
+        &phi,
+        SweepMode::Fine {
+            trace_bins: Some(bins.clone()),
+        },
+    );
+    collect_traces(&problem, &bins)
 }
 
 #[cfg(test)]

@@ -27,8 +27,11 @@ use std::sync::Arc;
 /// A particle: position, unit direction, remaining path budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Particle {
+    /// Current position.
     pub pos: [f64; 3],
+    /// Unit flight direction.
     pub dir: [f64; 3],
+    /// Path length left before the particle is absorbed.
     pub remaining: f64,
 }
 

@@ -215,6 +215,121 @@ fn worker_count_does_not_change_physics() {
 }
 
 #[test]
+fn coarse_replay_bit_identical_structured_both_terminations() {
+    // §V-E golden: with coarsen on, iterations ≥ 2 run on the
+    // coarsened graph, yet the flux must equal the fine path *bit for
+    // bit* — the replay executes the same cells with the same inputs.
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let patches = decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    for termination in [TerminationKind::Counting, TerminationKind::Safra] {
+        let mut fine_cfg = config();
+        fine_cfg.termination = termination;
+        fine_cfg.coarsen = false;
+        let mut coarse_cfg = fine_cfg.clone();
+        coarse_cfg.coarsen = true;
+        let fine = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &fine_cfg);
+        let coarse = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &coarse_cfg);
+        assert_eq!(
+            fine.phi, coarse.phi,
+            "replay flux must be bit-identical ({termination:?})"
+        );
+        assert_eq!(fine.iterations, coarse.iterations);
+        assert!(coarse.iterations >= 2, "need replay iterations to compare");
+        assert!(coarse.coarse_build_seconds > 0.0, "plan was never built");
+        assert_eq!(fine.coarse_build_seconds, 0.0);
+        // Both paths complete the same committed workload per
+        // iteration. (Compute-*call* counts are scheduling noise —
+        // spurious activations — and are compared in the bench, not
+        // asserted here.)
+        for (f, c) in fine.stats.iter().zip(&coarse.stats) {
+            assert_eq!(f.work_done, c.work_done);
+        }
+    }
+}
+
+#[test]
+fn coarse_replay_bit_identical_unstructured_both_terminations() {
+    let mesh = Arc::new(jsweep::mesh::tetgen::ball(3, 1.0));
+    let n = mesh.num_cells();
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        n,
+        Material {
+            sigma_t: vec![1.0, 2.0],
+            sigma_s: vec![0.5, 0.8],
+            source: vec![1.0, 0.5],
+        },
+    ));
+    let patches = decompose_unstructured(mesh.as_ref(), 64, 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    for termination in [TerminationKind::Counting, TerminationKind::Safra] {
+        let mut fine_cfg = config();
+        fine_cfg.termination = termination;
+        fine_cfg.coarsen = false;
+        let mut coarse_cfg = fine_cfg.clone();
+        coarse_cfg.coarsen = true;
+        let fine = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &fine_cfg);
+        let coarse = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &coarse_cfg);
+        assert_eq!(
+            fine.phi, coarse.phi,
+            "replay flux must be bit-identical on tets ({termination:?})"
+        );
+        assert!(coarse.iterations >= 2);
+    }
+}
+
+#[test]
+fn coarse_replay_bit_identical_deformed_with_cycle_breaking() {
+    // Broken upwind edges must be excluded identically from the fine
+    // DAG and the replayed coarse graph.
+    use jsweep::mesh::deformed::DeformedMesh;
+    let mesh = Arc::new(DeformedMesh::jittered(5, 5, 5, 0.3, 23));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        125,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let mut patches = jsweep::mesh::partition::rcb(mesh.as_ref(), 4);
+    patches.distribute((0..4).map(|p| (p % 2) as u32).collect(), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            check_cycles: true,
+            ..Default::default()
+        },
+    ));
+    let mut fine_cfg = config();
+    fine_cfg.break_cycles = true;
+    fine_cfg.coarsen = false;
+    let mut coarse_cfg = fine_cfg.clone();
+    coarse_cfg.coarsen = true;
+    let fine = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &fine_cfg);
+    let coarse = solve_parallel(mesh.clone(), prob, &quad, mats, &coarse_cfg);
+    assert_eq!(fine.phi, coarse.phi);
+}
+
+#[test]
 fn deformed_mesh_sweeps_complete_with_cycle_breaking() {
     use jsweep::graph::{cycles, Subgraph, SweepState};
 

@@ -90,6 +90,48 @@ proptest! {
     }
 
     #[test]
+    fn solver_recorded_traces_coarsen_acyclically(
+        n in 3usize..6,
+        px in 2usize..4,
+        grain in 1usize..48,
+    ) {
+        // Theorem 1 on *real* solver traces: record a fine parallel
+        // iteration (threaded runtime, 2 ranks × 2 workers — genuine
+        // scheduling nondeterminism) and feed every angle's traces
+        // through build_coarse, whose topological check panics on a
+        // cyclic coarse graph.
+        use jsweep::transport::{record_cluster_traces, Material, MaterialSet, SnConfig};
+        use std::sync::Arc;
+        let mesh = Arc::new(StructuredMesh::unit(n, n, n));
+        let num_patches = n.div_ceil(px).pow(3);
+        let ranks = num_patches.min(2);
+        let ps = partition::decompose_structured(&mesh, (px, px, px), ranks);
+        let quad = QuadratureSet::sn(2);
+        let prob = Arc::new(jsweep::graph::SweepProblem::build(
+            mesh.as_ref(),
+            ps,
+            &quad,
+            &jsweep::graph::ProblemOptions::default(),
+        ));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            mesh.num_cells(),
+            Material::uniform(1, 1.0, 0.5, 1.0),
+        ));
+        let cfg = SnConfig { grain, workers_per_rank: 2, ..Default::default() };
+        let traces = record_cluster_traces(mesh.clone(), prob.clone(), &quad, mats, &cfg);
+        prop_assert_eq!(traces.len(), prob.num_angles);
+        for (a, angle_traces) in traces.iter().enumerate() {
+            // Panics on a Theorem-1 violation or an incomplete trace.
+            let tasks = build_coarse(&prob.subs[a], angle_traces);
+            let covered: usize = tasks.iter().map(|t| t.num_vertices()).sum();
+            prop_assert_eq!(covered, mesh.num_cells());
+            // Clustering never grows the graph.
+            let coarse: usize = tasks.iter().map(|t| t.num_clusters()).sum();
+            prop_assert!(coarse <= mesh.num_cells());
+        }
+    }
+
+    #[test]
     fn rcb_partitions_cover_exactly(
         n in 2usize..5,
         parts in 1usize..9,
