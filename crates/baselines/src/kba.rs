@@ -23,8 +23,11 @@ use jsweep_quadrature::QuadratureSet;
 /// `chunk_z` planes per pipeline stage.
 #[derive(Debug, Clone)]
 pub struct KbaLayout {
+    /// Rank-grid extent along x.
     pub px: usize,
+    /// Rank-grid extent along y.
     pub py: usize,
+    /// Mesh planes per pipeline stage along the sweep axis z.
     pub chunk_z: usize,
 }
 

@@ -16,6 +16,8 @@
 //! All run in the same virtual-time [`jsweep_des::MachineModel`] as
 //! JSweep itself, so comparisons isolate the *scheduling* differences.
 
+#![deny(missing_docs)]
+
 pub mod bsp;
 pub mod kba;
 pub mod psd;

@@ -11,6 +11,8 @@
 //! Reported core counts are *paper-axis* values; the `sim cores`
 //! column shows what was actually simulated.
 
+#![deny(missing_docs)]
+
 pub mod figs;
 pub mod setups;
 pub mod table;

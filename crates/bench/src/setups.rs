@@ -18,15 +18,19 @@ pub fn cores(ranks: usize) -> usize {
 /// Priority pair in the paper's "patch+vertex" notation.
 #[derive(Debug, Clone, Copy)]
 pub struct Strategies {
+    /// Patch-level priority strategy (the first name in "X+Y").
     pub patch: PriorityStrategy,
+    /// Vertex-level priority strategy (the second name).
     pub vertex: PriorityStrategy,
 }
 
 impl Strategies {
+    /// The paper's "patch+vertex" display name, e.g. `SLBD+SLBD`.
     pub fn name(&self) -> String {
         format!("{}+{}", self.patch.name(), self.vertex.name())
     }
 
+    /// The paper's default pair: SLBD at both levels.
     pub const SLBD2: Strategies = Strategies {
         patch: PriorityStrategy::Slbd,
         vertex: PriorityStrategy::Slbd,
@@ -165,6 +169,29 @@ impl ReplayScenario {
             self.materials.clone(),
             &config,
         )
+    }
+
+    /// Solve with coarsening through a cross-solve [`jsweep_transport::PlanCache`]:
+    /// the first call records and compiles, every later call replays
+    /// the cached plan from iteration 1. Used by the `plan_cache`
+    /// multi-solve bench.
+    pub fn solve_cached(
+        &self,
+        cache: &jsweep_transport::PlanCache,
+    ) -> jsweep_transport::SnSolution {
+        jsweep_transport::solve_parallel_cached(
+            self.mesh.clone(),
+            self.problem.clone(),
+            &self.quad,
+            self.materials.clone(),
+            &self.config,
+            cache,
+        )
+    }
+
+    /// The cache key of this scenario's plan (for memory reporting).
+    pub fn plan_key(&self) -> jsweep_transport::PlanKey {
+        jsweep_transport::plan_key(&self.problem, self.config.grain)
     }
 }
 

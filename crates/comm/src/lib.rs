@@ -17,6 +17,8 @@
 //! * [`pack`] is the byte-level stream codec (the pack/unpack cost that
 //!   Fig. 16 profiles).
 
+#![deny(missing_docs)]
+
 pub mod pack;
 pub mod termination;
 

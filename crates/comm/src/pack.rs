@@ -27,18 +27,22 @@ impl Writer {
         }
     }
 
+    /// Append a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.put_u32_le(v);
     }
 
+    /// Append a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.put_u64_le(v);
     }
 
+    /// Append a little-endian `i64`.
     pub fn put_i64(&mut self, v: i64) {
         self.buf.put_i64_le(v);
     }
 
+    /// Append a little-endian `f64` (bit-exact, NaN payloads included).
     pub fn put_f64(&mut self, v: f64) {
         self.buf.put_f64_le(v);
     }
@@ -102,18 +106,22 @@ impl Reader {
         Reader { buf }
     }
 
+    /// Read the next little-endian `u32`.
     pub fn get_u32(&mut self) -> u32 {
         self.buf.get_u32_le()
     }
 
+    /// Read the next little-endian `u64`.
     pub fn get_u64(&mut self) -> u64 {
         self.buf.get_u64_le()
     }
 
+    /// Read the next little-endian `i64`.
     pub fn get_i64(&mut self) -> i64 {
         self.buf.get_i64_le()
     }
 
+    /// Read the next little-endian `f64` (bit-exact).
     pub fn get_f64(&mut self) -> f64 {
         self.buf.get_f64_le()
     }

@@ -62,6 +62,16 @@ pub struct RuntimeConfig {
     /// frames flush at the end of each master drain round. `1`
     /// restores one-message-per-stream behaviour.
     pub max_frame_streams: usize,
+    /// Batching knob: program claims a worker takes per pool
+    /// round-trip. Only already-ready programs are batched, so sparse
+    /// workloads still flow one at a time — which is why the default
+    /// of 8 measured fine for both fine-grained compute storms and
+    /// few-large-compute replay iterations (see the coarse-replay
+    /// tuning notes in `jsweep-transport::solver`; shrinking the batch
+    /// bought nothing there). The knob exists for workloads where
+    /// claim latency provably dominates; `1` restores
+    /// one-claim-per-round-trip behaviour.
+    pub claim_batch: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +81,7 @@ impl Default for RuntimeConfig {
             termination: TerminationKind::Counting,
             report_flush_streams: 32,
             max_frame_streams: 256,
+            claim_batch: 8,
         }
     }
 }
@@ -109,10 +120,8 @@ fn worker_loop<F: ProgramFactory>(
     factory: Arc<F>,
     to_master: Sender<Report>,
     flush_streams: usize,
+    claim_batch: usize,
 ) -> (Breakdown, u64) {
-    /// Claims taken per pool round-trip. Only already-ready programs
-    /// are batched, so sparse workloads still flow one at a time.
-    const CLAIM_BATCH: usize = 8;
     let mut bd = Breakdown::default();
     let mut compute_calls = 0u64;
     let mut batch = Report::default();
@@ -121,9 +130,9 @@ fn worker_loop<F: ProgramFactory>(
     loop {
         // Flush the batch before blocking, never while work is ready:
         // streams keep moving, and quiescence stays honest.
-        if pool.try_take_batch(worker, CLAIM_BATCH, &mut claims) == 0 {
+        if pool.try_take_batch(worker, claim_batch, &mut claims) == 0 {
             flush_report(&pool, &to_master, &mut batch, &mut bd);
-            if pool.take_batch(worker, CLAIM_BATCH, &mut claims, &mut bd) == 0 {
+            if pool.take_batch(worker, claim_batch, &mut claims, &mut bd) == 0 {
                 break;
             }
         }
@@ -400,10 +409,11 @@ pub fn run_rank<F: ProgramFactory>(
         let factory = factory.clone();
         let tx = to_master.clone();
         let flush_streams = config.report_flush_streams.max(1);
+        let claim_batch = config.claim_batch.max(1);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{rank}-worker-{w}"))
-                .spawn(move || worker_loop(w, pool, factory, tx, flush_streams))
+                .spawn(move || worker_loop(w, pool, factory, tx, flush_streams, claim_batch))
                 .expect("spawn worker"),
         );
     }

@@ -19,6 +19,8 @@
 //! quadrature, pick a [`MachineModel`], and call [`simulate`] (or
 //! [`simulate_coarse`] for the coarsened-graph replay of §V-E).
 
+#![deny(missing_docs)]
+
 pub mod machine;
 pub mod sim;
 

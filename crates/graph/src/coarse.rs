@@ -96,6 +96,25 @@ impl CoarsenedTask {
     pub fn num_vertices(&self) -> usize {
         self.clusters.iter().map(|c| c.len()).sum()
     }
+
+    /// Estimated heap footprint of this coarsened task — what caching
+    /// it across iterations (and, with a plan cache, across solves)
+    /// costs. Used to report the octant-sharing memory saving.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.clusters.len() * size_of::<Vec<u32>>()
+            + self.num_vertices() * size_of::<u32>()
+            + self.in_degree.len() * size_of::<u32>()
+            + self.int_off.len() * size_of::<u32>()
+            + self.int_dst.len() * size_of::<u32>()
+            + self.remote.len() * size_of::<Vec<CoarseRemoteEdge>>()
+            + self
+                .remote
+                .iter()
+                .flat_map(|edges| edges.iter())
+                .map(|e| size_of::<CoarseRemoteEdge>() + e.items.len() * size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
 }
 
 /// Build the coarsened tasks of every patch for one angle from the

@@ -27,6 +27,8 @@ pub struct DeformedMesh {
     nz: usize,
     /// Vertex lattice of (nx+1)(ny+1)(nz+1) points.
     vertices: Vec<[f64; 3]>,
+    /// Topology generation stamp (see [`crate::next_generation`]).
+    generation: u64,
 }
 
 /// For local face `f` (ordering `-x,+x,-y,+y,-z,+z` as in
@@ -99,6 +101,7 @@ impl DeformedMesh {
             ny,
             nz,
             vertices,
+            generation: crate::next_generation(),
         }
     }
 
@@ -164,6 +167,10 @@ impl DeformedMesh {
 impl SweepTopology for DeformedMesh {
     fn num_cells(&self) -> usize {
         self.nx * self.ny * self.nz
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn num_faces(&self, _c: usize) -> usize {

@@ -37,6 +37,26 @@ pub use patch::{PatchId, PatchSet};
 pub use structured::StructuredMesh;
 pub use tet::TetMesh;
 
+/// Process-wide monotonic source of mesh generation stamps.
+///
+/// Starts at 1 so a stamp of 0 can never name a live mesh (useful as a
+/// "no mesh" sentinel in caches).
+static MESH_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Draw a fresh, process-unique generation stamp.
+///
+/// Every topology-constructing operation — `StructuredMesh::new`,
+/// `TetMesh::new`, `DeformedMesh::jittered`, and therefore every
+/// [`refine`] call — draws one, so two meshes share a stamp only when
+/// one is a `clone()` of the other (identical topology by
+/// construction). Downstream caches (the coarse-replay
+/// `PlanCache` of `jsweep-transport`) key compiled scheduling state on
+/// the stamp: any refinement or rebuild yields a stamp never seen
+/// before, so stale plans can never be replayed.
+pub fn next_generation() -> u64 {
+    MESH_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Identifier a boundary face carries instead of a neighbouring cell.
 ///
 /// Transport solvers map boundary ids to boundary conditions (vacuum,
@@ -102,6 +122,16 @@ pub trait SweepTopology: Sync {
     /// Total number of cells.
     fn num_cells(&self) -> usize;
 
+    /// The mesh's topology generation stamp (see [`next_generation`]).
+    ///
+    /// Contract: two meshes with the same stamp have identical
+    /// topology; any operation that produces a different topology
+    /// (refinement, rebuild from scratch) produces a mesh with a fresh,
+    /// strictly larger stamp. `clone()` keeps the stamp — the clone
+    /// *is* the same topology. Sweep-plan caches use the stamp to
+    /// invalidate compiled scheduling state.
+    fn generation(&self) -> u64;
+
     /// Number of faces of cell `c` (6 for hexahedra, 4 for tetrahedra).
     fn num_faces(&self, c: usize) -> usize;
 
@@ -150,6 +180,22 @@ pub trait SweepTopology: Sync {
             })
             .collect()
     }
+}
+
+/// Index of the face of `cell` that touches interior neighbour
+/// `neighbor`, or `None` when the two cells are not adjacent.
+///
+/// The single definition of face-toward-neighbour lookup shared by the
+/// transport stack (fine stream ingest, the kernel's local downwind
+/// write, and the replay plan compiler): their face-slot arithmetic
+/// must agree exactly, because the replay wire format ships
+/// sender-resolved slots the receiver indexes with.
+pub fn face_toward<T: SweepTopology + ?Sized>(
+    mesh: &T,
+    cell: usize,
+    neighbor: usize,
+) -> Option<usize> {
+    (0..mesh.num_faces(cell)).find(|&f| mesh.face(cell, f).neighbor == Neighbor::Interior(neighbor))
 }
 
 /// Check the symmetry contract of [`SweepTopology`] on a whole mesh;

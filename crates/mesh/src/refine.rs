@@ -128,6 +128,30 @@ mod tests {
     }
 
     #[test]
+    fn refinement_bumps_the_generation_stamp() {
+        // The plan-cache invalidation contract: any refinement yields a
+        // strictly larger, never-before-seen stamp, while clones keep
+        // the original's (same topology, same stamp).
+        let m = StructuredMesh::unit(2, 2, 2);
+        let r = refine_structured(&m);
+        assert!(r.generation() > m.generation());
+        assert_eq!(m.clone().generation(), m.generation());
+
+        let t = tetgen::cube(1, 1.0);
+        let rt = refine_tets(&t);
+        assert!(rt.generation() > t.generation());
+        let rtn = refine_tets_n(&t, 2);
+        assert!(rtn.generation() > rt.generation());
+    }
+
+    #[test]
+    fn independent_meshes_never_share_a_generation() {
+        let a = StructuredMesh::unit(3, 3, 3);
+        let b = StructuredMesh::unit(3, 3, 3);
+        assert_ne!(a.generation(), b.generation());
+    }
+
+    #[test]
     fn zero_levels_is_identity() {
         let m = tetgen::cube(1, 1.0);
         let r = refine_tets_n(&m, 0);

@@ -40,6 +40,8 @@ pub struct StructuredMesh {
     /// Optional per-cell material id (for heterogeneous benchmarks such
     /// as Kobayashi); empty means "single material 0".
     materials: Vec<u16>,
+    /// Topology generation stamp (see [`crate::next_generation`]).
+    generation: u64,
 }
 
 impl StructuredMesh {
@@ -71,6 +73,7 @@ impl StructuredMesh {
             origin,
             spacing,
             materials: Vec::new(),
+            generation: crate::next_generation(),
         }
     }
 
@@ -166,6 +169,10 @@ impl StructuredMesh {
 impl SweepTopology for StructuredMesh {
     fn num_cells(&self) -> usize {
         self.nx * self.ny * self.nz
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn num_faces(&self, _c: usize) -> usize {

@@ -28,6 +28,8 @@ pub struct TetMesh {
     face_normal: Vec<[f64; 3]>,
     /// `4*ncells` face areas.
     face_area: Vec<f64>,
+    /// Topology generation stamp (see [`crate::next_generation`]).
+    generation: u64,
 }
 
 /// Local faces of tet `(v0,v1,v2,v3)`: face `i` omits vertex `i`.
@@ -147,6 +149,7 @@ impl TetMesh {
             face_neighbor,
             face_normal,
             face_area,
+            generation: crate::next_generation(),
         }
     }
 
@@ -187,6 +190,10 @@ impl TetMesh {
 impl SweepTopology for TetMesh {
     fn num_cells(&self) -> usize {
         self.tets.len()
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn num_faces(&self, _c: usize) -> usize {

@@ -16,6 +16,8 @@
 //! The sweep *scheduling* behaviour studied by the paper depends only on
 //! the direction unit vectors (they induce the DAG), never on the weights.
 
+#![deny(missing_docs)]
+
 pub mod octant;
 pub mod sn;
 
@@ -52,6 +54,7 @@ impl Ordinate {
 pub struct AngleId(pub u32);
 
 impl AngleId {
+    /// The id as a plain array index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize

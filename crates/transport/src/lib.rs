@@ -10,9 +10,11 @@
 //! * [`program`] — `SweepPatchProgram` (paper Listing 1): the
 //!   patch-program gluing [`jsweep_graph::SweepState`] to the kernels
 //!   and stream codec, plus its [`jsweep_core::ProgramFactory`];
-//! * [`replay`] — the compiled coarse-graph replay plan (§V-E):
-//!   cluster traces recorded in iteration 1 become the coarsened task
-//!   graph iterations ≥ 2 execute;
+//! * [`replay`] — the compiled coarse-graph replay plan and its
+//!   lifecycle (§V-E): cluster traces recorded in iteration 1 become
+//!   the coarsened task graph iterations ≥ 2 execute, cached across
+//!   solves by a [`PlanCache`] and invalidated by the mesh generation
+//!   stamp (see `docs/replay.md`);
 //! * [`solver`] — source iteration drivers: the JSweep-parallel solver
 //!   on the threaded runtime and a serial reference solver used as the
 //!   golden result in tests;
@@ -30,6 +32,9 @@ pub mod trace;
 pub mod xs;
 
 pub use kernel::KernelKind;
-pub use replay::CoarsePlan;
-pub use solver::{record_cluster_traces, solve_parallel, solve_serial, SnConfig, SnSolution};
+pub use replay::{plan_key, CoarsePlan, PlanCache, PlanKey};
+pub use solver::{
+    record_cluster_traces, solve_parallel, solve_parallel_cached, solve_serial, SnConfig,
+    SnSolution,
+};
 pub use xs::{Material, MaterialSet};

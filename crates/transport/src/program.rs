@@ -18,9 +18,13 @@
 //!
 //! Stream payload formats (see `jsweep_comm::pack`): fine streams are
 //! `u32 item_count` then per item `u32 dst_cell`, `u32 src_cell`,
-//! `groups × f64` face flux values. Coarse streams prepend the target
-//! coarse-vertex index: `u32 dst_cluster`, then the same item block —
-//! one receive() per stream instead of one per item.
+//! `groups × f64` face flux values (the receiver scans the destination
+//! cell's faces to find the upwind slot). Coarse streams are fully
+//! pre-resolved at plan-build time: `u32 dst_cluster`, `u32 item_count`,
+//! then per item `u32 dst_slot` (`local_cell * max_faces + face` on the
+//! receiver — written straight into `face_flux`, no adjacency scan) and
+//! `groups × f64` flux values — one `receive()` per stream instead of
+//! one per item, and 4 bytes of addressing per item instead of 8.
 
 use crate::kernel::{solve_cell, KernelKind};
 use crate::replay::{CoarsePlan, ReplayTask, TraceBins};
@@ -30,7 +34,7 @@ use jsweep_comm::pack::{Reader, Writer};
 use jsweep_core::{ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag};
 use jsweep_graph::coarse::{ClusterTrace, CoarseSweepState};
 use jsweep_graph::{Subgraph, SweepProblem, SweepState};
-use jsweep_mesh::{Neighbor, PatchId, SweepTopology};
+use jsweep_mesh::{PatchId, SweepTopology};
 use jsweep_quadrature::QuadratureSet;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -128,7 +132,10 @@ enum RemoteSink<'a> {
         counts: &'a mut HashMap<PatchId, u32>,
     },
     /// Coarse mode: stage values in the per-fine-remote-edge slots the
-    /// pre-resolved [`ReplayTask`] emissions read from.
+    /// pre-resolved [`ReplayTask`] emissions read from. Slots are
+    /// assigned by a running per-vertex counter — remote downwind faces
+    /// are visited in the same face order the subgraph packed its
+    /// remote CSR in, so no per-face position scan is needed.
     Slots { vals: &'a mut [f64] },
 }
 
@@ -162,22 +169,19 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
 }
 
 impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
-    /// Ingest one stream item (`dst_cell`, `src_cell`, `groups` flux
-    /// values): write the values into the destination cell's upwind
-    /// face slot. Returns the destination's local vertex index.
+    /// Ingest one *fine* stream item (`dst_cell`, `src_cell`, `groups`
+    /// flux values): scan the destination cell's faces for the one
+    /// touching the producer and write the values into that upwind
+    /// slot. Returns the destination's local vertex index. (Coarse
+    /// streams skip this scan entirely — their items carry the
+    /// plan-resolved slot on the wire.)
     fn ingest_item(&mut self, r: &mut Reader) -> u32 {
         let dst_cell = r.get_u32() as usize;
         let src_cell = r.get_u32() as usize;
         let li = self.problem.patches.local_index(dst_cell);
         // Which face of dst_cell touches src_cell?
-        let mut face = usize::MAX;
-        for f in 0..self.setup_mesh.num_faces(dst_cell) {
-            if self.setup_mesh.face(dst_cell, f).neighbor == Neighbor::Interior(src_cell) {
-                face = f;
-                break;
-            }
-        }
-        assert!(face != usize::MAX, "stream item with non-adjacent cells");
+        let face = jsweep_mesh::face_toward(self.setup_mesh.as_ref(), dst_cell, src_cell)
+            .expect("stream item with non-adjacent cells");
         for g in 0..self.groups {
             self.face_flux[(li * self.max_faces + face) * self.groups + g] = r.get_f64();
         }
@@ -204,6 +208,9 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         let groups = self.groups;
         let mf = self.max_faces;
         for &v in cluster {
+            // Staging slots for this vertex's remote downwind faces are
+            // consumed in CSR order (see `RemoteSink::Slots`).
+            let mut rem_seen = 0u32;
             let cell = sub.cells[v as usize] as usize;
             let mat = materials.material(cell);
             self.in_buf.clear();
@@ -252,13 +259,8 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                     // Local downwind neighbour: write straight into
                     // its incoming face slot.
                     let nli = patches.local_index(nb);
-                    let mut nface = usize::MAX;
-                    for f2 in 0..mesh.num_faces(nb) {
-                        if mesh.face(nb, f2).neighbor == Neighbor::Interior(cell) {
-                            nface = f2;
-                            break;
-                        }
-                    }
+                    let nface = jsweep_mesh::face_toward(mesh.as_ref(), nb, cell)
+                        .expect("downwind neighbour without reciprocal face");
                     for g in 0..groups {
                         self.face_flux[(nli * mf + nface) * groups + g] =
                             self.out_buf[f * groups + g];
@@ -282,12 +284,18 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                         RemoteSink::Slots { vals } => {
                             // Remote: stage in this fine edge's slot;
                             // the coarse-edge emission reads it back.
-                            let local = sub
-                                .remote_succ(v)
-                                .iter()
-                                .position(|re| re.cell == nb as u32)
-                                .expect("remote face without subgraph edge");
-                            let k = sub.rem_off[v as usize] as usize + local;
+                            // `Subgraph::build` packs a vertex's remote
+                            // edges in the face order of this very
+                            // loop (broken and flow-0 faces skipped on
+                            // both sides), so the k-th remote downwind
+                            // face stages at `rem_off[v] + k` — no
+                            // position scan in the replay hot path.
+                            let k = (sub.rem_off[v as usize] + rem_seen) as usize;
+                            rem_seen += 1;
+                            debug_assert_eq!(
+                                sub.rem_dst[k].cell, nb as u32,
+                                "remote CSR order diverged from face order"
+                            );
                             vals[k * groups..(k + 1) * groups]
                                 .copy_from_slice(&self.out_buf[f * groups..(f + 1) * groups]);
                         }
@@ -400,12 +408,14 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
             task.emits[cv as usize]
                 .iter()
                 .map(|emit| {
-                    let mut w = Writer::with_capacity(8 + emit.items.len() * (8 + 8 * groups));
+                    // Stream size is exactly known at plan-build time:
+                    // header (cluster + count) plus one pre-resolved
+                    // slot and `groups` values per item.
+                    let mut w = Writer::with_capacity(8 + emit.items.len() * (4 + 8 * groups));
                     w.put_u32(emit.cluster);
                     w.put_u32(emit.items.len() as u32);
                     for item in &emit.items {
-                        w.put_u32(item.dst_cell);
-                        w.put_u32(item.src_cell);
+                        w.put_u32(item.dst_slot);
                         let k = item.rem_idx as usize;
                         for g in 0..groups {
                             w.put_f64(vals[k * groups + g]);
@@ -451,11 +461,16 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
         let mut r = Reader::new(payload);
         if matches!(self.sched, Sched::Coarse { .. }) {
             // One coarse edge per stream: all items, then a single
-            // in-degree decrement on the target coarse vertex.
+            // in-degree decrement on the target coarse vertex. Items
+            // carry the pre-resolved face-flux slot, so ingestion is a
+            // direct write — no adjacency scan.
             let cv = r.get_u32();
             let n = r.get_u32();
             for _ in 0..n {
-                self.ingest_item(&mut r);
+                let slot = r.get_u32() as usize;
+                for g in 0..self.groups {
+                    self.face_flux[slot * self.groups + g] = r.get_f64();
+                }
             }
             let Sched::Coarse { state, .. } = &mut self.sched else {
                 unreachable!();
@@ -516,8 +531,12 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
                 (
                     Sched::Fine {
                         state: SweepState::new(sub, prio),
+                        // Only canonical angles record: octant members
+                        // share the canonical DAG, so one trace per
+                        // octant serves every member at replay time.
                         trace: trace_bins
                             .as_ref()
+                            .filter(|_| s.problem.canonical_angle(a) == a)
                             .map(|bins| (ClusterTrace::default(), bins.clone())),
                     },
                     Vec::new(),

@@ -1,4 +1,5 @@
-//! The compiled coarse-graph replay plan (paper §V-E).
+//! The compiled coarse-graph replay plan and its lifecycle (paper
+//! §V-E). See `docs/replay.md` for the end-to-end story.
 //!
 //! The first fine-grained (DAG-driven) sweep iteration records, per
 //! `(patch, angle)` task, the vertex clusters its `compute()` calls
@@ -10,22 +11,41 @@
 //! stream, so iterations ≥ 2 pay no per-vertex in-degree bookkeeping
 //! and no priority recomputation.
 //!
-//! [`build_plan`] runs [`jsweep_graph::coarse::build_coarse`] per angle
-//! (which enforces the Theorem-1 acyclicity guarantee on the *real*
-//! solver traces) and then resolves every coarse-edge item `P(ce)` down
-//! to the wire format the replay program emits: the destination cell,
-//! the source cell, and the slot in the per-task face-flux staging
-//! buffer the kernel writes while executing the source cluster.
+//! The plan has a real lifecycle, not just a per-solve existence:
+//!
+//! * **Record** — one [`ClusterTrace`] per *canonical* angle (under
+//!   `share_octant_dags` all member angles of an octant share one DAG,
+//!   so one trace per octant is recorded and replayed for every
+//!   member, cutting plan memory and build time `num_angles/8`-fold);
+//! * **Compile** — [`build_plan`] runs
+//!   [`jsweep_graph::coarse::build_coarse`] per canonical angle (the
+//!   Theorem-1 acyclicity check on the *real* solver traces) and
+//!   resolves every coarse-edge item `P(ce)` down to two static
+//!   indices: the destination's incoming face-flux slot (shipped on
+//!   the wire, so the receiver does no adjacency scan) and the
+//!   source-side staging slot in the remote-edge CSR;
+//! * **Cache** — a [`PlanCache`] keyed by [`PlanKey`] (mesh generation
+//!   stamp + a structural fingerprint of the compiled problem + grain)
+//!   carries plans across `solve_parallel_cached` calls, so multi-solve
+//!   workloads record once and replay from iteration 1 afterwards;
+//! * **Invalidate** — every mesh carries a process-unique
+//!   [`generation stamp`](jsweep_mesh::SweepTopology::generation)
+//!   bumped by refinement (any topology-producing operation draws a
+//!   fresh stamp). The stamp is part of the cache key *and* stored in
+//!   the plan, so a stale plan is rebuilt, never replayed.
 
 use jsweep_graph::coarse::{build_coarse, ClusterTrace, CoarsenedTask};
 use jsweep_graph::SweepProblem;
-use jsweep_mesh::PatchId;
+use jsweep_mesh::{PatchId, SweepTopology};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-task trace bins filled during the recording iteration, indexed
 /// by [`SweepProblem::tid`] (`angle * num_patches + patch`). A slot is
-/// `None` until its `(patch, angle)` program completes and deposits.
+/// `None` until its `(patch, angle)` program completes and deposits;
+/// only canonical-angle tasks record (octant members share the
+/// canonical trace), so non-canonical slots stay `None`.
 pub type TraceBins = Vec<Mutex<Option<ClusterTrace>>>;
 
 /// Allocate empty trace bins for every `(patch, angle)` task.
@@ -34,13 +54,16 @@ pub fn new_trace_bins(num_tasks: usize) -> TraceBins {
 }
 
 /// One item of a replayed coarse edge: which face-flux value travels,
-/// and where it lands.
+/// and where it lands. Both indices are resolved once at plan-build
+/// time — the replay hot path derives nothing per iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayItem {
-    /// Consumer cell (global id) on the destination patch.
-    pub dst_cell: u32,
-    /// Producer cell (global id) on the source patch.
-    pub src_cell: u32,
+    /// Incoming face-flux slot on the destination patch:
+    /// `local_cell * max_faces + face`, where `face` is the upwind face
+    /// of the destination cell that touches the producer. Shipped on
+    /// the wire, so the receiver writes `face_flux[dst_slot * groups ..]`
+    /// directly instead of scanning the destination cell's faces.
+    pub dst_slot: u32,
     /// Index of the fine remote edge in the source subgraph's remote
     /// CSR — the slot of the staged outgoing face-flux values.
     pub rem_idx: u32,
@@ -60,7 +83,8 @@ pub struct ReplayEmit {
 }
 
 /// The replayable form of one `(patch, angle)` task: the coarsened
-/// task graph plus its pre-resolved stream emissions.
+/// task graph plus its pre-resolved stream emissions. Under octant
+/// sharing all member angles of an octant hold the same `Arc`.
 #[derive(Debug, Clone)]
 pub struct ReplayTask {
     /// The coarsened task (clusters, coarse in-degrees, internal coarse
@@ -71,19 +95,49 @@ pub struct ReplayTask {
     pub emits: Vec<Vec<ReplayEmit>>,
 }
 
+impl ReplayTask {
+    /// Estimated heap footprint of this task's plan data.
+    fn memory_bytes(&self) -> usize {
+        let emits: usize = self
+            .emits
+            .iter()
+            .map(|per_cv| {
+                per_cv.len() * std::mem::size_of::<ReplayEmit>()
+                    + per_cv
+                        .iter()
+                        .map(|e| e.items.len() * std::mem::size_of::<ReplayItem>())
+                        .sum::<usize>()
+            })
+            .sum();
+        self.coarse.memory_bytes()
+            + self.emits.len() * std::mem::size_of::<Vec<ReplayEmit>>()
+            + emits
+    }
+}
+
 /// The full coarse-graph replay plan of a sweep problem, built once
-/// after the recording iteration and shared by all later iterations.
+/// after the recording iteration and shared by all later iterations —
+/// and, through a [`PlanCache`], by all later solves of the same
+/// problem shape.
 #[derive(Debug)]
 pub struct CoarsePlan {
-    /// `tasks[angle][patch]`.
+    /// `tasks[angle][patch]`; octant members share `Arc`s with their
+    /// canonical angle.
     pub tasks: Vec<Vec<Arc<ReplayTask>>>,
     /// Host seconds spent coarsening (the paper reports this build cost
     /// staying below one DAG-driven iteration).
     pub build_seconds: f64,
+    /// Generation stamp of the mesh the traces were recorded on (see
+    /// [`jsweep_mesh::SweepTopology::generation`]). A plan whose stamp
+    /// differs from the problem's mesh is stale and must be rebuilt,
+    /// never replayed.
+    pub mesh_generation: u64,
 }
 
 impl CoarsePlan {
-    /// Total coarse vertices across all tasks.
+    /// Total coarse vertices across all tasks (octant-shared tasks are
+    /// counted once per member angle — this is the scheduling workload,
+    /// not the memory footprint).
     pub fn num_coarse_vertices(&self) -> usize {
         self.tasks
             .iter()
@@ -91,99 +145,336 @@ impl CoarsePlan {
             .map(|t| t.coarse.num_clusters())
             .sum()
     }
+
+    /// Number of distinct compiled [`ReplayTask`] allocations — with
+    /// octant sharing, `num_patches * num_octants` instead of
+    /// `num_patches * num_angles`.
+    pub fn num_distinct_tasks(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for per_patch in &self.tasks {
+            for t in per_patch {
+                seen.insert(Arc::as_ptr(t));
+            }
+        }
+        seen.len()
+    }
+
+    /// Estimated heap footprint of the plan. Shared (octant-canonical)
+    /// tasks are counted once, so this is what caching the plan
+    /// actually costs.
+    pub fn memory_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = std::mem::size_of::<CoarsePlan>();
+        for per_patch in &self.tasks {
+            total += per_patch.len() * std::mem::size_of::<Arc<ReplayTask>>();
+            for t in per_patch {
+                if seen.insert(Arc::as_ptr(t)) {
+                    total += std::mem::size_of::<ReplayTask>() + t.memory_bytes();
+                }
+            }
+        }
+        total
+    }
 }
 
 /// Drain the recorded traces out of `bins` into `traces[angle][patch]`
-/// order (the layout [`build_plan`] consumes). Tasks that never
+/// order (the layout [`build_plan`] consumes). Only canonical angles
+/// record, so non-canonical entries come back empty; [`build_plan`]
+/// reads the canonical entry for every octant member. Tasks that never
 /// deposited (empty patches) yield an empty trace.
 pub fn collect_traces(problem: &SweepProblem, bins: &TraceBins) -> Vec<Vec<ClusterTrace>> {
     (0..problem.num_angles)
         .map(|a| {
             (0..problem.num_patches())
-                .map(|p| bins[problem.tid(p, a)].lock().take().unwrap_or_default())
+                .map(|p| {
+                    if problem.canonical_angle(a) == a {
+                        bins[problem.tid(p, a)].lock().take().unwrap_or_default()
+                    } else {
+                        ClusterTrace::default()
+                    }
+                })
                 .collect()
         })
         .collect()
 }
 
 /// Compile the coarse-graph replay plan from the recording iteration's
-/// traces (`traces[angle][patch]`).
+/// traces (`traces[angle][patch]`; only canonical-angle entries are
+/// read — octant members replay their canonical angle's trace, which is
+/// valid because they share the same DAG).
 ///
-/// Runs the Theorem-1 topological check per angle (via
+/// Runs the Theorem-1 topological check once per canonical angle (via
 /// [`build_coarse`], which panics on a cyclic coarse graph — a
-/// scheduler bug) and resolves each coarse-edge item to its staging
-/// slot in the source subgraph's remote-edge CSR.
-pub fn build_plan(problem: &SweepProblem, traces: &[Vec<ClusterTrace>]) -> CoarsePlan {
+/// scheduler bug) and resolves each coarse-edge item to its two static
+/// slots: the staging slot in the source subgraph's remote-edge CSR and
+/// the incoming face-flux slot on the destination patch (which is why
+/// compilation needs the mesh).
+pub fn build_plan<T: SweepTopology + ?Sized>(
+    problem: &SweepProblem,
+    traces: &[Vec<ClusterTrace>],
+    mesh: &T,
+) -> CoarsePlan {
     assert_eq!(traces.len(), problem.num_angles);
     let t0 = std::time::Instant::now();
-    let tasks: Vec<Vec<Arc<ReplayTask>>> = (0..problem.num_angles)
-        .map(|a| {
-            let subs = &problem.subs[a];
-            build_coarse(subs, &traces[a])
-                .into_iter()
-                .enumerate()
-                .map(|(p, coarse)| {
-                    let sub = &subs[p];
-                    let emits: Vec<Vec<ReplayEmit>> = coarse
-                        .remote
-                        .iter()
-                        .map(|edges| {
-                            edges
-                                .iter()
-                                .map(|e| ReplayEmit {
-                                    patch: e.patch,
-                                    cluster: e.cluster,
-                                    items: e
-                                        .items
-                                        .iter()
-                                        .map(|&(v, cell)| {
-                                            let local = sub
-                                                .remote_succ(v)
-                                                .iter()
-                                                .position(|re| re.cell == cell)
-                                                .expect("coarse-edge item without fine edge");
-                                            ReplayItem {
-                                                dst_cell: cell,
-                                                src_cell: sub.cells[v as usize],
-                                                rem_idx: sub.rem_off[v as usize] + local as u32,
-                                            }
-                                        })
-                                        .collect(),
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    Arc::new(ReplayTask { coarse, emits })
-                })
-                .collect()
-        })
-        .collect();
+    let mf = mesh.num_faces(0) as u32;
+    let mut tasks: Vec<Vec<Arc<ReplayTask>>> = Vec::with_capacity(problem.num_angles);
+    for (a, angle_traces) in traces.iter().enumerate() {
+        let c = problem.canonical_angle(a);
+        if c < a {
+            // Octant member: share the canonical angle's compiled tasks.
+            let shared = tasks[c].clone();
+            tasks.push(shared);
+            continue;
+        }
+        let subs = &problem.subs[a];
+        let per_patch: Vec<Arc<ReplayTask>> = build_coarse(subs, angle_traces)
+            .into_iter()
+            .enumerate()
+            .map(|(p, coarse)| {
+                let sub = &subs[p];
+                let emits: Vec<Vec<ReplayEmit>> = coarse
+                    .remote
+                    .iter()
+                    .map(|edges| {
+                        edges
+                            .iter()
+                            .map(|e| ReplayEmit {
+                                patch: e.patch,
+                                cluster: e.cluster,
+                                items: e
+                                    .items
+                                    .iter()
+                                    .map(|&(v, cell)| resolve_item(problem, sub, mesh, mf, v, cell))
+                                    .collect(),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Arc::new(ReplayTask { coarse, emits })
+            })
+            .collect();
+        tasks.push(per_patch);
+    }
     CoarsePlan {
         tasks,
         build_seconds: t0.elapsed().as_secs_f64(),
+        mesh_generation: problem.mesh_generation,
+    }
+}
+
+/// Resolve one coarse-edge item `(source local vertex, destination
+/// global cell)` to its wire/staging form (see [`ReplayItem`]).
+fn resolve_item<T: SweepTopology + ?Sized>(
+    problem: &SweepProblem,
+    sub: &jsweep_graph::Subgraph,
+    mesh: &T,
+    mf: u32,
+    v: u32,
+    cell: u32,
+) -> ReplayItem {
+    let src_cell = sub.cells[v as usize] as usize;
+    let local = sub
+        .remote_succ(v)
+        .iter()
+        .position(|re| re.cell == cell)
+        .expect("coarse-edge item without fine edge");
+    // The upwind face of the destination cell that touches the
+    // producer — the scan `ingest_item` used to run per item per
+    // iteration, now run once per item per plan build.
+    let dst = cell as usize;
+    let face = jsweep_mesh::face_toward(mesh, dst, src_cell)
+        .expect("coarse-edge item with non-adjacent cells") as u32;
+    let dst_li = problem.patches.local_index(dst) as u32;
+    ReplayItem {
+        dst_slot: dst_li * mf + face,
+        rem_idx: sub.rem_off[v as usize] + local as u32,
+    }
+}
+
+/// Identity of a compiled plan: everything replay validity depends on.
+///
+/// * `mesh_generation` — the topology stamp (process-unique; refinement
+///   always yields a fresh one, so stale plans can never be looked up);
+/// * `fingerprint` — the problem's
+///   [`dag_fingerprint`](SweepProblem::dag_fingerprint): an FNV-1a
+///   digest of the compiled structure (decomposition,
+///   per-canonical-angle subgraph edges, octant-sharing layout,
+///   cycle-breaker sets), computed once at `SweepProblem::build` time,
+///   which distinguishes different problems built over the *same*
+///   mesh;
+/// * `grain` — the clustering grain the trace was recorded at.
+///
+/// Materials, sources and kernels deliberately do not appear: the plan
+/// is pure scheduling state, valid for any physics on the same DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    mesh_generation: u64,
+    fingerprint: u64,
+    grain: u32,
+}
+
+/// The [`PlanKey`] of a compiled problem at a clustering grain. O(1):
+/// both identity components were digested at `SweepProblem::build`
+/// time, so solve hot paths pay no per-solve DAG traversal for cache
+/// lookups.
+pub fn plan_key(problem: &SweepProblem, grain: usize) -> PlanKey {
+    PlanKey {
+        mesh_generation: problem.mesh_generation,
+        fingerprint: problem.dag_fingerprint,
+        grain: grain as u32,
+    }
+}
+
+impl PlanKey {
+    /// The mesh generation stamp this key binds to.
+    pub fn mesh_generation(&self) -> u64 {
+        self.mesh_generation
+    }
+}
+
+/// Cross-solve cache of compiled [`CoarsePlan`]s, keyed by [`PlanKey`].
+///
+/// Hand one to `solve_parallel_cached` and multi-solve workloads (time
+/// steps, eigenvalue iterations, many material sets) pay the recording
+/// iteration and plan compile once: every later solve of the same
+/// problem shape starts replaying from iteration 1. A refined or
+/// rebuilt mesh carries a fresh generation stamp, so its solves miss
+/// the cache and record fresh — stale plans are structurally
+/// unreachable.
+///
+/// **Growth contract:** the cache never evicts on its own. Because
+/// generation stamps are process-unique and never reused, a plan whose
+/// mesh has been refined away can never be looked up again, yet it
+/// still occupies memory. Workloads that refine repeatedly (AMR-style
+/// time stepping) should call [`PlanCache::retain_generations`] after
+/// each refinement — or [`PlanCache::clear`] — and can watch
+/// [`PlanCache::memory_bytes`] to decide when.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<CoarsePlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Look up a compiled plan.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CoarsePlan>> {
+        self.plans.lock().get(key).cloned()
+    }
+
+    /// Store a compiled plan.
+    pub fn insert(&self, key: PlanKey, plan: Arc<CoarsePlan>) {
+        self.plans.lock().insert(key, plan);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+
+    /// Estimated heap footprint of every cached plan (shared tasks
+    /// counted once per plan).
+    pub fn memory_bytes(&self) -> usize {
+        self.plans.lock().values().map(|p| p.memory_bytes()).sum()
+    }
+
+    /// Drop every cached plan.
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+
+    /// Keep only plans recorded on the given mesh generations; returns
+    /// the number of plans evicted. The eviction hook for refinement
+    /// loops: after building a refined mesh, pass the generations of
+    /// every mesh still in use and the superseded plans are dropped
+    /// (their stamps can never be looked up again — see the growth
+    /// contract above).
+    pub fn retain_generations(&self, live: &[u64]) -> usize {
+        let mut plans = self.plans.lock();
+        let before = plans.len();
+        plans.retain(|k, _| live.contains(&k.mesh_generation));
+        before - plans.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jsweep_graph::problem::ProblemOptions;
+    use jsweep_quadrature::QuadratureSet;
 
-    #[test]
-    fn empty_bins_collect_to_default_traces() {
-        let m = jsweep_mesh::StructuredMesh::unit(2, 2, 2);
-        let ps = jsweep_mesh::partition::decompose_structured(&m, (2, 2, 2), 1);
-        let q = jsweep_quadrature::QuadratureSet::sn(2);
+    fn build_problem(share: bool) -> (jsweep_mesh::StructuredMesh, SweepProblem) {
+        let m = jsweep_mesh::StructuredMesh::unit(4, 4, 4);
+        let ps = jsweep_mesh::partition::decompose_structured(&m, (2, 2, 2), 2);
+        let q = QuadratureSet::sn(4);
         let prob = SweepProblem::build(
             &m,
             ps,
             &q,
-            &jsweep_graph::problem::ProblemOptions::default(),
+            &ProblemOptions {
+                share_octant_dags: share,
+                ..Default::default()
+            },
         );
+        (m, prob)
+    }
+
+    #[test]
+    fn empty_bins_collect_to_default_traces() {
+        let (_, prob) = build_problem(false);
         let bins = new_trace_bins(prob.num_tasks());
         let traces = collect_traces(&prob, &bins);
         assert_eq!(traces.len(), prob.num_angles);
         assert!(traces
             .iter()
             .all(|per_patch| per_patch.iter().all(|t| t.clusters.is_empty())));
+    }
+
+    #[test]
+    fn plan_key_is_stable_and_grain_sensitive() {
+        let (_, prob) = build_problem(true);
+        let a = plan_key(&prob, 16);
+        let b = plan_key(&prob, 16);
+        assert_eq!(a, b, "same problem, same grain, same key");
+        assert_ne!(a, plan_key(&prob, 32), "grain is part of the key");
+    }
+
+    #[test]
+    fn plan_key_distinguishes_mesh_generations() {
+        let (_, p1) = build_problem(true);
+        let (_, p2) = build_problem(true);
+        // Identical shape, but independently built meshes never share a
+        // generation stamp — conservative, and what makes refinement
+        // invalidation structurally sound.
+        assert_ne!(plan_key(&p1, 16), plan_key(&p2, 16));
+        assert_eq!(plan_key(&p1, 16).mesh_generation(), p1.mesh_generation);
+    }
+
+    #[test]
+    fn cache_round_trips_plans() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let (_, prob) = build_problem(true);
+        let key = plan_key(&prob, 16);
+        assert!(cache.get(&key).is_none());
+        let plan = Arc::new(CoarsePlan {
+            tasks: Vec::new(),
+            build_seconds: 0.0,
+            mesh_generation: prob.mesh_generation,
+        });
+        cache.insert(key, plan.clone());
+        assert_eq!(cache.len(), 1);
+        let got = cache.get(&key).expect("cached plan");
+        assert!(Arc::ptr_eq(&got, &plan));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::kernel::{solve_cell, KernelKind};
 use crate::program::{FluxBins, SweepFactory, SweepMode, SweepSetup};
-use crate::replay::{build_plan, collect_traces, new_trace_bins, CoarsePlan};
+use crate::replay::{build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache};
 use crate::xs::MaterialSet;
 use jsweep_core::{run_universe, RunStats, RuntimeConfig, TerminationKind};
 use jsweep_graph::coarse::ClusterTrace;
@@ -28,6 +28,28 @@ use jsweep_mesh::SweepTopology;
 use jsweep_quadrature::QuadratureSet;
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Pool claim batch used for coarse-replay iterations.
+///
+/// Measured on the quickstart-scale replay scenario (16³ cells, 4³
+/// patches, 2 ranks × 2 workers, grain 16; best-of-5 per run, see the
+/// README knobs section): claim batch 2/8/16 are within noise at
+/// flush 32–64, while eager flushing loses ~15%, so the fine-path
+/// claim batch is kept. The "fewer, larger compute calls want a tiny
+/// claim batch" hypothesis did not survive measurement — already-ready
+/// claims are batched opportunistically, so a larger cap costs nothing
+/// when the coarse ready queue is sparse.
+pub const REPLAY_CLAIM_BATCH: usize = 8;
+
+/// Worker report-flush threshold for coarse-replay iterations.
+///
+/// A coarse compute call emits one large stream per outgoing coarse
+/// edge; measurement (same scenario as [`REPLAY_CLAIM_BATCH`]: flush
+/// 1/4/8 ≈ 9.2–9.9 ms per replay iteration, 32 ≈ 8.1–8.3 ms, 64 ≈
+/// 7.9–8.1 ms) shows batching *more* aggressively than the fine-path
+/// default of 32 wins: master-channel sends, not stream latency,
+/// dominate the replay data plane.
+pub const REPLAY_REPORT_FLUSH_STREAMS: usize = 64;
 
 /// Solver configuration.
 #[derive(Debug, Clone)]
@@ -83,8 +105,14 @@ pub struct SnSolution {
     /// entry per iteration, aggregated over ranks).
     pub stats: Vec<RunStats>,
     /// Host seconds spent building the coarse replay plan (parallel
-    /// solver with [`SnConfig::coarsen`]; `0.0` otherwise).
+    /// solver with [`SnConfig::coarsen`]; `0.0` otherwise — in
+    /// particular when the plan came out of a [`PlanCache`], which is
+    /// the point of caching).
     pub coarse_build_seconds: f64,
+    /// True when the replay plan was served by the [`PlanCache`] handed
+    /// to [`solve_parallel_cached`]: no recording iteration ran and no
+    /// plan was compiled — every iteration replayed from the start.
+    pub plan_from_cache: bool,
 }
 
 /// Emission density `(σ_s φ + Q)/4π` per cell and group.
@@ -196,12 +224,9 @@ pub fn solve_serial<T: SweepTopology + ?Sized>(
                     if !br.is_empty() && br.contains(&(c as u32, nb as u32)) {
                         continue;
                     }
-                    for f2 in 0..mesh.num_faces(nb) {
-                        if mesh.face(nb, f2).neighbor == jsweep_mesh::Neighbor::Interior(c) {
-                            for g in 0..groups {
-                                face_flux[(nb * mf + f2) * groups + g] = out[f * groups + g];
-                            }
-                            break;
+                    if let Some(f2) = jsweep_mesh::face_toward(mesh, nb, c) {
+                        for g in 0..groups {
+                            face_flux[(nb * mf + f2) * groups + g] = out[f * groups + g];
                         }
                     }
                 }
@@ -221,6 +246,7 @@ pub fn solve_serial<T: SweepTopology + ?Sized>(
         residual,
         stats: Vec::new(),
         coarse_build_seconds: 0.0,
+        plan_from_cache: false,
     }
 }
 
@@ -284,6 +310,26 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
             .map(|_| Mutex::new(Vec::new()))
             .collect(),
     );
+    let runtime = match &mode {
+        // Default batching knobs: frame aggregation + report batching
+        // are pure overhead wins for fine-grained sweeps.
+        SweepMode::Fine { .. } => RuntimeConfig {
+            num_workers: config.workers_per_rank,
+            termination: config.termination,
+            ..Default::default()
+        },
+        // Replay iterations issue far fewer, larger compute calls and
+        // far fewer streams; measurement (see REPLAY_CLAIM_BATCH /
+        // REPLAY_REPORT_FLUSH_STREAMS) favours batching reports even
+        // harder than the fine path, not less.
+        SweepMode::Coarse { .. } => RuntimeConfig {
+            num_workers: config.workers_per_rank,
+            termination: config.termination,
+            claim_batch: REPLAY_CLAIM_BATCH,
+            report_flush_streams: REPLAY_REPORT_FLUSH_STREAMS,
+            ..Default::default()
+        },
+    };
     let factory = Arc::new(SweepFactory::new(SweepSetup {
         mesh: mesh.clone(),
         problem: problem.clone(),
@@ -295,17 +341,7 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
         flux_bins: flux_bins.clone(),
         mode,
     }));
-    let stats = run_universe(
-        num_ranks,
-        factory,
-        RuntimeConfig {
-            num_workers: config.workers_per_rank,
-            termination: config.termination,
-            // Default batching knobs: frame aggregation + report
-            // batching are pure overhead wins for sweeps.
-            ..Default::default()
-        },
-    );
+    let stats = run_universe(num_ranks, factory, runtime);
 
     let mut phi_new = vec![0.0; n * groups];
     for p in problem.patches.patches() {
@@ -331,11 +367,13 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
 /// distribution determines the number of simulated MPI ranks.
 ///
 /// With [`SnConfig::coarsen`] (the default), the first iteration runs
-/// the fine DAG-driven sweep while recording each task's cluster
-/// formation; the recorded clusters are compiled into a coarse replay
-/// plan (§V-E, with the Theorem-1 acyclicity check), and every later
-/// iteration replays it — same flux bit-for-bit, with the graph-op
-/// share of the [`RunStats`] breakdown visibly reduced.
+/// the fine DAG-driven sweep while recording each canonical angle's
+/// cluster formation (one trace per octant under shared DAGs); the
+/// recorded clusters are compiled into a coarse replay plan (§V-E,
+/// with the Theorem-1 acyclicity check), and every later iteration
+/// replays it — same flux bit-for-bit, with the graph-op share of the
+/// [`RunStats`] breakdown visibly reduced. To reuse the plan *across*
+/// solves, use [`solve_parallel_cached`].
 pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
     mesh: Arc<T>,
     problem: Arc<SweepProblem>,
@@ -343,12 +381,72 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
     materials: Arc<MaterialSet>,
     config: &SnConfig,
 ) -> SnSolution {
+    solve_parallel_impl(mesh, problem, quadrature, materials, config, None)
+}
+
+/// [`solve_parallel`] with a cross-solve [`PlanCache`].
+///
+/// The first solve of a given problem shape (mesh generation +
+/// decomposition + quadrature + grain — see
+/// [`crate::replay::plan_key`]) records iteration 1 on the fine path,
+/// compiles the replay plan and stores it in `cache`; every later
+/// solve of the same shape starts in coarse-replay mode **from
+/// iteration 1**, paying neither the recording iteration nor the plan
+/// compile. This is the multi-solve workhorse: time steps, eigenvalue
+/// iterations and material sweeps reuse one plan.
+///
+/// Invalidation is structural: refining (or rebuilding) the mesh
+/// yields a fresh generation stamp, so the rebuilt problem's key
+/// misses the cache and that solve records fresh. A stale plan is
+/// rebuilt, never replayed.
+pub fn solve_parallel_cached<T: SweepTopology + Send + Sync + 'static>(
+    mesh: Arc<T>,
+    problem: Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: Arc<MaterialSet>,
+    config: &SnConfig,
+    cache: &PlanCache,
+) -> SnSolution {
+    solve_parallel_impl(mesh, problem, quadrature, materials, config, Some(cache))
+}
+
+fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
+    mesh: Arc<T>,
+    problem: Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: Arc<MaterialSet>,
+    config: &SnConfig,
+    cache: Option<&PlanCache>,
+) -> SnSolution {
+    assert_eq!(
+        mesh.generation(),
+        problem.mesh_generation,
+        "mesh topology changed since SweepProblem::build; rebuild the problem"
+    );
     let mut phi = vec![0.0; mesh.num_cells() * materials.num_groups()];
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     let mut all_stats = Vec::new();
-    let mut plan: Option<Arc<CoarsePlan>> = None;
     let mut coarse_build_seconds = 0.0;
+
+    // Plan lookup: only meaningful when coarsening is on.
+    let key = match (cache, config.coarsen) {
+        (Some(_), true) => Some(plan_key(&problem, config.grain)),
+        _ => None,
+    };
+    let mut plan: Option<Arc<CoarsePlan>> = key
+        .as_ref()
+        .and_then(|k| cache.expect("key implies cache").get(k));
+    if let Some(p) = &plan {
+        // Defense in depth: the generation is part of the key, so a
+        // stale plan cannot be looked up — but never replay one even if
+        // a caller assembled the cache by hand.
+        assert_eq!(
+            p.mesh_generation, problem.mesh_generation,
+            "stale replay plan (mesh was refined); plans must be rebuilt, not replayed"
+        );
+    }
+    let plan_from_cache = plan.is_some();
 
     for _ in 0..config.max_iterations {
         let (mode, bins) = match (&plan, config.coarsen) {
@@ -371,20 +469,26 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
         iterations += 1;
         residual = relative_change(&phi_new, &phi);
         phi = phi_new;
+
+        // Compile the replay plan once the recording iteration is in.
+        // Without a cache this is skipped when no iteration remains to
+        // replay it (converged below, or max_iterations exhausted);
+        // with a cache the plan is always compiled and stored — future
+        // solves replay it even if this one is done.
+        if let Some(b) = bins {
+            let is_last = residual < config.tolerance || iterations >= config.max_iterations;
+            if !is_last || cache.is_some() {
+                let traces = collect_traces(&problem, &b);
+                let built = Arc::new(build_plan(&problem, &traces, mesh.as_ref()));
+                coarse_build_seconds = built.build_seconds;
+                if let (Some(c), Some(k)) = (cache, key) {
+                    c.insert(k, built.clone());
+                }
+                plan = Some(built);
+            }
+        }
         if residual < config.tolerance {
             break;
-        }
-        // Compile the replay plan once the recording iteration is in —
-        // skipped when no iteration remains to replay it (converged
-        // above, or max_iterations exhausted).
-        if iterations >= config.max_iterations {
-            break;
-        }
-        if let Some(b) = bins {
-            let traces = collect_traces(&problem, &b);
-            let built = build_plan(&problem, &traces);
-            coarse_build_seconds = built.build_seconds;
-            plan = Some(Arc::new(built));
         }
     }
 
@@ -394,6 +498,7 @@ pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
         residual,
         stats: all_stats,
         coarse_build_seconds,
+        plan_from_cache,
     }
 }
 
@@ -426,7 +531,17 @@ pub fn record_cluster_traces<T: SweepTopology + Send + Sync + 'static>(
             trace_bins: Some(bins.clone()),
         },
     );
-    collect_traces(&problem, &bins)
+    let mut traces = collect_traces(&problem, &bins);
+    // Only canonical angles record; fill octant members with their
+    // canonical trace (valid for the shared DAG) so every angle's
+    // entry covers its subgraph — the layout contract of this API.
+    for a in 0..problem.num_angles {
+        let c = problem.canonical_angle(a);
+        if c < a {
+            traces[a] = traces[c].clone();
+        }
+    }
+    traces
 }
 
 #[cfg(test)]

@@ -47,6 +47,8 @@
 //! assert!(solution.phi.iter().all(|&phi| phi > 0.0));
 //! ```
 
+#![deny(missing_docs)]
+
 pub use jsweep_baselines as baselines;
 pub use jsweep_comm as comm;
 pub use jsweep_core as core;
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use jsweep_mesh::{PatchId, PatchSet, StructuredMesh, SweepTopology, TetMesh};
     pub use jsweep_quadrature::{AngleId, QuadratureSet};
     pub use jsweep_transport::{
-        solve_parallel, solve_serial, KernelKind, Material, MaterialSet, SnConfig,
+        solve_parallel, solve_parallel_cached, solve_serial, KernelKind, Material, MaterialSet,
+        PlanCache, SnConfig,
     };
 }

@@ -330,6 +330,257 @@ fn coarse_replay_bit_identical_deformed_with_cycle_breaking() {
 }
 
 #[test]
+fn plan_lifecycle_golden_fresh_cached_octant_shared() {
+    // The plan-lifecycle golden: phi must be bit-identical across
+    // (a) a fresh plan recorded in this solve, (b) a cached plan served
+    // by the PlanCache on a second solve (replay from iteration 1), and
+    // (c) octant-shared canonical-trace replay (S4: 3 member angles per
+    // octant replay one canonical trace) — all against the fine path.
+    use jsweep::transport::PlanCache;
+    let mesh = Arc::new(StructuredMesh::unit(6, 6, 6));
+    let quad = QuadratureSet::sn(4); // 24 angles, 3 per octant
+    let mats = Arc::new(MaterialSet::homogeneous(
+        216,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let build = |share: bool| {
+        Arc::new(SweepProblem::build(
+            mesh.as_ref(),
+            decompose_structured(&mesh, (3, 3, 3), 2),
+            &quad,
+            &ProblemOptions {
+                share_octant_dags: share,
+                ..Default::default()
+            },
+        ))
+    };
+    let shared = build(true);
+    let owned = build(false);
+
+    let mut fine_cfg = config();
+    fine_cfg.coarsen = false;
+    let fine = solve_parallel(mesh.clone(), shared.clone(), &quad, mats.clone(), &fine_cfg);
+
+    // (a) fresh plan, octant-shared canonical traces (c).
+    let fresh = solve_parallel(mesh.clone(), shared.clone(), &quad, mats.clone(), &config());
+    assert_eq!(
+        fine.phi, fresh.phi,
+        "fresh plan must replay bit-identically"
+    );
+    assert!(!fresh.plan_from_cache);
+
+    // (b) cached plan on the second solve.
+    let cache = PlanCache::new();
+    let first = jsweep::transport::solve_parallel_cached(
+        mesh.clone(),
+        shared.clone(),
+        &quad,
+        mats.clone(),
+        &config(),
+        &cache,
+    );
+    assert!(!first.plan_from_cache, "first solve records");
+    assert!(first.coarse_build_seconds > 0.0);
+    assert_eq!(cache.len(), 1);
+    let second = jsweep::transport::solve_parallel_cached(
+        mesh.clone(),
+        shared.clone(),
+        &quad,
+        mats.clone(),
+        &config(),
+        &cache,
+    );
+    assert!(second.plan_from_cache, "second solve must hit the cache");
+    assert_eq!(
+        second.coarse_build_seconds, 0.0,
+        "a cached plan is neither re-recorded nor re-compiled"
+    );
+    assert_eq!(fine.phi, first.phi);
+    assert_eq!(
+        fine.phi, second.phi,
+        "cached replay must stay bit-identical"
+    );
+    assert_eq!(cache.len(), 1, "second solve must not insert a new plan");
+
+    // Octant sharing vs per-angle plans: same physics, ~3x less plan
+    // memory at S4 (one compiled task set per octant instead of per
+    // angle).
+    let unshared = solve_parallel(mesh.clone(), owned.clone(), &quad, mats.clone(), &config());
+    assert_eq!(fine.phi, unshared.phi);
+    let traces_shared = jsweep::transport::record_cluster_traces(
+        mesh.clone(),
+        shared.clone(),
+        &quad,
+        mats.clone(),
+        &config(),
+    );
+    let traces_owned = jsweep::transport::record_cluster_traces(
+        mesh.clone(),
+        owned.clone(),
+        &quad,
+        mats.clone(),
+        &config(),
+    );
+    let plan_shared = jsweep::transport::replay::build_plan(&shared, &traces_shared, mesh.as_ref());
+    let plan_owned = jsweep::transport::replay::build_plan(&owned, &traces_owned, mesh.as_ref());
+    assert_eq!(plan_shared.num_distinct_tasks(), 8 * shared.num_patches());
+    assert_eq!(plan_owned.num_distinct_tasks(), 24 * owned.num_patches());
+    let ratio = plan_owned.memory_bytes() as f64 / plan_shared.memory_bytes() as f64;
+    assert!(
+        ratio > 2.5,
+        "octant sharing should cut plan memory ~num_angles/8-fold, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn refinement_between_solves_rebuilds_the_plan() {
+    // Generation-stamp invalidation: a refined mesh carries a fresh
+    // stamp, so the rebuilt problem misses the cache and its solve
+    // records a new plan instead of replaying the stale one.
+    use jsweep::mesh::refine::refine_structured;
+    use jsweep::transport::{solve_parallel_cached, PlanCache};
+    let cache = PlanCache::new();
+    let quad = QuadratureSet::sn(2);
+
+    let coarse_mesh = Arc::new(StructuredMesh::unit(4, 4, 4));
+    let mats = Arc::new(MaterialSet::homogeneous(
+        64,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let prob = Arc::new(SweepProblem::build(
+        coarse_mesh.as_ref(),
+        decompose_structured(&coarse_mesh, (2, 2, 2), 2),
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let a = solve_parallel_cached(
+        coarse_mesh.clone(),
+        prob.clone(),
+        &quad,
+        mats,
+        &config(),
+        &cache,
+    );
+    assert!(!a.plan_from_cache);
+    assert_eq!(cache.len(), 1);
+
+    // Refine: 4^3 -> 8^3 cells, fresh generation stamp.
+    let fine_mesh = Arc::new(refine_structured(&coarse_mesh));
+    assert!(fine_mesh.generation() > coarse_mesh.generation());
+    let fine_mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.4, 1.0),
+    ));
+    let fine_prob = Arc::new(SweepProblem::build(
+        fine_mesh.as_ref(),
+        decompose_structured(&fine_mesh, (4, 4, 4), 2),
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let b = solve_parallel_cached(
+        fine_mesh.clone(),
+        fine_prob.clone(),
+        &quad,
+        fine_mats.clone(),
+        &config(),
+        &cache,
+    );
+    assert!(
+        !b.plan_from_cache,
+        "refinement must invalidate: the refined solve records fresh"
+    );
+    assert!(b.coarse_build_seconds > 0.0, "a new plan was compiled");
+    assert_eq!(
+        cache.len(),
+        2,
+        "old and new plans coexist under distinct keys"
+    );
+
+    // And the refined problem's plan is genuinely reusable.
+    let c = solve_parallel_cached(
+        fine_mesh.clone(),
+        fine_prob,
+        &quad,
+        fine_mats,
+        &config(),
+        &cache,
+    );
+    assert!(c.plan_from_cache);
+    assert_eq!(b.phi, c.phi);
+
+    // The superseded plan's generation can never be looked up again;
+    // the eviction hook reclaims it for refinement loops.
+    let evicted = cache.retain_generations(&[fine_mesh.generation()]);
+    assert_eq!(evicted, 1, "exactly the stale coarse-mesh plan is dropped");
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn des_and_threaded_replay_consume_identical_coarse_graphs() {
+    // ROADMAP cross-check: des::simulate_coarse and the threaded replay
+    // both consume build_coarse output. On the *same* solver-recorded
+    // traces their compute-call accounting must agree: the DES executes
+    // exactly one compute call per coarse vertex (plus one spurious
+    // initial activation per task that starts with no ready cluster),
+    // and the threaded plan schedules exactly the same coarse vertices.
+    use jsweep::graph::coarse::{build_coarse, CoarsenedTask};
+    use jsweep_des::simulate_coarse;
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        decompose_structured(&mesh, (4, 4, 4), 2),
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let traces = jsweep::transport::record_cluster_traces(
+        mesh.clone(),
+        prob.clone(),
+        &quad,
+        mats,
+        &config(),
+    );
+
+    let tasks: Vec<Vec<CoarsenedTask>> = (0..prob.num_angles)
+        .map(|a| build_coarse(&prob.subs[a], &traces[a]))
+        .collect();
+    let total_clusters: usize = tasks
+        .iter()
+        .flat_map(|per_patch| per_patch.iter())
+        .map(|t| t.num_clusters())
+        .sum();
+    let sourceless: usize = tasks
+        .iter()
+        .flat_map(|per_patch| per_patch.iter())
+        .filter(|t| !t.in_degree.contains(&0))
+        .count();
+
+    let machine = MachineModel::cluster(2, 2);
+    let des = simulate_coarse(&prob, &tasks, &machine, 32);
+    assert_eq!(des.vertices, prob.total_vertices);
+    // Every coarse vertex executes in exactly one productive compute
+    // call; the only extra calls are spurious initial activations of
+    // tasks that start with no ready cluster (at most one each, and
+    // none when a task's inputs arrive before a worker claims it).
+    assert!(
+        (total_clusters..=total_clusters + sourceless).contains(&(des.compute_calls as usize)),
+        "DES compute calls {} outside [{total_clusters}, {}]",
+        des.compute_calls,
+        total_clusters + sourceless
+    );
+
+    // The threaded plan compiled from the same traces replays exactly
+    // the same coarse vertices, one per productive compute call (the
+    // replay program asserts clusters are non-empty).
+    let plan = jsweep::transport::replay::build_plan(&prob, &traces, mesh.as_ref());
+    assert_eq!(plan.num_coarse_vertices(), total_clusters);
+}
+
+#[test]
 fn deformed_mesh_sweeps_complete_with_cycle_breaking() {
     use jsweep::graph::{cycles, Subgraph, SweepState};
 
