@@ -115,6 +115,31 @@ impl Comm {
         }
     }
 
+    /// Discard every currently queued or stashed **user** message
+    /// (tag below [`RESERVED_TAG_BASE`]), preserving reserved-tag
+    /// protocol messages in arrival order. Returns the number of user
+    /// messages dropped.
+    ///
+    /// This is the epoch-boundary cleanup of a persistent runtime:
+    /// after global termination, anything user-tagged still queued is
+    /// residue of the finished epoch, while reserved traffic (e.g. a
+    /// peer's barrier message for the *next* synchronisation) must
+    /// survive the sweep.
+    pub fn drain_user(&mut self) -> usize {
+        let mut kept = VecDeque::new();
+        let mut dropped = 0;
+        while let Some(m) = self.try_recv() {
+            if m.tag >= RESERVED_TAG_BASE {
+                kept.push_back(m);
+            } else {
+                dropped += 1;
+            }
+        }
+        // `try_recv` drained the stash first, so it is empty now.
+        self.stash = kept;
+        dropped
+    }
+
     /// Synchronise all ranks. Must be called collectively; no other
     /// collective may be in flight concurrently.
     pub fn barrier(&mut self) {
@@ -199,13 +224,13 @@ impl Comm {
 pub struct Universe;
 
 impl Universe {
-    /// Run `f` on `n` rank threads; returns each rank's result in rank
-    /// order. Panics in any rank propagate.
-    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
-    where
-        R: Send + 'static,
-        F: Fn(Comm) -> R + Send + Sync + 'static,
-    {
+    /// Create the `n` connected [`Comm`] endpoints of a simulated MPI
+    /// world without running anything, in rank order.
+    ///
+    /// This is the substrate of long-lived (resident) runtimes: the
+    /// caller owns the rank threads and their lifetimes, while
+    /// [`Universe::run`] remains the one-shot spawn-and-join wrapper.
+    pub fn endpoints(n: usize) -> Vec<Comm> {
         assert!(n > 0, "need at least one rank");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -214,15 +239,29 @@ impl Universe {
             senders.push(tx);
             receivers.push(rx);
         }
-        let f = std::sync::Arc::new(f);
-        let mut handles = Vec::with_capacity(n);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
-            let comm = Comm {
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Comm {
                 rank,
                 senders: senders.clone(),
                 receiver,
                 stash: VecDeque::new(),
-            };
+            })
+            .collect()
+    }
+
+    /// Run `f` on `n` rank threads; returns each rank's result in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let f = std::sync::Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for comm in Universe::endpoints(n) {
+            let rank = comm.rank();
             let f = f.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -231,7 +270,6 @@ impl Universe {
                     .expect("spawn rank thread"),
             );
         }
-        drop(senders);
         handles
             .into_iter()
             .map(|h| h.join().expect("rank thread panicked"))

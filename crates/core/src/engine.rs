@@ -3,7 +3,15 @@
 //! The master owns the rank's [`Comm`] endpoint and runs the stream
 //! router and progress tracker; workers execute patch-programs from the
 //! shared [`Pool`]. The call [`run_rank`] embodies one rank; use
-//! [`run_universe`] to run a whole simulated MPI world.
+//! [`run_universe`] to run a whole simulated MPI world for a single
+//! epoch, or [`crate::Universe`] to keep that world resident across
+//! many epochs (one launch per *solve* instead of one per iteration).
+//!
+//! Internally everything is built on the resident form: a `Rank`
+//! keeps its master state (route table, frame writers) and its worker
+//! threads alive across epochs, and each epoch runs activation →
+//! data-driven execution → distributed termination → quiescence. The
+//! one-shot entry points are single-epoch specialisations.
 //!
 //! The data plane is **batched end-to-end** (the paper's §II
 //! "communication aggregation", profiled in Fig. 16):
@@ -11,7 +19,10 @@
 //! * workers accumulate compute outputs into one `Report` per flush
 //!   (at most [`RuntimeConfig::report_flush_streams`] streams, flushed
 //!   eagerly before a worker would block), so the master channel does
-//!   not carry one message per compute round;
+//!   not carry one message per compute round; reports also carry the
+//!   worker's time-breakdown and compute-call deltas, which is how a
+//!   resident rank attributes worker stats to epochs without joining
+//!   threads;
 //! * the master routes through a precomputed **route table** (one
 //!   `rank_of`/`priority` evaluation per program, ever) and coalesces
 //!   all outbound streams per destination rank per drain round into a
@@ -21,15 +32,18 @@
 //!   one [`Pool::deliver_batch`] call.
 
 use crate::pool::Pool;
-use crate::program::{frame_push, unpack_frame, ComputeCtx, ProgramFactory, ProgramId, Stream};
+use crate::program::{
+    frame_push, unpack_frame, ComputeCtx, EpochInput, ProgramFactory, ProgramId, Stream,
+};
 use crate::stats::{Breakdown, Category, RunStats};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jsweep_comm::pack::Writer;
 use jsweep_comm::termination::{Counting, Safra, Verdict};
-use jsweep_comm::{Comm, Universe};
+use jsweep_comm::{Comm, Universe as CommUniverse};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Which termination detector the runtime uses (§IV-C: "we support
@@ -55,7 +69,8 @@ pub struct RuntimeConfig {
     /// compute calls before flushing a report to the master. Batches
     /// are always flushed before a worker blocks, so this trades
     /// master-channel traffic against stream latency. `1` restores
-    /// one-report-per-compute behaviour.
+    /// one-report-per-compute behaviour. Re-tunable per epoch on a
+    /// persistent universe ([`crate::EpochTuning`]).
     pub report_flush_streams: usize,
     /// Batching knob: max streams packed into one outbound frame. A
     /// destination's frame is sent mid-round once it fills; otherwise
@@ -70,7 +85,8 @@ pub struct RuntimeConfig {
     /// tuning notes in `jsweep-transport::solver`; shrinking the batch
     /// bought nothing there). The knob exists for workloads where
     /// claim latency provably dominates; `1` restores
-    /// one-claim-per-round-trip behaviour.
+    /// one-claim-per-round-trip behaviour. Re-tunable per epoch on a
+    /// persistent universe.
     pub claim_batch: usize,
 }
 
@@ -90,28 +106,48 @@ impl Default for RuntimeConfig {
 const TAG_FRAME: u32 = 0;
 
 /// Report a worker sends the master after one or more compute rounds.
+/// Besides the routed payload (`outputs`, `work_done`) it carries the
+/// worker's stats *delta* since its last report (`bd`, `compute_calls`)
+/// so a resident rank can attribute worker time to the current epoch
+/// without joining threads.
 #[derive(Default)]
 struct Report {
+    /// Producing worker index (for per-worker breakdown attribution).
+    worker: usize,
     outputs: Vec<Stream>,
     work_done: u64,
+    compute_calls: u64,
+    bd: Breakdown,
+    /// Whether this report is registered in [`Pool::hold_report`]
+    /// (true once the batch has any content — outputs, work or stat
+    /// deltas — so quiescence is never observable with an unflushed
+    /// batch anywhere).
+    held: bool,
 }
 
 impl Report {
     fn is_empty(&self) -> bool {
-        self.outputs.is_empty() && self.work_done == 0
+        self.outputs.is_empty() && self.work_done == 0 && self.compute_calls == 0
     }
 }
 
-/// Send the accumulated report to the master (no-op when empty).
-fn flush_report(pool: &Pool, to_master: &Sender<Report>, batch: &mut Report, bd: &mut Breakdown) {
+/// Send the accumulated report to the master (no-op when empty: a
+/// report carrying only idle-time deltas is held back until real
+/// output/compute rides along, so sleeping workers don't spam the
+/// master channel).
+fn flush_report(pool: &Pool, to_master: &Sender<Report>, batch: &mut Report, worker: usize) {
     if batch.is_empty() {
         return;
     }
-    let report = std::mem::take(batch);
-    bd.timed(Category::Output, || {
-        let _ = to_master.send(report);
-    });
-    pool.release_report();
+    let mut report = std::mem::take(batch);
+    report.worker = worker;
+    let held = report.held;
+    let t0 = Instant::now();
+    let _ = to_master.send(report);
+    batch.bd.add(Category::Output, t0.elapsed().as_secs_f64());
+    if held {
+        pool.release_report();
+    }
 }
 
 fn worker_loop<F: ProgramFactory>(
@@ -119,35 +155,45 @@ fn worker_loop<F: ProgramFactory>(
     pool: Arc<Pool>,
     factory: Arc<F>,
     to_master: Sender<Report>,
-    flush_streams: usize,
-    claim_batch: usize,
 ) -> (Breakdown, u64) {
-    let mut bd = Breakdown::default();
-    let mut compute_calls = 0u64;
     let mut batch = Report::default();
     let mut claims: Vec<crate::pool::Claim> = Vec::new();
     let mut finishes: Vec<crate::pool::FinishEntry> = Vec::new();
     loop {
+        // Batching knobs are read from the pool each round-trip, so a
+        // persistent universe can re-tune them per epoch while this
+        // thread stays resident.
+        let claim_batch = pool.claim_batch();
         // Flush the batch before blocking, never while work is ready:
         // streams keep moving, and quiescence stays honest.
         if pool.try_take_batch(worker, claim_batch, &mut claims) == 0 {
-            flush_report(&pool, &to_master, &mut batch, &mut bd);
-            if pool.take_batch(worker, claim_batch, &mut claims, &mut bd) == 0 {
+            flush_report(&pool, &to_master, &mut batch, worker);
+            if pool.take_batch(worker, claim_batch, &mut claims, &mut batch.bd) == 0 {
                 break;
             }
         }
         for claim in claims.drain(..) {
             let mut program = match claim.program {
                 Some(p) => p,
-                None => bd.timed(Category::Other, || {
-                    Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>
+                None => batch.bd.timed(Category::Other, || {
+                    let mut p =
+                        Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>;
+                    // A program materialising in epoch ≥ 2 of a
+                    // persistent universe is factory-fresh (first
+                    // epoch's state); specialise it to the current
+                    // epoch exactly like the resident programs were at
+                    // the epoch boundary.
+                    if let Some(epoch) = pool.epoch_input() {
+                        p.reset(&*epoch);
+                    }
+                    p
                 }),
             };
             if !claim.initialized {
-                bd.timed(Category::Other, || program.init());
+                batch.bd.timed(Category::Other, || program.init());
             }
             let mut pending = claim.pending;
-            bd.timed(Category::Input, || {
+            batch.bd.timed(Category::Input, || {
                 for (src, payload) in pending.drain(..) {
                     program.input(src, payload);
                 }
@@ -156,19 +202,25 @@ fn worker_loop<F: ProgramFactory>(
             let t0 = Instant::now();
             program.compute(&mut ctx);
             let dt = t0.elapsed().as_secs_f64();
-            compute_calls += 1;
-            bd.add(Category::Kernel, ctx.kernel_seconds);
-            bd.add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
+            batch.compute_calls += 1;
+            if !batch.held {
+                // Any non-empty batch — even a stat-only one — holds
+                // quiescence until flushed. Must precede the batch's
+                // `finish_batch`: while this program still counts as
+                // Running, quiet cannot be observed with our
+                // outputs/stats in hand, which is what lets the
+                // master's end-of-epoch quiesce drain collect every
+                // report before closing the epoch.
+                pool.hold_report();
+                batch.held = true;
+            }
+            batch.bd.add(Category::Kernel, ctx.kernel_seconds);
+            batch
+                .bd
+                .add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
             let halted = program.vote_to_halt();
             if !ctx.out.is_empty() || ctx.work_done > 0 {
-                bd.timed(Category::Output, || {
-                    if batch.is_empty() {
-                        // Must precede the batch's `finish_batch`:
-                        // while this program still counts as Running,
-                        // quiet cannot be observed with our outputs in
-                        // hand.
-                        pool.hold_report();
-                    }
+                batch.bd.timed(Category::Output, || {
                     batch.outputs.append(&mut ctx.out);
                     batch.work_done += ctx.work_done;
                 });
@@ -182,12 +234,14 @@ fn worker_loop<F: ProgramFactory>(
         }
         // One lock per same-shard run instead of one per program.
         pool.finish_batch(&mut finishes);
-        if batch.outputs.len() >= flush_streams {
-            flush_report(&pool, &to_master, &mut batch, &mut bd);
+        if batch.outputs.len() >= pool.flush_streams() {
+            flush_report(&pool, &to_master, &mut batch, worker);
         }
     }
-    flush_report(&pool, &to_master, &mut batch, &mut bd);
-    (bd, compute_calls)
+    flush_report(&pool, &to_master, &mut batch, worker);
+    // Residual after the final flush: at most the last send's timing
+    // slop (compute calls and outputs always flush before blocking).
+    (batch.bd, batch.compute_calls)
 }
 
 /// One outbound frame under construction (writer reused across
@@ -219,12 +273,18 @@ fn route_lookup<F: ProgramFactory>(
 /// Master-side routing state of one rank: route table, per-destination
 /// outbound frames, and the stats/timing they feed.
 ///
+/// The routing half (route table, frame writers) is **persistent** —
+/// it survives epoch boundaries of a resident [`Rank`] — while the
+/// accounting half (stats, breakdown, Safra counters, progress) is
+/// re-armed per epoch by [`Master::begin_epoch`].
+///
 /// Priorities are snapshotted into the route table (one
 /// `ProgramFactory::priority` evaluation per program); factories with
 /// genuinely dynamic priorities should re-`activate` explicitly.
-struct Master<'f, F: ProgramFactory> {
+struct Master<F: ProgramFactory> {
     rank: usize,
-    factory: &'f F,
+    size: usize,
+    factory: Arc<F>,
     routes: HashMap<ProgramId, RouteEntry>,
     frames: Vec<FrameSlot>,
     /// Destination ranks with a non-empty frame (pushed on the 0→1
@@ -239,8 +299,8 @@ struct Master<'f, F: ProgramFactory> {
     work_done: u64,
 }
 
-impl<'f, F: ProgramFactory> Master<'f, F> {
-    fn new(rank: usize, size: usize, factory: &'f F, config: &RuntimeConfig) -> Master<'f, F> {
+impl<F: ProgramFactory> Master<F> {
+    fn new(rank: usize, size: usize, factory: Arc<F>, config: &RuntimeConfig) -> Master<F> {
         // Precompute the route table from the placement the factory
         // already describes; any id it misses (dynamically created
         // targets) falls back to one factory evaluation, cached.
@@ -256,6 +316,7 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
         }
         Master {
             rank,
+            size,
             factory,
             routes,
             frames: (0..size)
@@ -267,19 +328,38 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
             dirty: Vec::new(),
             local: Vec::new(),
             max_frame_streams: config.max_frame_streams.max(1) as u64,
-            stats: RunStats {
-                rank,
-                ..Default::default()
-            },
+            stats: RunStats::default(),
             bd: Breakdown::default(),
             safra: Safra::new(rank, size),
             work_done: 0,
         }
     }
 
+    /// Re-arm the per-epoch accounting state; routing state persists.
+    fn begin_epoch(&mut self, num_workers: usize) {
+        debug_assert!(self.dirty.is_empty(), "frames leaked across epochs");
+        debug_assert!(self.local.is_empty(), "local streams leaked across epochs");
+        self.stats = RunStats {
+            rank: self.rank,
+            workers: vec![Breakdown::default(); num_workers],
+            ..Default::default()
+        };
+        self.bd = Breakdown::default();
+        self.safra = Safra::new(self.rank, self.size);
+        self.work_done = 0;
+    }
+
     /// Priority of a local program (route-table hit or cached fallback).
     fn priority_of(&mut self, id: ProgramId) -> i64 {
-        route_lookup(&mut self.routes, self.factory, id).priority
+        route_lookup(&mut self.routes, self.factory.as_ref(), id).priority
+    }
+
+    /// Fold a report's worker-side stat deltas into this epoch's stats.
+    fn absorb_worker_stats(&mut self, report: &Report) {
+        self.stats.compute_calls += report.compute_calls;
+        if let Some(w) = self.stats.workers.get_mut(report.worker) {
+            w.merge(&report.bd);
+        }
     }
 
     /// Route one worker report: local streams are delivered to the pool
@@ -289,6 +369,7 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
     /// `recv_timeout` fallback — both paths get identical routing and
     /// timing.
     fn route_report(&mut self, pool: &Pool, comm: &Comm, report: Report) {
+        self.absorb_worker_stats(&report);
         self.work_done += report.work_done;
         self.stats.work_done += report.work_done;
         if report.outputs.is_empty() {
@@ -300,7 +381,7 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
         let mut non_route_seconds = 0.0;
         let mut pack_seconds = 0.0;
         for stream in report.outputs {
-            let entry = route_lookup(&mut self.routes, self.factory, stream.dst);
+            let entry = route_lookup(&mut self.routes, self.factory.as_ref(), stream.dst);
             if entry.rank == self.rank {
                 self.stats.streams_local += 1;
                 self.local.push((stream, entry.priority));
@@ -365,7 +446,7 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
         self.stats.streams_received += streams.len() as u64;
         let t0 = Instant::now();
         let routes = &mut self.routes;
-        let factory = self.factory;
+        let factory = self.factory.as_ref();
         pool.deliver_batch(streams.into_iter().map(|s| {
             let prio = route_lookup(routes, factory, s.dst).priority;
             (s, prio)
@@ -374,137 +455,286 @@ impl<'f, F: ProgramFactory> Master<'f, F> {
     }
 }
 
-/// Run one rank of a patch-centric data-driven computation to global
-/// termination. Returns the rank's [`RunStats`].
-pub fn run_rank<F: ProgramFactory>(
-    mut comm: Comm,
-    factory: Arc<F>,
-    config: &RuntimeConfig,
-) -> RunStats {
-    assert!(config.num_workers > 0, "need at least one worker");
-    let t_start = Instant::now();
-    let rank = comm.rank();
-    let size = comm.size();
-    let pool = Arc::new(Pool::new(config.num_workers));
-    let mut m = Master::new(rank, size, factory.as_ref(), config);
+/// One resident rank of a (possibly persistent) universe: the master
+/// state, the shared program pool and the live worker threads. Created
+/// once per [`crate::Universe`] lifetime; [`Rank::run_epoch`] is called
+/// once per epoch.
+pub(crate) struct Rank<F: ProgramFactory> {
+    comm: Comm,
+    pool: Arc<Pool>,
+    config: RuntimeConfig,
+    from_workers: Receiver<Report>,
+    workers: Vec<JoinHandle<(Breakdown, u64)>>,
+    m: Master<F>,
+    epochs_run: u64,
+}
 
-    // Progress tracking: local committed workload.
-    let local_ids = factory.programs_on_rank(rank);
-    let total_work: u64 = local_ids
-        .iter()
-        .map(|&id| factory.initial_workload(id))
-        .sum();
-
-    // All patch-programs start active (§III-A).
-    for &id in &local_ids {
-        let prio = m.priority_of(id);
-        pool.activate(id, prio);
-    }
-
-    // Workers.
-    let (to_master, from_workers): (Sender<Report>, Receiver<Report>) = unbounded();
-    let mut handles = Vec::with_capacity(config.num_workers);
-    for w in 0..config.num_workers {
-        let pool = pool.clone();
-        let factory = factory.clone();
-        let tx = to_master.clone();
-        let flush_streams = config.report_flush_streams.max(1);
-        let claim_batch = config.claim_batch.max(1);
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("rank-{rank}-worker-{w}"))
-                .spawn(move || worker_loop(w, pool, factory, tx, flush_streams, claim_batch))
-                .expect("spawn worker"),
-        );
-    }
-    drop(to_master);
-
-    let mut counting = Counting::new(rank, size);
-
-    'main: loop {
-        let mut progress = false;
-
-        // Drain worker reports: route streams, track progress.
-        while let Ok(report) = from_workers.try_recv() {
-            progress = true;
-            m.route_report(&pool, &comm, report);
+impl<F: ProgramFactory> Rank<F> {
+    /// Spawn this rank's workers and build its master state; no epoch
+    /// runs yet.
+    pub(crate) fn launch(comm: Comm, factory: Arc<F>, config: &RuntimeConfig) -> Rank<F> {
+        assert!(config.num_workers > 0, "need at least one worker");
+        let rank = comm.rank();
+        let size = comm.size();
+        let pool = Arc::new(Pool::new(config.num_workers));
+        pool.set_batching(Some(config.report_flush_streams), Some(config.claim_batch));
+        let m = Master::new(rank, size, factory.clone(), config);
+        let (to_master, from_workers): (Sender<Report>, Receiver<Report>) = unbounded();
+        let mut workers = Vec::with_capacity(config.num_workers);
+        for w in 0..config.num_workers {
+            let pool = pool.clone();
+            let factory = factory.clone();
+            let tx = to_master.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}-worker-{w}"))
+                    .spawn(move || worker_loop(w, pool, factory, tx))
+                    .expect("spawn worker"),
+            );
         }
-        // One frame per destination per drain round.
-        m.flush_frames(&comm);
+        drop(to_master);
+        Rank {
+            comm,
+            pool,
+            config: config.clone(),
+            from_workers,
+            workers,
+            m,
+            epochs_run: 0,
+        }
+    }
 
-        // Drain network messages: incoming frames + protocol traffic.
-        while let Some(msg) = m.bd.timed(Category::Comm, || comm.try_recv()) {
-            progress = true;
-            match msg.tag {
-                TAG_FRAME => m.recv_frame(&pool, msg.payload),
-                _ => {
-                    let v = match config.termination {
-                        TerminationKind::Counting => counting.on_message(&msg, &comm),
-                        TerminationKind::Safra => m.safra.on_message(&msg, &comm),
-                    };
-                    if v == Verdict::Terminated {
+    /// Synchronise all ranks at an epoch boundary and discard any
+    /// stale residue of the previous epoch.
+    ///
+    /// Two barriers bracket a drain: after the first barrier every
+    /// rank has terminated the previous epoch (so any *user* message
+    /// in the receive queue is residue — termination guarantees needed
+    /// streams were delivered); the second barrier ensures no rank has
+    /// started the next epoch while others still drain, so new-epoch
+    /// frames can never be mistaken for residue. The drain is
+    /// tag-aware ([`Comm::drain_user`]): a faster peer may already
+    /// have sent its second-barrier message, which must survive.
+    fn epoch_fence(&mut self) {
+        self.comm.barrier();
+        let _ = self.comm.drain_user();
+        self.comm.barrier();
+    }
+
+    /// Run one epoch to global termination and return this rank's
+    /// stats. `input` is handed to every resident program's
+    /// [`crate::PatchProgram::reset`] from the second epoch on; the
+    /// first epoch runs factory-fresh programs as-is.
+    pub(crate) fn run_epoch(
+        &mut self,
+        input: &Arc<EpochInput>,
+        flush_streams: Option<usize>,
+        claim_batch: Option<usize>,
+    ) -> RunStats {
+        let t_start = Instant::now();
+        self.m.begin_epoch(self.config.num_workers);
+        self.pool.set_batching(flush_streams, claim_batch);
+
+        // Inter-epoch synchronisation (booked as master idle time).
+        // The first epoch has no predecessor to fence off, so one-shot
+        // runs pay no barrier at all.
+        if self.epochs_run > 0 {
+            let t_fence = Instant::now();
+            self.epoch_fence();
+            self.m
+                .bd
+                .add(Category::Idle, t_fence.elapsed().as_secs_f64());
+        }
+
+        // Re-arm resident programs for this epoch; the pool drops
+        // stale heap entries in the same pass. Lazily created programs
+        // get the same reset right after `create` (see `worker_loop`).
+        if self.epochs_run > 0 {
+            self.pool.set_epoch_input(Some(input.clone()));
+            let pool = &self.pool;
+            let inp: &EpochInput = &**input;
+            self.m
+                .bd
+                .timed(Category::Other, || pool.reset_epoch(|_, p| p.reset(inp)));
+        }
+
+        let (m, pool, comm, from_workers) =
+            (&mut self.m, &self.pool, &mut self.comm, &self.from_workers);
+        let rank = m.rank;
+        let size = m.size;
+
+        // Progress tracking: local committed workload (re-evaluated
+        // per epoch — constant for sweeps, but the factory may vary
+        // it).
+        let local_ids = m.factory.programs_on_rank(rank);
+        let total_work: u64 = local_ids
+            .iter()
+            .map(|&id| m.factory.initial_workload(id))
+            .sum();
+
+        // All patch-programs start active (§III-A).
+        for &id in &local_ids {
+            let prio = m.priority_of(id);
+            pool.activate(id, prio);
+        }
+
+        let mut counting = Counting::new(rank, size);
+
+        'main: loop {
+            let mut progress = false;
+
+            // Drain worker reports: route streams, track progress.
+            while let Ok(report) = from_workers.try_recv() {
+                progress = true;
+                m.route_report(pool, comm, report);
+            }
+            // One frame per destination per drain round.
+            m.flush_frames(comm);
+
+            // Drain network messages: incoming frames + protocol traffic.
+            while let Some(msg) = m.bd.timed(Category::Comm, || comm.try_recv()) {
+                progress = true;
+                match msg.tag {
+                    TAG_FRAME => m.recv_frame(pool, msg.payload),
+                    _ => {
+                        let v = match self.config.termination {
+                            TerminationKind::Counting => counting.on_message(&msg, comm),
+                            TerminationKind::Safra => m.safra.on_message(&msg, comm),
+                        };
+                        if v == Verdict::Terminated {
+                            break 'main;
+                        }
+                    }
+                }
+            }
+
+            // Termination detection.
+            match self.config.termination {
+                TerminationKind::Counting => {
+                    debug_assert!(
+                        m.work_done <= total_work,
+                        "programs over-reported work ({} > committed {total_work})",
+                        m.work_done
+                    );
+                    let remaining = total_work.saturating_sub(m.work_done);
+                    if counting.maybe_report(remaining, comm) == Verdict::Terminated {
                         break 'main;
+                    }
+                }
+                TerminationKind::Safra => {
+                    debug_assert!(m.dirty.is_empty(), "unflushed frames at idle check");
+                    let idle = !progress && pool.is_quiet();
+                    if m.safra.maybe_advance(idle, comm) == Verdict::Terminated {
+                        break 'main;
+                    }
+                }
+            }
+
+            if !progress {
+                // Nothing to do right now: park briefly on the worker
+                // channel (the latency-critical path).
+                let t0 = Instant::now();
+                let parked = from_workers.recv_timeout(Duration::from_micros(200));
+                m.bd.add(Category::Idle, t0.elapsed().as_secs_f64());
+                match parked {
+                    Ok(report) => {
+                        m.route_report(pool, comm, report);
+                        m.flush_frames(comm);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("rank {rank}: all worker threads died mid-epoch")
                     }
                 }
             }
         }
 
-        // Termination detection.
-        match config.termination {
-            TerminationKind::Counting => {
+        // Quiesce the local pool before closing the epoch: global
+        // termination (counting in particular) can be declared while a
+        // worker still holds a claim whose compute is a no-op — all
+        // committed work is done, but the program is still `Running`.
+        // Wait for workers to hand everything back, scooping up
+        // straggler stat-only reports so per-epoch worker breakdowns
+        // stay complete. This is airtight because *any* non-empty
+        // worker batch registers in `held_reports` until flushed, so
+        // `is_quiet` cannot turn true with a report still forming or
+        // in flight (termination already means no stream can still
+        // need delivery).
+        let t_quiesce = Instant::now();
+        loop {
+            while let Ok(report) = from_workers.try_recv() {
                 debug_assert!(
-                    m.work_done <= total_work,
-                    "programs over-reported work ({} > committed {total_work})",
-                    m.work_done
+                    report.outputs.is_empty(),
+                    "stream-bearing worker report after termination"
                 );
-                let remaining = total_work.saturating_sub(m.work_done);
-                if counting.maybe_report(remaining, &comm) == Verdict::Terminated {
-                    break 'main;
-                }
+                m.absorb_worker_stats(&report);
+                m.stats.work_done += report.work_done;
             }
-            TerminationKind::Safra => {
-                debug_assert!(m.dirty.is_empty(), "unflushed frames at idle check");
-                let idle = !progress && pool.is_quiet();
-                if m.safra.maybe_advance(idle, &comm) == Verdict::Terminated {
-                    break 'main;
-                }
+            if pool.is_quiet() {
+                break;
             }
+            std::thread::yield_now();
         }
+        m.bd.add(Category::Idle, t_quiesce.elapsed().as_secs_f64());
 
-        if !progress {
-            // Nothing to do right now: park briefly on the worker
-            // channel (the latency-critical path).
-            let t0 = Instant::now();
-            let parked = from_workers.recv_timeout(Duration::from_micros(200));
-            m.bd.add(Category::Idle, t0.elapsed().as_secs_f64());
-            if let Ok(report) = parked {
-                m.route_report(&pool, &comm, report);
-                m.flush_frames(&comm);
-            }
-        }
+        self.epochs_run += 1;
+        let mut stats = std::mem::take(&mut m.stats);
+        stats.master = std::mem::take(&mut m.bd);
+        stats.wall_seconds = t_start.elapsed().as_secs_f64();
+        stats
     }
 
-    // Shut workers down and collect their breakdowns.
-    pool.stop();
-    let mut stats = m.stats;
-    for h in handles {
-        let (bd, calls) = h.join().expect("worker panicked");
-        stats.workers.push(bd);
+    /// Stop the pool, join the workers and return their residual
+    /// (post-final-flush) stat deltas in worker order. With the
+    /// hold-any-content report discipline, every compute call and
+    /// output has been flushed and drained by the epoch that ran it —
+    /// the residual is only the final flush's send-timing slop plus
+    /// post-epoch idle, which belongs to no epoch.
+    pub(crate) fn shutdown(mut self) -> Vec<(Breakdown, u64)> {
+        self.pool.stop();
+        self.workers
+            .drain(..)
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    }
+}
+
+/// Run one rank of a patch-centric data-driven computation to global
+/// termination. Returns the rank's [`RunStats`].
+///
+/// This is the one-shot (single-epoch) form: workers are spawned,
+/// one epoch runs, workers are joined. [`crate::Universe`] keeps the
+/// same machinery resident across epochs.
+pub fn run_rank<F: ProgramFactory>(
+    comm: Comm,
+    factory: Arc<F>,
+    config: &RuntimeConfig,
+) -> RunStats {
+    let mut rank = Rank::launch(comm, factory, config);
+    let input: Arc<EpochInput> = Arc::new(());
+    let mut stats = rank.run_epoch(&input, None, None);
+    for (w, (bd, calls)) in rank.shutdown().into_iter().enumerate() {
+        // Fold the residual post-flush slop so one-shot totals stay
+        // exact.
+        stats.workers[w].merge(&bd);
         stats.compute_calls += calls;
     }
-    stats.master = m.bd;
-    stats.wall_seconds = t_start.elapsed().as_secs_f64();
     stats
 }
 
 /// Run a full simulated-MPI computation: `num_ranks` ranks, each with
 /// `config.num_workers` workers, sharing one program factory.
+///
+/// Since the persistent-universe refactor this is a thin one-epoch
+/// wrapper over [`crate::Universe`]: launch, run a single epoch,
+/// shut down. Multi-epoch workloads should hold a
+/// [`crate::Universe`] instead and pay the launch cost once.
 pub fn run_universe<F: ProgramFactory>(
     num_ranks: usize,
     factory: Arc<F>,
     config: RuntimeConfig,
 ) -> Vec<RunStats> {
-    Universe::run(num_ranks, move |comm| {
+    CommUniverse::run(num_ranks, move |comm| {
         run_rank(comm, factory.clone(), &config)
     })
 }
@@ -559,6 +789,12 @@ mod tests {
         fn remaining_work(&self) -> u64 {
             u64::from(!self.done)
         }
+        fn reset(&mut self, _epoch: &EpochInput) {
+            // Re-arm for another epoch: program 0 re-seeds the token
+            // in `init`-equivalent fashion.
+            self.done = false;
+            self.token = (self.id.patch.0 == 0).then_some(0);
+        }
     }
 
     struct ChainFactory {
@@ -573,7 +809,7 @@ mod tests {
             ChainProgram {
                 id,
                 n: self.n,
-                token: None,
+                token: (id.patch.0 == 0).then_some(0),
                 done: false,
                 log: self.log.clone(),
             }
@@ -848,6 +1084,11 @@ mod tests {
         }
         fn remaining_work(&self) -> u64 {
             (self.rounds - self.received) as u64
+        }
+        fn reset(&mut self, _epoch: &EpochInput) {
+            self.sent = 0;
+            self.received = 0;
+            self.pending = 0;
         }
     }
 

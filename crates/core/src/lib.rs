@@ -33,13 +33,28 @@
 //! profiled into the kernel / graph-op / pack-unpack / comm / idle
 //! categories of Fig. 16.
 
+//! # The persistent universe
+//!
+//! Iterative workloads (source iterations, time steps, eigenvalue
+//! loops) run the same program topology many times over. The
+//! [`Universe`] handle keeps the whole world — rank threads, workers,
+//! pools, routing state and every patch-program — resident across
+//! **epochs**: [`Universe::launch`] once, [`Universe::run_epoch`] per
+//! iteration (programs are re-armed in place via
+//! [`PatchProgram::reset`] with an opaque [`EpochInput`]), then
+//! [`Universe::shutdown`]. [`run_universe`] remains as the one-epoch
+//! convenience wrapper.
+
 pub mod engine;
 pub mod pool;
 pub mod program;
 pub mod stats;
+pub mod universe;
 
 pub use engine::{run_rank, run_universe, RuntimeConfig, TerminationKind};
 pub use program::{
-    pack_frame, unpack_frame, ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag,
+    pack_frame, unpack_frame, ComputeCtx, EpochInput, PatchProgram, ProgramFactory, ProgramId,
+    Stream, TaskTag,
 };
 pub use stats::{Breakdown, RunStats};
+pub use universe::{EpochTuning, Universe};

@@ -20,7 +20,7 @@
 //! acquisition, so an incoming `k`-stream frame costs at most `S` lock
 //! round-trips instead of `k`.
 
-use crate::program::{PatchProgram, ProgramId, Stream};
+use crate::program::{EpochInput, PatchProgram, ProgramId, Stream};
 use crate::stats::{Breakdown, Category};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -28,6 +28,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Multiply-mix hasher for [`ProgramId`] keys (two `u32` writes).
@@ -142,6 +143,22 @@ pub struct Pool {
     /// lock + notify entirely while this is zero (the common case on a
     /// busy rank).
     sleepers: AtomicUsize,
+    /// Worker batching knob: max output streams buffered per report
+    /// (see `RuntimeConfig::report_flush_streams`). Atomic so a
+    /// persistent universe can re-tune it per epoch while workers stay
+    /// resident.
+    flush_streams: AtomicUsize,
+    /// Worker batching knob: program claims per pool round-trip (see
+    /// `RuntimeConfig::claim_batch`). Per-epoch tunable like
+    /// [`Pool::flush_streams`].
+    claim_batch: AtomicUsize,
+    /// The current epoch's input (persistent universe only): a worker
+    /// that lazily creates a program in epoch ≥ 2 resets it with this
+    /// before first use, so late-materialising programs see the same
+    /// epoch state as resident ones. `None` during the first epoch
+    /// (factory-fresh state *is* the first epoch's state) and in
+    /// one-shot runs.
+    epoch_input: Mutex<Option<Arc<EpochInput>>>,
     stop: AtomicBool,
     /// Sleep coordination: a sleeper registers in `sleepers` and
     /// re-checks `ready`/`stop` under this lock before waiting;
@@ -176,9 +193,76 @@ impl Pool {
             active: AtomicUsize::new(0),
             held_reports: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
+            flush_streams: AtomicUsize::new(32),
+            claim_batch: AtomicUsize::new(8),
+            epoch_input: Mutex::new(None),
             stop: AtomicBool::new(false),
             sleep: Mutex::new(()),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Set the worker batching knobs (`None` keeps the current value).
+    /// Safe to call between epochs of a persistent universe; workers
+    /// pick the new values up on their next pool round-trip.
+    pub fn set_batching(&self, flush_streams: Option<usize>, claim_batch: Option<usize>) {
+        if let Some(f) = flush_streams {
+            self.flush_streams.store(f.max(1), Ordering::SeqCst);
+        }
+        if let Some(c) = claim_batch {
+            self.claim_batch.store(c.max(1), Ordering::SeqCst);
+        }
+    }
+
+    /// Current report-flush threshold (streams buffered per worker
+    /// report).
+    pub fn flush_streams(&self) -> usize {
+        self.flush_streams.load(Ordering::SeqCst)
+    }
+
+    /// Current claim batch (program claims per pool round-trip).
+    pub fn claim_batch(&self) -> usize {
+        self.claim_batch.load(Ordering::SeqCst)
+    }
+
+    /// Publish the epoch input lazily-created programs must be reset
+    /// with (`None` = first epoch / one-shot run: factory-fresh state
+    /// is already current).
+    pub fn set_epoch_input(&self, input: Option<Arc<EpochInput>>) {
+        *self.epoch_input.lock() = input;
+    }
+
+    /// The current epoch input, if any (see [`Pool::set_epoch_input`]).
+    pub fn epoch_input(&self) -> Option<Arc<EpochInput>> {
+        self.epoch_input.lock().clone()
+    }
+
+    /// Epoch-boundary reset of a quiescent pool: drop stale
+    /// lazily-deleted heap entries and hand every resident program to
+    /// `f` (for its [`PatchProgram::reset`]). Panics if any slot is
+    /// still `Ready`/`Running` or holds undelivered streams — calling
+    /// this mid-epoch is a runtime bug.
+    pub fn reset_epoch(&self, mut f: impl FnMut(ProgramId, &mut dyn PatchProgram)) {
+        assert!(self.is_quiet(), "epoch reset on a non-quiescent pool");
+        for cell in &self.shards {
+            let mut g = cell.shard.lock();
+            // Stale entries (superseded priorities) would otherwise
+            // accumulate across epochs.
+            g.heap.clear();
+            for (&id, slot) in g.slots.iter_mut() {
+                assert_eq!(
+                    slot.state,
+                    SlotState::Idle,
+                    "program {id:?} not idle at epoch boundary"
+                );
+                assert!(
+                    slot.pending.is_empty(),
+                    "program {id:?} holds undelivered streams at epoch boundary"
+                );
+                if let Some(p) = slot.program.as_mut() {
+                    f(id, p.as_mut());
+                }
+            }
         }
     }
 
@@ -573,10 +657,11 @@ impl Pool {
         }
     }
 
-    /// A worker buffered a report (outputs/work not yet sent to the
-    /// master). Must be called *before* the producing program's
-    /// [`Pool::finish`], so quiescence is never visible while streams
-    /// sit in a worker-local batch.
+    /// A worker buffered a report (outputs/work/stat deltas not yet
+    /// sent to the master). Must be called *before* the producing
+    /// program's [`Pool::finish`], so quiescence is never visible
+    /// while streams — or per-epoch accounting — sit in a
+    /// worker-local batch.
     pub fn hold_report(&self) {
         self.held_reports.fetch_add(1, Ordering::SeqCst);
     }
@@ -839,6 +924,63 @@ mod tests {
         assert!(!pool.is_quiet(), "held worker outputs must block quiet");
         pool.release_report();
         assert!(pool.is_quiet());
+    }
+
+    #[test]
+    fn reset_epoch_clears_stale_heap_entries_and_visits_residents() {
+        let pool = Pool::new(2);
+        pool.activate(pid(0, 0), 1);
+        // Priority bump leaves a stale heap entry behind.
+        pool.activate(pid(0, 0), 5);
+        pool.activate(pid(1, 0), 2);
+        let mut bd = Breakdown::default();
+        while let Some(c) = pool.try_take(0) {
+            pool.finish(c.id, Box::new(Nop), true);
+        }
+        assert!(pool.is_quiet());
+        let mut seen = Vec::new();
+        pool.reset_epoch(|id, _| seen.push(id));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![pid(0, 0), pid(1, 0)]);
+        // The pool still schedules correctly after the reset.
+        pool.activate(pid(0, 0), 3);
+        let again = pool.take(0, &mut bd).unwrap();
+        assert_eq!(again.id, pid(0, 0));
+        assert!(again.initialized, "resident program lost its instance");
+        assert!(again.program.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-quiescent")]
+    fn reset_epoch_rejects_running_programs() {
+        let pool = Pool::new(1);
+        pool.activate(pid(0, 0), 0);
+        let _claim = pool.try_take(0).unwrap(); // leaves the slot Running
+        pool.reset_epoch(|_, _| {});
+    }
+
+    #[test]
+    fn batching_knobs_are_per_epoch_tunable() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.flush_streams(), 32);
+        assert_eq!(pool.claim_batch(), 8);
+        pool.set_batching(Some(64), None);
+        assert_eq!(pool.flush_streams(), 64);
+        assert_eq!(pool.claim_batch(), 8, "None keeps the old value");
+        pool.set_batching(Some(0), Some(0));
+        assert_eq!(pool.flush_streams(), 1, "knobs clamp to 1");
+        assert_eq!(pool.claim_batch(), 1);
+    }
+
+    #[test]
+    fn epoch_input_round_trips_through_the_pool() {
+        let pool = Pool::new(1);
+        assert!(pool.epoch_input().is_none());
+        pool.set_epoch_input(Some(std::sync::Arc::new(17u64)));
+        let got = pool.epoch_input().expect("input set");
+        assert_eq!(*got.downcast_ref::<u64>().unwrap(), 17);
+        pool.set_epoch_input(None);
+        assert!(pool.epoch_input().is_none());
     }
 
     #[test]

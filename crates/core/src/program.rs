@@ -73,12 +73,27 @@ impl ComputeCtx {
     }
 }
 
+/// Opaque per-epoch input handed to resident programs by
+/// [`crate::Universe::run_epoch`].
+///
+/// The runtime never interprets it: a program downcasts to the concrete
+/// epoch type its factory's universe is driven with (e.g. the sweep
+/// solver's per-iteration emission density + scheduling mode). Epochs
+/// that carry no input use `Arc::new(())`.
+pub type EpochInput = dyn std::any::Any + Send + Sync;
+
 /// A data-driven patch-program (paper Fig. 6).
 ///
 /// Lifecycle (Alg. 1): `init` once before the first compute; then any
 /// number of rounds of `input*` → `compute` → (outputs collected from
 /// the [`ComputeCtx`]) → `vote_to_halt`. The runtime guarantees
 /// `compute` is never invoked concurrently for the same program.
+///
+/// Under a persistent [`crate::Universe`] the same lifecycle repeats
+/// per **epoch**: at each epoch boundary the runtime calls
+/// [`PatchProgram::reset`] on every resident program (instead of
+/// recreating it), then re-runs the `input*`/`compute` rounds to
+/// quiescence.
 pub trait PatchProgram: Send {
     /// Initialise local context. Called exactly once, before the first
     /// `input`/`compute`.
@@ -97,6 +112,20 @@ pub trait PatchProgram: Send {
 
     /// Remaining committed workload (counting termination, §III-B).
     fn remaining_work(&self) -> u64;
+
+    /// Re-arm this resident program for a new epoch of a persistent
+    /// [`crate::Universe`], reusing its buffers in place.
+    ///
+    /// Called at the epoch boundary (while the rank is quiescent, so
+    /// never concurrently with `input`/`compute`) with the epoch input
+    /// passed to [`crate::Universe::run_epoch`]; also called right
+    /// after a lazy `create` when a program first materialises in a
+    /// later epoch, so factory-fresh state is specialised the same way
+    /// as resident state. The default is a no-op: single-epoch programs
+    /// need no reset.
+    fn reset(&mut self, epoch: &EpochInput) {
+        let _ = epoch;
+    }
 }
 
 /// Creates patch-programs and describes their placement and priority.

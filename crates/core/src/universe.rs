@@ -1,0 +1,497 @@
+//! The persistent sweep universe: a resident runtime that lives for a
+//! whole multi-epoch computation.
+//!
+//! [`run_universe`](crate::run_universe) pays a full spawn/teardown per
+//! call: rank threads, worker threads, pool, route table and every
+//! patch-program are built, run to quiescence and dropped. That is the
+//! right shape for a single sweep — and pure overhead for iterative
+//! workloads (source iterations, time steps, eigenvalue loops, AMR
+//! cycles) that run the *same* program topology dozens of times with
+//! only the input data changing.
+//!
+//! A [`Universe`] keeps the whole world resident instead:
+//!
+//! * **launch** — rank threads, workers, pools and master routing
+//!   state are created once ([`Universe::launch`]);
+//! * **epoch** — each [`Universe::run_epoch`] call re-activates every
+//!   program, runs the data-driven computation to distributed
+//!   termination (either detector) and returns per-rank [`RunStats`];
+//!   programs persist across epochs and are re-armed in place through
+//!   [`PatchProgram::reset`](crate::PatchProgram::reset) with the
+//!   caller's opaque epoch input — no reallocation of their buffers;
+//! * **shutdown** — [`Universe::shutdown`] (or drop) stops the pools
+//!   and joins every thread.
+//!
+//! Epochs are separated by a two-barrier fence on the simulated MPI
+//! world, so termination of epoch `k` is globally observed before any
+//! rank starts epoch `k+1` — streams can never bleed between epochs.
+
+use crate::engine::{Rank, RuntimeConfig};
+use crate::program::{EpochInput, ProgramFactory};
+use crate::stats::RunStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use jsweep_comm::Universe as CommUniverse;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-epoch overrides of the worker batching knobs (`None` keeps the
+/// previous value). Lets one resident universe run a recording epoch
+/// with fine-path batching and replay epochs with replay-tuned
+/// batching, matching the per-mode `RuntimeConfig`s the respawning
+/// solver used.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochTuning {
+    /// Override for [`RuntimeConfig::report_flush_streams`].
+    pub report_flush_streams: Option<usize>,
+    /// Override for [`RuntimeConfig::claim_batch`].
+    pub claim_batch: Option<usize>,
+}
+
+enum Cmd {
+    Epoch(Arc<EpochInput>, EpochTuning),
+    Shutdown,
+}
+
+struct RankHandle {
+    cmd: Sender<Cmd>,
+    stats: Receiver<RunStats>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A resident simulated-MPI world: `num_ranks` rank threads (each with
+/// its master state and worker threads) that stay alive across any
+/// number of epochs. See the [module docs](self) for the lifecycle.
+pub struct Universe {
+    ranks: Vec<RankHandle>,
+    epochs_run: u64,
+}
+
+impl Universe {
+    /// Spawn a resident world of `num_ranks` ranks sharing `factory`.
+    ///
+    /// Programs created during the first epoch come straight from the
+    /// factory — the factory's initial state *is* the first epoch's
+    /// input. From the second epoch on, every resident (and every
+    /// late-materialising) program is re-armed via
+    /// [`PatchProgram::reset`](crate::PatchProgram::reset) with the
+    /// input passed to [`Universe::run_epoch`].
+    pub fn launch<F: ProgramFactory>(
+        num_ranks: usize,
+        factory: Arc<F>,
+        config: RuntimeConfig,
+    ) -> Universe {
+        let ranks = CommUniverse::endpoints(num_ranks)
+            .into_iter()
+            .map(|comm| {
+                let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+                let (stats_tx, stats_rx) = unbounded::<RunStats>();
+                let factory = factory.clone();
+                let config = config.clone();
+                let rank_id = comm.rank();
+                let join = std::thread::Builder::new()
+                    .name(format!("universe-rank-{rank_id}"))
+                    .spawn(move || {
+                        let mut rank = Rank::launch(comm, factory, &config);
+                        while let Ok(cmd) = cmd_rx.recv() {
+                            match cmd {
+                                Cmd::Epoch(input, tuning) => {
+                                    let stats = rank.run_epoch(
+                                        &input,
+                                        tuning.report_flush_streams,
+                                        tuning.claim_batch,
+                                    );
+                                    if stats_tx.send(stats).is_err() {
+                                        break;
+                                    }
+                                }
+                                Cmd::Shutdown => break,
+                            }
+                        }
+                        rank.shutdown();
+                    })
+                    .expect("spawn universe rank thread");
+                RankHandle {
+                    cmd: cmd_tx,
+                    stats: stats_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Universe {
+            ranks,
+            epochs_run: 0,
+        }
+    }
+
+    /// Number of resident ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Run one epoch to global termination on every rank; returns the
+    /// per-rank [`RunStats`] in rank order.
+    ///
+    /// `input` is shared with every rank and handed to each resident
+    /// program's [`PatchProgram::reset`](crate::PatchProgram::reset)
+    /// before the epoch's activation (epochs ≥ 2; the first epoch runs
+    /// factory-fresh programs as-is). Epochs with no input use
+    /// `Arc::new(())`.
+    pub fn run_epoch(&mut self, input: Arc<EpochInput>) -> Vec<RunStats> {
+        self.run_epoch_tuned(input, EpochTuning::default())
+    }
+
+    /// [`Universe::run_epoch`] with per-epoch batching-knob overrides.
+    pub fn run_epoch_tuned(
+        &mut self,
+        input: Arc<EpochInput>,
+        tuning: EpochTuning,
+    ) -> Vec<RunStats> {
+        for r in &self.ranks {
+            if r.cmd.send(Cmd::Epoch(input.clone(), tuning)).is_err() {
+                panic!("universe rank thread exited before shutdown");
+            }
+        }
+        let stats = self
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.stats
+                    .recv()
+                    .unwrap_or_else(|_| panic!("universe rank {i} died during the epoch"))
+            })
+            .collect();
+        self.epochs_run += 1;
+        stats
+    }
+
+    /// Stop every rank: pools stop, workers and rank threads join.
+    /// Idempotent; also invoked on drop, so an explicit call is only
+    /// needed to observe thread panics eagerly.
+    pub fn shutdown(&mut self) {
+        for r in &self.ranks {
+            // Ignore a closed channel: the rank already exited.
+            let _ = r.cmd.send(Cmd::Shutdown);
+        }
+        for r in &mut self.ranks {
+            if let Some(join) = r.join.take() {
+                join.join().expect("universe rank thread panicked");
+            }
+        }
+    }
+}
+
+impl Drop for Universe {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Don't double-panic while unwinding; rank threads exit on
+            // their own once the command channels close.
+            return;
+        }
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ComputeCtx, PatchProgram, ProgramId, Stream, TaskTag};
+    use crate::TerminationKind;
+    use bytes::Bytes;
+    use jsweep_mesh::PatchId;
+    use parking_lot::Mutex;
+
+    /// Epoch-aware accumulator ring: each epoch, every program adds the
+    /// epoch's offset (the downcast epoch input) to a running sum and
+    /// forwards a token around the ring once. Exercises reset, the
+    /// fence, and per-epoch stats isolation.
+    struct RingProgram {
+        id: ProgramId,
+        n: u32,
+        offset: u64,
+        token: Option<u64>,
+        fired: bool,
+        sums: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl PatchProgram for RingProgram {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, payload: Bytes) {
+            self.token = Some(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            let starts = self.id.patch.0 == 0 && !self.fired;
+            if starts {
+                self.token = Some(0);
+            }
+            let Some(tok) = self.token.take() else {
+                return;
+            };
+            if self.fired {
+                return;
+            }
+            self.fired = true;
+            ctx.work_done = 1;
+            self.sums.lock()[self.id.patch.0 as usize] += tok + self.offset;
+            if self.id.patch.0 + 1 < self.n {
+                ctx.send(Stream {
+                    src: self.id,
+                    dst: ProgramId::new(PatchId(self.id.patch.0 + 1), TaskTag(0)),
+                    payload: Bytes::copy_from_slice(&(tok + 1).to_le_bytes()),
+                });
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.token.is_none()
+        }
+        fn remaining_work(&self) -> u64 {
+            u64::from(!self.fired)
+        }
+        fn reset(&mut self, epoch: &crate::EpochInput) {
+            let &offset = epoch.downcast_ref::<u64>().expect("ring epoch input");
+            self.offset = offset;
+            self.fired = false;
+            self.token = None;
+        }
+    }
+
+    struct RingFactory {
+        n: u32,
+        ranks: usize,
+        sums: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl ProgramFactory for RingFactory {
+        type Program = RingProgram;
+        fn create(&self, id: ProgramId) -> RingProgram {
+            RingProgram {
+                id,
+                n: self.n,
+                offset: 0,
+                token: None,
+                fired: false,
+                sums: self.sums.clone(),
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            (0..self.n)
+                .filter(|p| (*p as usize) % self.ranks == rank)
+                .map(|p| ProgramId::new(PatchId(p), TaskTag(0)))
+                .collect()
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            id.patch.0 as usize % self.ranks
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            1
+        }
+    }
+
+    fn run_ring_epochs(n: u32, ranks: usize, term: TerminationKind, offsets: &[u64]) -> Vec<u64> {
+        let sums = Arc::new(Mutex::new(vec![0u64; n as usize]));
+        let factory = Arc::new(RingFactory {
+            n,
+            ranks,
+            sums: sums.clone(),
+        });
+        let mut u = Universe::launch(
+            ranks,
+            factory,
+            RuntimeConfig {
+                num_workers: 2,
+                termination: term,
+                ..Default::default()
+            },
+        );
+        assert_eq!(u.num_ranks(), ranks);
+        for (k, &off) in offsets.iter().enumerate() {
+            let stats = u.run_epoch(Arc::new(off));
+            assert_eq!(stats.len(), ranks);
+            let work: u64 = stats.iter().map(|s| s.work_done).sum();
+            assert_eq!(work, n as u64, "epoch {k} work accounting");
+            // Per-epoch stream accounting: the token crosses n-1 hops,
+            // every epoch, from a cold counter.
+            let moved: u64 = stats.iter().map(|s| s.streams_sent + s.streams_local).sum();
+            assert_eq!(moved, (n - 1) as u64, "epoch {k} stream accounting");
+        }
+        assert_eq!(u.epochs_run(), offsets.len() as u64);
+        u.shutdown();
+        let out = sums.lock().clone();
+        out
+    }
+
+    #[test]
+    fn resident_ring_runs_many_epochs_counting() {
+        // First epoch: factory-fresh (offset 0); later epochs add
+        // their downcast offset. Program k accumulates k per epoch
+        // plus the epoch offsets of epochs 2..: check exact sums.
+        let offsets = [0, 10, 100];
+        let sums = run_ring_epochs(6, 2, TerminationKind::Counting, &offsets);
+        for (k, &s) in sums.iter().enumerate() {
+            let expect = 3 * k as u64 + offsets.iter().sum::<u64>();
+            assert_eq!(s, expect, "program {k}");
+        }
+    }
+
+    #[test]
+    fn resident_ring_runs_many_epochs_safra() {
+        let offsets = [0, 7];
+        let sums = run_ring_epochs(5, 3, TerminationKind::Safra, &offsets);
+        for (k, &s) in sums.iter().enumerate() {
+            assert_eq!(s, 2 * k as u64 + 7, "program {k}");
+        }
+    }
+
+    #[test]
+    fn single_epoch_universe_matches_run_universe_semantics() {
+        let sums = Arc::new(Mutex::new(vec![0u64; 4]));
+        let factory = Arc::new(RingFactory {
+            n: 4,
+            ranks: 2,
+            sums: sums.clone(),
+        });
+        let mut u = Universe::launch(2, factory, RuntimeConfig::default());
+        let stats = u.run_epoch(Arc::new(()));
+        drop(u); // shutdown via Drop
+        let work: u64 = stats.iter().map(|s| s.work_done).sum();
+        assert_eq!(work, 4);
+        assert_eq!(sums.lock().clone(), vec![0, 1, 2, 3]);
+    }
+
+    /// A program that only materialises in epoch 2 (it is not listed by
+    /// the factory; a listed program streams to it lazily) must be
+    /// reset with the current epoch input right after creation.
+    struct LazyTarget {
+        armed: bool,
+        got: Arc<Mutex<Vec<u64>>>,
+    }
+
+    struct LazySource {
+        id: ProgramId,
+        fire: bool,
+        epoch: u64,
+    }
+
+    enum LazyProgram {
+        Source(LazySource),
+        Target(LazyTarget),
+    }
+
+    impl PatchProgram for LazyProgram {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, payload: Bytes) {
+            match self {
+                LazyProgram::Target(t) => {
+                    assert!(t.armed, "lazy program ran un-reset in a later epoch");
+                    t.got
+                        .lock()
+                        .push(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                }
+                LazyProgram::Source(_) => {}
+            }
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if let LazyProgram::Source(s) = self {
+                if s.fire {
+                    s.fire = false;
+                    ctx.work_done = 1;
+                    // Only epoch 2 targets the hidden program.
+                    if s.epoch == 1 {
+                        ctx.send(Stream {
+                            src: s.id,
+                            dst: ProgramId::new(PatchId(99), TaskTag(0)),
+                            payload: Bytes::copy_from_slice(&s.epoch.to_le_bytes()),
+                        });
+                    }
+                }
+            }
+        }
+        fn vote_to_halt(&self) -> bool {
+            match self {
+                LazyProgram::Source(s) => !s.fire,
+                LazyProgram::Target(_) => true,
+            }
+        }
+        fn remaining_work(&self) -> u64 {
+            match self {
+                LazyProgram::Source(s) => u64::from(s.fire),
+                LazyProgram::Target(_) => 0,
+            }
+        }
+        fn reset(&mut self, epoch: &crate::EpochInput) {
+            let &e = epoch.downcast_ref::<u64>().expect("lazy epoch input");
+            match self {
+                LazyProgram::Source(s) => {
+                    s.fire = true;
+                    s.epoch = e;
+                }
+                LazyProgram::Target(t) => t.armed = true,
+            }
+        }
+    }
+
+    struct LazyFactory {
+        got: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl ProgramFactory for LazyFactory {
+        type Program = LazyProgram;
+        fn create(&self, id: ProgramId) -> LazyProgram {
+            if id.patch.0 == 99 {
+                LazyProgram::Target(LazyTarget {
+                    armed: false,
+                    got: self.got.clone(),
+                })
+            } else {
+                LazyProgram::Source(LazySource {
+                    id,
+                    fire: true,
+                    epoch: 0,
+                })
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            if rank == 0 {
+                vec![ProgramId::new(PatchId(0), TaskTag(0))]
+            } else {
+                Vec::new()
+            }
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            // The hidden target lives on rank 1.
+            usize::from(id.patch.0 == 99)
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn lazily_created_program_is_reset_to_current_epoch() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let factory = Arc::new(LazyFactory { got: got.clone() });
+        let mut u = Universe::launch(
+            2,
+            factory,
+            RuntimeConfig {
+                termination: TerminationKind::Safra,
+                ..Default::default()
+            },
+        );
+        u.run_epoch(Arc::new(0u64));
+        u.run_epoch(Arc::new(1u64));
+        u.shutdown();
+        assert_eq!(got.lock().clone(), vec![1]);
+    }
+}

@@ -283,6 +283,27 @@ impl CoarseSweepState {
         }
     }
 
+    /// Re-arm this state for another replay of the same coarsened
+    /// task, reusing its allocations in place (the persistent-universe
+    /// counterpart of [`CoarseSweepState::new`]): counts re-copied
+    /// from the coarse in-degrees, ready heap rebuilt, executed tally
+    /// restarted.
+    pub fn reset(&mut self, task: &CoarsenedTask) {
+        assert_eq!(
+            self.counts.len(),
+            task.in_degree.len(),
+            "reset against a different coarsened task"
+        );
+        self.counts.copy_from_slice(&task.in_degree);
+        self.ready.clear();
+        for (cv, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                self.ready.push(std::cmp::Reverse(cv as u32));
+            }
+        }
+        self.executed = 0;
+    }
+
     /// A remote coarse edge into cluster `cv` was satisfied.
     pub fn receive(&mut self, cv: u32) {
         let c = &mut self.counts[cv as usize];

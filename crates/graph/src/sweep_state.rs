@@ -64,6 +64,27 @@ impl SweepState {
         SweepState::new(sub, Arc::new(prio.to_vec()))
     }
 
+    /// Re-arm this state for another sweep of the same subgraph,
+    /// reusing its allocations in place: counters are re-copied from
+    /// the in-degrees, the ready queue is rebuilt with the shared
+    /// priorities, the computed tally restarts. The persistent-universe
+    /// counterpart of [`SweepState::new`] — no reallocation.
+    pub fn reset(&mut self, sub: &Subgraph) {
+        assert_eq!(
+            self.counts.len(),
+            sub.num_vertices(),
+            "reset against a different subgraph"
+        );
+        self.counts.copy_from_slice(&sub.in_degree);
+        self.ready.clear();
+        for (v, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                self.ready.push((self.prio[v], Reverse(v as u32)));
+            }
+        }
+        self.computed = 0;
+    }
+
     /// `input()`: one upwind datum for local vertex `v` arrived from a
     /// remote patch.
     pub fn receive(&mut self, v: u32) {

@@ -32,7 +32,8 @@ pub mod trace;
 pub mod xs;
 
 pub use kernel::KernelKind;
-pub use replay::{plan_key, CoarsePlan, PlanCache, PlanKey};
+pub use program::{SweepEpoch, SweepMode};
+pub use replay::{plan_key, CoarsePlan, EvictionPolicy, PlanCache, PlanKey};
 pub use solver::{
     record_cluster_traces, solve_parallel, solve_parallel_cached, solve_serial, SnConfig,
     SnSolution,

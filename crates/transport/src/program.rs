@@ -18,26 +18,40 @@
 //!
 //! Stream payload formats (see `jsweep_comm::pack`): fine streams are
 //! `u32 item_count` then per item `u32 dst_cell`, `u32 src_cell`,
-//! `groups × f64` face flux values (the receiver scans the destination
-//! cell's faces to find the upwind slot). Coarse streams are fully
+//! `groups × f64` face flux values (the receiver resolves the upwind
+//! slot through the factory's pre-built `(dst_cell, src_cell) → face`
+//! [`IngestTable`] — no per-item face scan). Coarse streams are fully
 //! pre-resolved at plan-build time: `u32 dst_cluster`, `u32 item_count`,
-//! then per item `u32 dst_slot` (`local_cell * max_faces + face` on the
-//! receiver — written straight into `face_flux`, no adjacency scan) and
-//! `groups × f64` flux values — one `receive()` per stream instead of
-//! one per item, and 4 bytes of addressing per item instead of 8.
+//! then `item_count × u32 dst_slot` (`local_cell * max_faces + face` on
+//! the receiver — written straight into `face_flux`, no adjacency
+//! scan), then `item_count × groups × f64` flux values. The constant
+//! prefix (header + slot block) is pre-packed per coarse edge at
+//! plan-compile time ([`crate::replay::ReplayEmit::skeleton`]), so
+//! replay packing is one memcpy plus the flux writes, and the receiver
+//! issues one `receive()` per stream instead of one per item.
+//!
+//! Under a persistent universe (`jsweep_core::Universe`) the programs
+//! stay resident for the whole solve: each source iteration is one
+//! epoch, and [`SweepProgram`]'s `reset` re-arms the scheduling state
+//! ([`SweepState`]/[`CoarseSweepState`] reset in place), zeroes
+//! `face_flux` in place, and swaps in the epoch's emission density and
+//! [`SweepMode`] — no per-iteration reallocation of the big buffers.
 
 use crate::kernel::{solve_cell, KernelKind};
 use crate::replay::{CoarsePlan, ReplayTask, TraceBins};
 use crate::xs::MaterialSet;
 use bytes::Bytes;
 use jsweep_comm::pack::{Reader, Writer};
-use jsweep_core::{ComputeCtx, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag};
+use jsweep_core::{
+    ComputeCtx, EpochInput, PatchProgram, ProgramFactory, ProgramId, Stream, TaskTag,
+};
 use jsweep_graph::coarse::{ClusterTrace, CoarseSweepState};
 use jsweep_graph::{Subgraph, SweepProblem, SweepState};
 use jsweep_mesh::{PatchId, SweepTopology};
 use jsweep_quadrature::QuadratureSet;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 /// Per-patch collection bin for scalar-flux contributions.
@@ -62,6 +76,82 @@ pub enum SweepMode {
         /// The plan built from the recording iteration's traces.
         plan: Arc<CoarsePlan>,
     },
+}
+
+/// Per-epoch input of a resident sweep universe: what changes between
+/// source iterations. Handed to `jsweep_core::Universe::run_epoch`;
+/// every resident [`SweepProgram`] downcasts it in its
+/// [`PatchProgram::reset`].
+pub struct SweepEpoch {
+    /// This iteration's emission density `(σ_s φ + Q)/4π` per
+    /// `cell * groups + g`.
+    pub emission: Arc<Vec<f64>>,
+    /// This iteration's scheduling mode (fine/record vs replay).
+    pub mode: SweepMode,
+}
+
+/// Multiply-mix hasher over the packed `(dst_cell, src_cell)` key of
+/// the [`IngestTable`] (one `u64` write). SipHash buys nothing for an
+/// internal adjacency map and costs real time on the per-item fine
+/// ingest path.
+#[derive(Default)]
+pub struct CellPairHasher {
+    state: u64,
+}
+
+impl Hasher for CellPairHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(31) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Pre-resolved fine-path ingest table: packed `(dst_cell, src_cell)`
+/// key (`dst << 32 | src`) → the face of `dst_cell` touching
+/// `src_cell`, for every cross-patch adjacent cell pair. Built once
+/// per problem by [`SweepFactory::new`]; replaces the per-item
+/// `face_toward` scan the recording iteration (and the
+/// `coarsen = false` path) used to pay per stream item per iteration.
+pub type IngestTable = HashMap<u64, u32, BuildHasherDefault<CellPairHasher>>;
+
+/// Pack an ingest-table key.
+#[inline]
+fn pair_key(dst: u32, src: u32) -> u64 {
+    (u64::from(dst) << 32) | u64::from(src)
+}
+
+/// Build the [`IngestTable`] of a decomposed mesh: one entry per
+/// ordered cross-patch adjacent cell pair (the only pairs that ever
+/// appear in fine stream items).
+pub fn build_ingest_table<T: SweepTopology + ?Sized>(
+    mesh: &T,
+    patches: &jsweep_mesh::PatchSet,
+) -> IngestTable {
+    let mut table = IngestTable::default();
+    for c in 0..mesh.num_cells() {
+        let pc = patches.patch_of(c);
+        for f in 0..mesh.num_faces(c) {
+            let Some(nb) = mesh.face(c, f).neighbor.cell() else {
+                continue;
+            };
+            if patches.patch_of(nb) != pc {
+                // A stream item (dst = c, src = nb) lands on face f.
+                // First face wins, matching `face_toward`'s scan order
+                // (relevant only if a pair ever shared two faces).
+                table
+                    .entry(pair_key(c as u32, nb as u32))
+                    .or_insert(f as u32);
+            }
+        }
+    }
+    table
 }
 
 /// Everything the sweep programs of one source iteration share.
@@ -90,14 +180,21 @@ pub struct SweepSetup<T: SweepTopology + Send + Sync + 'static> {
 /// `(patch, angle)`.
 pub struct SweepFactory<T: SweepTopology + Send + Sync + 'static> {
     setup: SweepSetup<T>,
+    /// Pre-resolved `(dst_cell, src_cell) → face` table shared by all
+    /// programs (fine-path ingest, see [`build_ingest_table`]).
+    ingest: Arc<IngestTable>,
 }
 
 impl<T: SweepTopology + Send + Sync + 'static> SweepFactory<T> {
-    /// Wrap a setup.
+    /// Wrap a setup (pre-resolving the fine-path ingest table).
     pub fn new(setup: SweepSetup<T>) -> SweepFactory<T> {
         assert!(setup.grain > 0);
         assert_eq!(setup.materials.num_cells(), setup.mesh.num_cells());
-        SweepFactory { setup }
+        let ingest = Arc::new(build_ingest_table(
+            setup.mesh.as_ref(),
+            &setup.problem.patches,
+        ));
+        SweepFactory { setup, ingest }
     }
 
     fn max_faces(&self) -> usize {
@@ -155,13 +252,27 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
     max_faces: usize,
     /// Scheduling state (fine counters + ready queue, or coarse replay).
     sched: Sched,
-    /// Incoming face flux per `local_cell * max_faces * groups`.
+    /// Incoming face flux per `local_cell * max_faces * groups`
+    /// (zeroed in place at epoch resets — never reallocated).
     face_flux: Vec<f64>,
     /// Scalar-flux accumulation per `local_cell * groups` (w_a · ψ̄).
+    /// Handed to the flux bin on completion (the one buffer that is
+    /// given away per epoch by design).
     phi_part: Vec<f64>,
     /// Coarse-mode staging: outgoing remote face flux per
     /// `fine_remote_edge * groups` (empty in fine mode).
     remote_vals: Vec<f64>,
+    /// Shared `(dst_cell, src_cell) → face` ingest table (fine path).
+    ingest: Arc<IngestTable>,
+    /// Fine-path per-destination stream writers, persistent across
+    /// compute calls and epochs (entries keep their map slot; buffers
+    /// are frozen into payloads per flush).
+    stream_writers: HashMap<PatchId, Writer>,
+    /// Item counts matching [`SweepProgram::stream_writers`].
+    stream_counts: HashMap<PatchId, u32>,
+    /// Coarse-path ingest scratch: the slot block of the stream being
+    /// consumed (reused across inputs).
+    slot_scratch: Vec<u32>,
     /// Scratch buffers.
     in_buf: Vec<f64>,
     out_buf: Vec<f64>,
@@ -170,18 +281,19 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
 
 impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
     /// Ingest one *fine* stream item (`dst_cell`, `src_cell`, `groups`
-    /// flux values): scan the destination cell's faces for the one
-    /// touching the producer and write the values into that upwind
-    /// slot. Returns the destination's local vertex index. (Coarse
-    /// streams skip this scan entirely — their items carry the
+    /// flux values): resolve the destination's upwind face through the
+    /// pre-built [`IngestTable`] (no face scan) and write the values
+    /// into that slot. Returns the destination's local vertex index.
+    /// (Coarse streams skip even the table — their items carry the
     /// plan-resolved slot on the wire.)
     fn ingest_item(&mut self, r: &mut Reader) -> u32 {
-        let dst_cell = r.get_u32() as usize;
-        let src_cell = r.get_u32() as usize;
-        let li = self.problem.patches.local_index(dst_cell);
-        // Which face of dst_cell touches src_cell?
-        let face = jsweep_mesh::face_toward(self.setup_mesh.as_ref(), dst_cell, src_cell)
-            .expect("stream item with non-adjacent cells");
+        let dst_cell = r.get_u32();
+        let src_cell = r.get_u32();
+        let li = self.problem.patches.local_index(dst_cell as usize);
+        let face = *self
+            .ingest
+            .get(&pair_key(dst_cell, src_cell))
+            .expect("stream item with non-adjacent cells") as usize;
         for g in 0..self.groups {
             self.face_flux[(li * self.max_faces + face) * self.groups + g] = r.get_f64();
         }
@@ -269,11 +381,14 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                     match sink {
                         RemoteSink::Streams { writers, counts } => {
                             // Remote: append to the per-patch stream.
-                            let w = writers.entry(nb_patch).or_insert_with(|| {
-                                let mut w = Writer::with_capacity(64);
+                            // Writers are persistent (reused across
+                            // compute calls and epochs): an empty one
+                            // starts a fresh payload with the count
+                            // placeholder patched at emission.
+                            let w = writers.entry(nb_patch).or_insert_with(Writer::new);
+                            if w.is_empty() {
                                 w.put_u32(0); // patched below
-                                w
-                            });
+                            }
                             w.put_u32(nb as u32);
                             w.put_u32(cell as u32);
                             for g in 0..groups {
@@ -322,9 +437,11 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         }
         ctx.work_done = cluster.len() as u64;
 
-        // Numerical kernel + stream assembly.
-        let mut writers: HashMap<PatchId, Writer> = HashMap::new();
-        let mut counts: HashMap<PatchId, u32> = HashMap::new();
+        // Numerical kernel + stream assembly (writers/counts are
+        // program-resident: map slots persist across compute calls and
+        // epochs).
+        let mut writers = std::mem::take(&mut self.stream_writers);
+        let mut counts = std::mem::take(&mut self.stream_counts);
         ctx.kernel(|| {
             let mut sink = RemoteSink::Streams {
                 writers: &mut writers,
@@ -333,17 +450,25 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
             self.kernel_cluster(sub, broken, &cluster, &mut sink);
         });
 
-        let mut targets: Vec<(PatchId, Writer)> = writers.into_iter().collect();
-        targets.sort_by_key(|(p, _)| *p);
-        for (patch, w) in targets {
-            let mut bytes = w.finish().to_vec();
+        let mut targets: Vec<PatchId> = counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, _)| *p)
+            .collect();
+        targets.sort_unstable();
+        for patch in targets {
+            let w = writers.get_mut(&patch).expect("counted patch has a writer");
+            let mut bytes = w.take().to_vec();
             bytes[..4].copy_from_slice(&counts[&patch].to_le_bytes());
+            counts.insert(patch, 0);
             ctx.send(Stream {
                 src: self.id,
                 dst: ProgramId::new(patch, self.id.task),
                 payload: Bytes::from(bytes),
             });
         }
+        self.stream_writers = writers;
+        self.stream_counts = counts;
 
         // On completion, deposit the scalar-flux contribution and, when
         // recording, the cluster trace.
@@ -409,13 +534,12 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                 .iter()
                 .map(|emit| {
                     // Stream size is exactly known at plan-build time:
-                    // header (cluster + count) plus one pre-resolved
-                    // slot and `groups` values per item.
-                    let mut w = Writer::with_capacity(8 + emit.items.len() * (4 + 8 * groups));
-                    w.put_u32(emit.cluster);
-                    w.put_u32(emit.items.len() as u32);
+                    // the pre-packed skeleton (header + slot block,
+                    // one memcpy) followed by the flux block.
+                    let mut w =
+                        Writer::with_capacity(emit.skeleton.len() + emit.items.len() * 8 * groups);
+                    w.put_bytes(&emit.skeleton);
                     for item in &emit.items {
-                        w.put_u32(item.dst_slot);
                         let k = item.rem_idx as usize;
                         for g in 0..groups {
                             w.put_f64(vals[k * groups + g]);
@@ -460,14 +584,20 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
     fn input(&mut self, _src: ProgramId, payload: Bytes) {
         let mut r = Reader::new(payload);
         if matches!(self.sched, Sched::Coarse { .. }) {
-            // One coarse edge per stream: all items, then a single
-            // in-degree decrement on the target coarse vertex. Items
-            // carry the pre-resolved face-flux slot, so ingestion is a
-            // direct write — no adjacency scan.
+            // One coarse edge per stream: the pre-packed slot block,
+            // the flux block, then a single in-degree decrement on the
+            // target coarse vertex. Slots are plan-resolved face-flux
+            // indices, so ingestion is a direct write — no adjacency
+            // scan.
             let cv = r.get_u32();
-            let n = r.get_u32();
+            let n = r.get_u32() as usize;
+            self.slot_scratch.clear();
+            self.slot_scratch.reserve(n);
             for _ in 0..n {
-                let slot = r.get_u32() as usize;
+                self.slot_scratch.push(r.get_u32());
+            }
+            for i in 0..n {
+                let slot = self.slot_scratch[i] as usize;
                 for g in 0..self.groups {
                     self.face_flux[slot * self.groups + g] = r.get_f64();
                 }
@@ -512,6 +642,92 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
             Sched::Fine { state, .. } => state.remaining(),
             Sched::Coarse { vertices_left, .. } => *vertices_left,
         }
+    }
+
+    /// Re-arm this resident program for the next source iteration
+    /// (persistent-universe epoch): swap in the epoch's emission
+    /// density and scheduling mode, reset the scheduling state in
+    /// place (same-mode epochs reuse the existing
+    /// [`SweepState`]/[`CoarseSweepState`] allocations; a mode switch
+    /// builds the new state once), zero `face_flux` in place and
+    /// restore the flux accumulator. The big buffers are never
+    /// reallocated across same-mode epochs.
+    fn reset(&mut self, epoch: &EpochInput) {
+        let e = epoch
+            .downcast_ref::<SweepEpoch>()
+            .expect("SweepProgram reset with a non-SweepEpoch input");
+        assert_eq!(
+            e.emission.len(),
+            self.setup_mesh.num_cells() * self.groups,
+            "epoch emission density has the wrong shape"
+        );
+        self.emission = e.emission.clone();
+        let problem = self.problem.clone();
+        let (p, a) = (self.id.patch.index(), self.id.task.0 as usize);
+        let sub = &problem.subs[a][p];
+        match (&mut self.sched, &e.mode) {
+            (Sched::Fine { state, trace }, SweepMode::Fine { trace_bins }) => {
+                state.reset(sub);
+                *trace = trace_bins
+                    .as_ref()
+                    .filter(|_| problem.canonical_angle(a) == a)
+                    .map(|bins| (ClusterTrace::default(), bins.clone()));
+            }
+            (
+                Sched::Coarse {
+                    state,
+                    task,
+                    vertices_left,
+                },
+                SweepMode::Coarse { plan },
+            ) if Arc::ptr_eq(task, &plan.tasks[a][p]) => {
+                // Same compiled task: pure in-place re-arm.
+                state.reset(&task.coarse);
+                *vertices_left = task.coarse.num_vertices() as u64;
+            }
+            (sched, SweepMode::Coarse { plan }) => {
+                // Fine → coarse transition (or a recompiled plan):
+                // adopt the new task; later epochs reset it in place.
+                let task = plan.tasks[a][p].clone();
+                *sched = Sched::Coarse {
+                    state: CoarseSweepState::new(&task.coarse),
+                    vertices_left: task.coarse.num_vertices() as u64,
+                    task,
+                };
+            }
+            (sched, SweepMode::Fine { trace_bins }) => {
+                // Coarse → fine transition (coarsening disabled
+                // mid-solve): rebuild the fine state.
+                let prio = problem.vprio[a][p].clone();
+                *sched = Sched::Fine {
+                    state: SweepState::new(sub, prio),
+                    trace: trace_bins
+                        .as_ref()
+                        .filter(|_| problem.canonical_angle(a) == a)
+                        .map(|bins| (ClusterTrace::default(), bins.clone())),
+                };
+            }
+        }
+        // Buffer hygiene: incoming face flux back to the vacuum
+        // boundary condition in place; the flux accumulator (handed to
+        // the bin last epoch) restored to shape; coarse staging sized
+        // to the subgraph's remote CSR (values are written before read
+        // within each compute, so no zeroing needed beyond sizing).
+        self.face_flux.iter_mut().for_each(|x| *x = 0.0);
+        let n = sub.num_vertices();
+        self.phi_part.clear();
+        self.phi_part.resize(n * self.groups, 0.0);
+        match &e.mode {
+            SweepMode::Coarse { .. } => {
+                self.remote_vals
+                    .resize(sub.rem_dst.len() * self.groups, 0.0);
+            }
+            SweepMode::Fine { .. } => {}
+        }
+        debug_assert!(
+            self.stream_counts.values().all(|&c| c == 0),
+            "unsent stream items at epoch boundary"
+        );
     }
 }
 
@@ -576,6 +792,10 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
             face_flux: vec![0.0; n * mf * groups],
             phi_part: vec![0.0; n * groups],
             remote_vals,
+            ingest: self.ingest.clone(),
+            stream_writers: HashMap::new(),
+            stream_counts: HashMap::new(),
+            slot_scratch: Vec::new(),
             in_buf: Vec::new(),
             out_buf: Vec::new(),
             psi_buf: Vec::new(),

@@ -34,6 +34,7 @@
 //!   fresh stamp). The stamp is part of the cache key *and* stored in
 //!   the plan, so a stale plan is rebuilt, never replayed.
 
+use bytes::Bytes;
 use jsweep_graph::coarse::{build_coarse, ClusterTrace, CoarsenedTask};
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::{PatchId, SweepTopology};
@@ -80,6 +81,29 @@ pub struct ReplayEmit {
     /// The coarse edge's items, in deterministic (source vertex,
     /// destination cell) order.
     pub items: Vec<ReplayItem>,
+    /// Pre-packed stream skeleton: the coarse stream's constant prefix
+    /// `u32 dst_cluster, u32 item_count, item_count × u32 dst_slot`,
+    /// built once at plan-compile time (see [`ReplayEmit::skeleton`]).
+    /// Replay-side packing is one `memcpy` of this template followed
+    /// by the per-item `f64` flux writes — no per-item header packing
+    /// in the hot path.
+    pub skeleton: Bytes,
+}
+
+impl ReplayEmit {
+    /// Build a coarse edge's pre-packed stream skeleton from its
+    /// resolved items. The flux block that follows on the wire is
+    /// groups-dependent (physics), so the skeleton deliberately stops
+    /// at the slot words — one plan stays valid for any group count.
+    pub fn skeleton(cluster: u32, items: &[ReplayItem]) -> Bytes {
+        let mut w = jsweep_comm::pack::Writer::with_capacity(8 + items.len() * 4);
+        w.put_u32(cluster);
+        w.put_u32(items.len() as u32);
+        for item in items {
+            w.put_u32(item.dst_slot);
+        }
+        w.finish()
+    }
 }
 
 /// The replayable form of one `(patch, angle)` task: the coarsened
@@ -105,7 +129,9 @@ impl ReplayTask {
                 per_cv.len() * std::mem::size_of::<ReplayEmit>()
                     + per_cv
                         .iter()
-                        .map(|e| e.items.len() * std::mem::size_of::<ReplayItem>())
+                        .map(|e| {
+                            e.items.len() * std::mem::size_of::<ReplayItem>() + e.skeleton.len()
+                        })
                         .sum::<usize>()
             })
             .sum();
@@ -238,14 +264,19 @@ pub fn build_plan<T: SweepTopology + ?Sized>(
                     .map(|edges| {
                         edges
                             .iter()
-                            .map(|e| ReplayEmit {
-                                patch: e.patch,
-                                cluster: e.cluster,
-                                items: e
+                            .map(|e| {
+                                let items: Vec<ReplayItem> = e
                                     .items
                                     .iter()
                                     .map(|&(v, cell)| resolve_item(problem, sub, mesh, mf, v, cell))
-                                    .collect(),
+                                    .collect();
+                                let skeleton = ReplayEmit::skeleton(e.cluster, &items);
+                                ReplayEmit {
+                                    patch: e.patch,
+                                    cluster: e.cluster,
+                                    items,
+                                    skeleton,
+                                }
                             })
                             .collect()
                     })
@@ -332,6 +363,57 @@ impl PlanKey {
     }
 }
 
+/// Automatic eviction policy of a [`PlanCache`].
+///
+/// Because generation stamps are process-unique and never reused, a
+/// plan whose mesh has been refined away can never be looked up again,
+/// yet it still occupies memory — long AMR-style runs need *some*
+/// bound. The automatic policies make such runs safe by default;
+/// [`PlanCache::retain_generations`] remains the precise manual hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Never evict automatically (the pre-existing behaviour): callers
+    /// manage growth with [`PlanCache::retain_generations`] /
+    /// [`PlanCache::clear`], watching [`PlanCache::memory_bytes`].
+    #[default]
+    Manual,
+    /// Bound the cache by estimated plan bytes
+    /// ([`CoarsePlan::memory_bytes`], shared tasks counted once per
+    /// plan): after every insert, least-recently-*used* plans are
+    /// dropped until the total fits. The most recently inserted plan
+    /// always survives, even if it alone exceeds the bound.
+    LruBytes {
+        /// Total estimated footprint to keep the cache under.
+        max_bytes: usize,
+    },
+    /// Keep only plans recorded on the newest `keep` distinct mesh
+    /// generations. The natural policy for refinement loops: each
+    /// refinement's plans supersede the previous mesh's, which can
+    /// never be looked up again.
+    NewestGenerations {
+        /// Number of distinct (newest) mesh generations to retain.
+        keep: usize,
+    },
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<CoarsePlan>,
+    /// `plan.memory_bytes()`, computed once at insert.
+    bytes: usize,
+    /// Logical access clock value of the last `get`/`insert` touch.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<PlanKey, CacheEntry>,
+    /// Logical access clock (bumped on every touch).
+    tick: u64,
+    /// Plans dropped by the automatic policy since construction.
+    evicted: u64,
+}
+
 /// Cross-solve cache of compiled [`CoarsePlan`]s, keyed by [`PlanKey`].
 ///
 /// Hand one to `solve_parallel_cached` and multi-solve workloads (time
@@ -342,66 +424,149 @@ impl PlanKey {
 /// the cache and record fresh — stale plans are structurally
 /// unreachable.
 ///
-/// **Growth contract:** the cache never evicts on its own. Because
-/// generation stamps are process-unique and never reused, a plan whose
-/// mesh has been refined away can never be looked up again, yet it
-/// still occupies memory. Workloads that refine repeatedly (AMR-style
-/// time stepping) should call [`PlanCache::retain_generations`] after
-/// each refinement — or [`PlanCache::clear`] — and can watch
-/// [`PlanCache::memory_bytes`] to decide when.
+/// **Growth contract:** by default ([`EvictionPolicy::Manual`]) the
+/// cache never evicts on its own and refinement loops should call
+/// [`PlanCache::retain_generations`] (or [`PlanCache::clear`]) after
+/// each refinement, watching [`PlanCache::memory_bytes`]. Construct
+/// with [`PlanCache::with_policy`] for an automatic bound — LRU by
+/// bytes, or keep-newest-N-generations.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<CoarsePlan>>>,
+    inner: Mutex<CacheInner>,
+    policy: EvictionPolicy,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache that never evicts automatically
+    /// ([`EvictionPolicy::Manual`]).
     pub fn new() -> PlanCache {
         PlanCache::default()
     }
 
-    /// Look up a compiled plan.
-    pub fn get(&self, key: &PlanKey) -> Option<Arc<CoarsePlan>> {
-        self.plans.lock().get(key).cloned()
+    /// An empty cache governed by the given automatic eviction policy
+    /// (enforced after every [`PlanCache::insert`]).
+    ///
+    /// Panics on `NewestGenerations { keep: 0 }`: a cache that may
+    /// keep nothing is a configuration error, not a policy.
+    pub fn with_policy(policy: EvictionPolicy) -> PlanCache {
+        if let EvictionPolicy::NewestGenerations { keep } = policy {
+            assert!(keep >= 1, "NewestGenerations must keep at least one");
+        }
+        PlanCache {
+            inner: Mutex::new(CacheInner::default()),
+            policy,
+        }
     }
 
-    /// Store a compiled plan.
+    /// The eviction policy this cache was built with.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Look up a compiled plan (touches it for LRU purposes).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CoarsePlan>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.plans.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.plan.clone()
+        })
+    }
+
+    /// Store a compiled plan, then enforce the eviction policy. The
+    /// plan just inserted counts as most recently used and is never
+    /// the one evicted.
     pub fn insert(&self, key: PlanKey, plan: Arc<CoarsePlan>) {
-        self.plans.lock().insert(key, plan);
+        let bytes = plan.memory_bytes();
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let last_used = inner.tick;
+        inner.plans.insert(
+            key,
+            CacheEntry {
+                plan,
+                bytes,
+                last_used,
+            },
+        );
+        self.enforce(&mut inner);
+    }
+
+    /// Apply the automatic policy (called with the lock held, after an
+    /// insert).
+    fn enforce(&self, inner: &mut CacheInner) {
+        match self.policy {
+            EvictionPolicy::Manual => {}
+            EvictionPolicy::LruBytes { max_bytes } => {
+                let mut total: usize = inner.plans.values().map(|e| e.bytes).sum();
+                while total > max_bytes && inner.plans.len() > 1 {
+                    let oldest = inner
+                        .plans
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(&k, _)| k)
+                        .expect("non-empty cache");
+                    let e = inner.plans.remove(&oldest).expect("key just observed");
+                    total -= e.bytes;
+                    inner.evicted += 1;
+                }
+            }
+            EvictionPolicy::NewestGenerations { keep } => {
+                let mut gens: Vec<u64> = inner.plans.keys().map(|k| k.mesh_generation).collect();
+                gens.sort_unstable();
+                gens.dedup();
+                if gens.len() <= keep {
+                    return;
+                }
+                let cutoff = gens[gens.len() - keep];
+                let before = inner.plans.len();
+                inner.plans.retain(|k, _| k.mesh_generation >= cutoff);
+                inner.evicted += (before - inner.plans.len()) as u64;
+            }
+        }
+    }
+
+    /// Plans dropped by the automatic policy so far (manual
+    /// [`PlanCache::retain_generations`]/[`PlanCache::clear`] drops are
+    /// not counted).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evicted
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().len()
+        self.inner.lock().plans.len()
     }
 
     /// True when no plan is cached.
     pub fn is_empty(&self) -> bool {
-        self.plans.lock().is_empty()
+        self.inner.lock().plans.is_empty()
     }
 
     /// Estimated heap footprint of every cached plan (shared tasks
-    /// counted once per plan).
+    /// counted once per plan; per-plan sizes are snapshotted at
+    /// insert).
     pub fn memory_bytes(&self) -> usize {
-        self.plans.lock().values().map(|p| p.memory_bytes()).sum()
+        self.inner.lock().plans.values().map(|e| e.bytes).sum()
     }
 
     /// Drop every cached plan.
     pub fn clear(&self) {
-        self.plans.lock().clear();
+        self.inner.lock().plans.clear();
     }
 
     /// Keep only plans recorded on the given mesh generations; returns
-    /// the number of plans evicted. The eviction hook for refinement
-    /// loops: after building a refined mesh, pass the generations of
-    /// every mesh still in use and the superseded plans are dropped
-    /// (their stamps can never be looked up again — see the growth
-    /// contract above).
+    /// the number of plans evicted. The manual eviction hook for
+    /// refinement loops: after building a refined mesh, pass the
+    /// generations of every mesh still in use and the superseded plans
+    /// are dropped (their stamps can never be looked up again — see
+    /// the growth contract above). Works under any policy.
     pub fn retain_generations(&self, live: &[u64]) -> usize {
-        let mut plans = self.plans.lock();
-        let before = plans.len();
-        plans.retain(|k, _| live.contains(&k.mesh_generation));
-        before - plans.len()
+        let mut inner = self.inner.lock();
+        let before = inner.plans.len();
+        inner.plans.retain(|k, _| live.contains(&k.mesh_generation));
+        before - inner.plans.len()
     }
 }
 
@@ -456,6 +621,87 @@ mod tests {
         // invalidation structurally sound.
         assert_ne!(plan_key(&p1, 16), plan_key(&p2, 16));
         assert_eq!(plan_key(&p1, 16).mesh_generation(), p1.mesh_generation);
+    }
+
+    fn dummy_plan(generation: u64) -> Arc<CoarsePlan> {
+        Arc::new(CoarsePlan {
+            tasks: Vec::new(),
+            build_seconds: 0.0,
+            mesh_generation: generation,
+        })
+    }
+
+    #[test]
+    fn emit_skeleton_prefix_matches_wire_layout() {
+        let items = vec![
+            ReplayItem {
+                dst_slot: 7,
+                rem_idx: 0,
+            },
+            ReplayItem {
+                dst_slot: 9,
+                rem_idx: 3,
+            },
+        ];
+        let sk = ReplayEmit::skeleton(5, &items);
+        assert_eq!(sk.len(), 8 + 4 * items.len());
+        let mut r = jsweep_comm::pack::Reader::new(sk);
+        assert_eq!(r.get_u32(), 5, "dst_cluster");
+        assert_eq!(r.get_u32(), 2, "item_count");
+        assert_eq!(r.get_u32(), 7);
+        assert_eq!(r.get_u32(), 9);
+        assert!(r.is_exhausted(), "skeleton stops before the flux block");
+    }
+
+    #[test]
+    fn lru_bytes_policy_evicts_least_recently_used() {
+        let (_, prob) = build_problem(true);
+        let unit = dummy_plan(prob.mesh_generation).memory_bytes();
+        let cache = PlanCache::with_policy(EvictionPolicy::LruBytes {
+            max_bytes: 2 * unit,
+        });
+        let keys = [plan_key(&prob, 8), plan_key(&prob, 16), plan_key(&prob, 32)];
+        cache.insert(keys[0], dummy_plan(prob.mesh_generation));
+        cache.insert(keys[1], dummy_plan(prob.mesh_generation));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2], dummy_plan(prob.mesh_generation));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&keys[0]).is_some(), "recently used survives");
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&keys[2]).is_some(), "fresh insert survives");
+        assert!(cache.memory_bytes() <= 2 * unit);
+    }
+
+    #[test]
+    fn lru_bytes_never_evicts_the_only_plan() {
+        let (_, prob) = build_problem(true);
+        let cache = PlanCache::with_policy(EvictionPolicy::LruBytes { max_bytes: 0 });
+        cache.insert(plan_key(&prob, 16), dummy_plan(prob.mesh_generation));
+        assert_eq!(cache.len(), 1, "sole plan survives a zero budget");
+    }
+
+    #[test]
+    fn newest_generations_policy_drops_superseded_meshes() {
+        // Two independently built problems: strictly increasing
+        // generation stamps.
+        let (_, old) = build_problem(true);
+        let (_, new) = build_problem(true);
+        assert!(new.mesh_generation > old.mesh_generation);
+        let cache = PlanCache::with_policy(EvictionPolicy::NewestGenerations { keep: 1 });
+        cache.insert(plan_key(&old, 8), dummy_plan(old.mesh_generation));
+        cache.insert(plan_key(&old, 16), dummy_plan(old.mesh_generation));
+        assert_eq!(cache.len(), 2, "same generation: nothing to evict");
+        cache.insert(plan_key(&new, 16), dummy_plan(new.mesh_generation));
+        assert_eq!(cache.len(), 1, "old generation dropped wholesale");
+        assert!(cache.get(&plan_key(&new, 16)).is_some());
+        assert_eq!(cache.evictions(), 2);
+        // The manual hook still works under a policy.
+        assert_eq!(cache.retain_generations(&[]), 1);
+        assert!(cache.is_empty());
     }
 
     #[test]

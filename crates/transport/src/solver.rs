@@ -18,10 +18,12 @@
 #![allow(clippy::type_complexity)]
 
 use crate::kernel::{solve_cell, KernelKind};
-use crate::program::{FluxBins, SweepFactory, SweepMode, SweepSetup};
-use crate::replay::{build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache};
+use crate::program::{FluxBins, SweepEpoch, SweepFactory, SweepMode, SweepSetup};
+use crate::replay::{
+    build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache, TraceBins,
+};
 use crate::xs::MaterialSet;
-use jsweep_core::{run_universe, RunStats, RuntimeConfig, TerminationKind};
+use jsweep_core::{run_universe, EpochTuning, RunStats, RuntimeConfig, TerminationKind, Universe};
 use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
@@ -75,6 +77,15 @@ pub struct SnConfig {
     /// scheduling. Bit-identical flux either way; `false` keeps every
     /// iteration on the fine DAG path.
     pub coarsen: bool,
+    /// Persistent universe (parallel solver, default on): launch one
+    /// resident runtime ([`jsweep_core::Universe`]) for the whole
+    /// solve and run every source iteration as an epoch against the
+    /// same live programs — no per-iteration thread spawn/teardown, no
+    /// program reallocation. `false` respawns a one-shot
+    /// [`run_universe`] per iteration (the pre-persistent behaviour,
+    /// kept for goldens and the `universe` bench). Bit-identical flux
+    /// either way.
+    pub resident: bool,
 }
 
 impl Default for SnConfig {
@@ -88,6 +99,7 @@ impl Default for SnConfig {
             termination: TerminationKind::Counting,
             break_cycles: false,
             coarsen: true,
+            resident: true,
         }
     }
 }
@@ -342,7 +354,15 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
         mode,
     }));
     let stats = run_universe(num_ranks, factory, runtime);
+    let phi_new = fold_flux(problem, &flux_bins, n, groups);
+    (RunStats::aggregate(&stats), phi_new)
+}
 
+/// Fold (and drain) the per-patch flux bins into `φ_new`, in angle
+/// order per patch so the floating-point result is independent of
+/// scheduling order. Draining makes the bins reusable by the next
+/// epoch of a resident universe.
+fn fold_flux(problem: &SweepProblem, flux_bins: &FluxBins, n: usize, groups: usize) -> Vec<f64> {
     let mut phi_new = vec![0.0; n * groups];
     for p in problem.patches.patches() {
         let mut bin = flux_bins[p.index()].lock();
@@ -356,8 +376,47 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
                 }
             }
         }
+        bin.clear();
     }
-    (RunStats::aggregate(&stats), phi_new)
+    phi_new
+}
+
+/// The per-epoch batching tuning matching `mode` (see
+/// [`REPLAY_CLAIM_BATCH`] / [`REPLAY_REPORT_FLUSH_STREAMS`] for the
+/// replay measurements; fine epochs run the `RuntimeConfig` defaults).
+fn tuning_for(mode: &SweepMode, base: &RuntimeConfig) -> EpochTuning {
+    match mode {
+        SweepMode::Fine { .. } => EpochTuning {
+            report_flush_streams: Some(base.report_flush_streams),
+            claim_batch: Some(base.claim_batch),
+        },
+        SweepMode::Coarse { .. } => EpochTuning {
+            report_flush_streams: Some(REPLAY_REPORT_FLUSH_STREAMS),
+            claim_batch: Some(REPLAY_CLAIM_BATCH),
+        },
+    }
+}
+
+/// Pick the next iteration's scheduling mode: replay when a plan
+/// exists, record when coarsening wants one, plain fine otherwise.
+fn select_mode(
+    plan: &Option<Arc<CoarsePlan>>,
+    coarsen: bool,
+    num_tasks: usize,
+) -> (SweepMode, Option<Arc<TraceBins>>) {
+    match (plan, coarsen) {
+        (Some(p), _) => (SweepMode::Coarse { plan: p.clone() }, None),
+        (None, true) => {
+            let b = Arc::new(new_trace_bins(num_tasks));
+            (
+                SweepMode::Fine {
+                    trace_bins: Some(b.clone()),
+                },
+                Some(b),
+            )
+        }
+        (None, false) => (SweepMode::Fine { trace_bins: None }, None),
+    }
 }
 
 /// The JSweep parallel solver.
@@ -374,6 +433,12 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
 /// replays it — same flux bit-for-bit, with the graph-op share of the
 /// [`RunStats`] breakdown visibly reduced. To reuse the plan *across*
 /// solves, use [`solve_parallel_cached`].
+///
+/// With [`SnConfig::resident`] (also the default), all of this runs
+/// inside **one persistent universe** ([`jsweep_core::Universe`]):
+/// rank threads, workers and every `SweepProgram` are launched once
+/// and every source iteration is an epoch against the same live
+/// programs — see `docs/replay.md` for the epoch lifecycle.
 pub fn solve_parallel<T: SweepTopology + Send + Sync + 'static>(
     mesh: Arc<T>,
     problem: Arc<SweepProblem>,
@@ -423,7 +488,9 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
         problem.mesh_generation,
         "mesh topology changed since SweepProblem::build; rebuild the problem"
     );
-    let mut phi = vec![0.0; mesh.num_cells() * materials.num_groups()];
+    let n = mesh.num_cells();
+    let groups = materials.num_groups();
+    let mut phi = vec![0.0; n * groups];
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     let mut all_stats = Vec::new();
@@ -448,22 +515,47 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
     }
     let plan_from_cache = plan.is_some();
 
+    // Persistent universe (default): one resident runtime for the
+    // whole solve. The first epoch's state rides in the factory (the
+    // launch contract of `Universe`); later epochs re-arm the resident
+    // programs through `SweepProgram::reset` with a `SweepEpoch`.
+    let mut universe: Option<Universe> = None;
+    let flux_bins: Arc<FluxBins> = Arc::new(
+        (0..problem.num_patches())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+    );
+    let base = RuntimeConfig {
+        num_workers: config.workers_per_rank,
+        termination: config.termination,
+        ..Default::default()
+    };
+
     for _ in 0..config.max_iterations {
-        let (mode, bins) = match (&plan, config.coarsen) {
-            (Some(p), _) => (SweepMode::Coarse { plan: p.clone() }, None),
-            (None, true) => {
-                let b = Arc::new(new_trace_bins(problem.num_tasks()));
-                (
-                    SweepMode::Fine {
-                        trace_bins: Some(b.clone()),
-                    },
-                    Some(b),
-                )
-            }
-            (None, false) => (SweepMode::Fine { trace_bins: None }, None),
+        let (mode, bins) = select_mode(&plan, config.coarsen, problem.num_tasks());
+        let (stats, phi_new) = if config.resident {
+            let emission = Arc::new(emission_density(&materials, &phi));
+            let u = universe.get_or_insert_with(|| {
+                let factory = Arc::new(SweepFactory::new(SweepSetup {
+                    mesh: mesh.clone(),
+                    problem: problem.clone(),
+                    quadrature: quadrature.clone(),
+                    materials: materials.clone(),
+                    emission: emission.clone(),
+                    kernel: config.kernel,
+                    grain: config.grain,
+                    flux_bins: flux_bins.clone(),
+                    mode: mode.clone(),
+                }));
+                Universe::launch(problem.patches.num_ranks(), factory, base.clone())
+            });
+            let tuning = tuning_for(&mode, &base);
+            let rank_stats = u.run_epoch_tuned(Arc::new(SweepEpoch { emission, mode }), tuning);
+            let phi_new = fold_flux(&problem, &flux_bins, n, groups);
+            (RunStats::aggregate(&rank_stats), phi_new)
+        } else {
+            sweep_iteration(&mesh, &problem, quadrature, &materials, config, &phi, mode)
         };
-        let (stats, phi_new) =
-            sweep_iteration(&mesh, &problem, quadrature, &materials, config, &phi, mode);
         all_stats.push(stats);
 
         iterations += 1;
@@ -490,6 +582,9 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
         if residual < config.tolerance {
             break;
         }
+    }
+    if let Some(mut u) = universe {
+        u.shutdown();
     }
 
     SnSolution {

@@ -658,3 +658,189 @@ fn deformed_mesh_parallel_matches_serial_with_cycle_breaking() {
     assert_flux_close(&par.phi, &serial.phi, 1e-11);
     assert!(par.phi.iter().all(|&x| x > 0.0));
 }
+
+#[test]
+fn resident_universe_bit_identical_to_respawned_structured() {
+    // Persistent-universe golden: one resident runtime running every
+    // source iteration as an epoch must produce the same flux *bit for
+    // bit* as respawning a one-shot `run_universe` per iteration —
+    // under both termination detectors, with replay on.
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let patches = decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    for termination in [TerminationKind::Counting, TerminationKind::Safra] {
+        let mut respawned_cfg = config();
+        respawned_cfg.termination = termination;
+        respawned_cfg.resident = false;
+        let mut resident_cfg = respawned_cfg.clone();
+        resident_cfg.resident = true;
+        let respawned = solve_parallel(
+            mesh.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &respawned_cfg,
+        );
+        let resident = solve_parallel(
+            mesh.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &resident_cfg,
+        );
+        assert_eq!(
+            respawned.phi, resident.phi,
+            "resident universe flux must be bit-identical ({termination:?})"
+        );
+        assert_eq!(respawned.iterations, resident.iterations);
+        assert!(resident.iterations >= 2, "need replay epochs to compare");
+        // Same committed workload per iteration on both paths.
+        for (a, b) in respawned.stats.iter().zip(&resident.stats) {
+            assert_eq!(a.work_done, b.work_done);
+        }
+    }
+}
+
+#[test]
+fn resident_universe_bit_identical_to_respawned_unstructured() {
+    let mesh = Arc::new(jsweep::mesh::tetgen::ball(3, 1.0));
+    let n = mesh.num_cells();
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        n,
+        Material::uniform(2, 1.5, 0.6, 2.0),
+    ));
+    let patches = decompose_unstructured(mesh.as_ref(), 60, 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    for termination in [TerminationKind::Counting, TerminationKind::Safra] {
+        for coarsen in [true, false] {
+            let mut respawned_cfg = config();
+            respawned_cfg.termination = termination;
+            respawned_cfg.coarsen = coarsen;
+            respawned_cfg.resident = false;
+            let mut resident_cfg = respawned_cfg.clone();
+            resident_cfg.resident = true;
+            let respawned = solve_parallel(
+                mesh.clone(),
+                prob.clone(),
+                &quad,
+                mats.clone(),
+                &respawned_cfg,
+            );
+            let resident = solve_parallel(
+                mesh.clone(),
+                prob.clone(),
+                &quad,
+                mats.clone(),
+                &resident_cfg,
+            );
+            assert_eq!(
+                respawned.phi, resident.phi,
+                "resident flux mismatch ({termination:?}, coarsen {coarsen})"
+            );
+            assert_eq!(respawned.iterations, resident.iterations);
+        }
+    }
+}
+
+#[test]
+fn resident_universe_multi_epoch_stress_leaves_no_stale_state() {
+    // Drive many forced epochs (negative tolerance: the solver never
+    // converges early) through one resident universe, in both
+    // scheduling modes, and check epoch-to-epoch invariants that any
+    // stale pool/program state would break:
+    //  * committed workload completes exactly, every epoch (stale
+    //    in-degree counters or ready-heap entries would change it);
+    //  * stream counts are identical across all replay epochs (stale
+    //    staging or held reports would skew them);
+    //  * the flux stays bit-identical to the respawned path after 8
+    //    epochs of buffer reuse.
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ));
+    let patches = decompose_structured(&mesh, (4, 4, 4), 2);
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    let epochs = 8;
+    let committed = (512 * quad.len()) as u64;
+    for termination in [TerminationKind::Counting, TerminationKind::Safra] {
+        for coarsen in [true, false] {
+            let mut resident_cfg = config();
+            resident_cfg.termination = termination;
+            resident_cfg.coarsen = coarsen;
+            resident_cfg.max_iterations = epochs;
+            resident_cfg.tolerance = -1.0;
+            let mut respawned_cfg = resident_cfg.clone();
+            respawned_cfg.resident = false;
+            let resident = solve_parallel(
+                mesh.clone(),
+                prob.clone(),
+                &quad,
+                mats.clone(),
+                &resident_cfg,
+            );
+            assert_eq!(resident.iterations, epochs);
+            for (k, s) in resident.stats.iter().enumerate() {
+                assert_eq!(
+                    s.work_done, committed,
+                    "epoch {k} work accounting ({termination:?}, coarsen {coarsen})"
+                );
+            }
+            // Replay epochs (2..) run the identical coarse schedule:
+            // their wire traffic must not drift across epochs. (Fine
+            // epochs legitimately vary — cluster formation is
+            // timing-dependent — so this invariant is replay-only.)
+            if coarsen {
+                let tail = &resident.stats[1..];
+                let first_streams = tail[0].streams_sent + tail[0].streams_local;
+                for (k, s) in tail.iter().enumerate() {
+                    assert_eq!(
+                        s.streams_sent + s.streams_local,
+                        first_streams,
+                        "replay epoch {} stream drift ({termination:?})",
+                        k + 1
+                    );
+                }
+            }
+            let respawned = solve_parallel(
+                mesh.clone(),
+                prob.clone(),
+                &quad,
+                mats.clone(),
+                &respawned_cfg,
+            );
+            assert_eq!(
+                respawned.phi, resident.phi,
+                "multi-epoch flux mismatch ({termination:?}, coarsen {coarsen})"
+            );
+        }
+    }
+}
