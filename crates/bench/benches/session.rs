@@ -1,0 +1,201 @@
+//! Session throughput benchmark: queued solves through one resident
+//! [`SolverSession`] vs the same solves through per-solve universes.
+//!
+//! Both variants share a warmed [`PlanCache`] (every measured solve
+//! replays from iteration 1), so the comparison isolates exactly what
+//! the session amortizes: per-solve `Universe::launch` (rank + worker
+//! thread spawn/teardown) and sweep-program re-creation — the
+//! resident session re-arms live programs through epoch resets
+//! instead. Queued solves are single-iteration (the short-request
+//! regime a sweep service exists for: many small solves where runtime
+//! spin-up, not sweep compute, dominates the per-request bill). Two
+//! scales: quickstart 8³ cells and 16³, both on a 4³ patch grid with
+//! 4 ranks × 2 workers, S2, grain 16.
+//!
+//! The flux of every queued solve must be bit-identical to the solo
+//! baseline — asserted per solve. A machine-readable baseline is
+//! written to `BENCH_session.json` at the workspace root (the CI
+//! session job checks presence after the `--test` smoke pass).
+
+use jsweep_bench::setups::replay_scenario;
+use jsweep_transport::{PlanCache, SessionOptions, SolveRequest, SolverSession};
+use std::time::Instant;
+
+struct Numbers {
+    cells: usize,
+    solves: usize,
+    baseline_s: f64,
+    session_s: f64,
+}
+
+impl Numbers {
+    fn baseline_sps(&self) -> f64 {
+        self.solves as f64 / self.baseline_s
+    }
+    fn session_sps(&self) -> f64 {
+        self.solves as f64 / self.session_s
+    }
+    fn speedup(&self) -> f64 {
+        self.baseline_s / self.session_s
+    }
+}
+
+/// Best-of-`runs` for both variants at `n`³ cells.
+fn measure(n: usize, solves: usize, runs: usize) -> Numbers {
+    let sc = replay_scenario(n, 4, 4, 1, 16);
+    let golden = sc.solve_cached(&PlanCache::new());
+    let mut baseline_s = f64::INFINITY;
+    let mut session_s = f64::INFINITY;
+    for _ in 0..runs {
+        // Per-solve universes: every solve launches and tears down its
+        // own resident runtime. Warm the cache first so all measured
+        // solves replay.
+        let cache = PlanCache::new();
+        let warm = sc.solve_cached(&cache);
+        assert_eq!(warm.phi, golden.phi, "warm-up flux mismatch");
+        let t = Instant::now();
+        for _ in 0..solves {
+            let sol = sc.solve_cached(&cache);
+            assert!(sol.plan_from_cache, "measured solves must replay");
+            assert_eq!(sol.phi, golden.phi, "baseline flux mismatch");
+        }
+        baseline_s = baseline_s.min(t.elapsed().as_secs_f64());
+
+        // One resident session serving the same queued solves.
+        let mut session = SolverSession::launch(
+            sc.mesh.clone(),
+            sc.problem.clone(),
+            sc.quad.clone(),
+            SessionOptions {
+                solver: sc.config.clone(),
+                ..Default::default()
+            },
+        );
+        let campaign = session.campaign();
+        let request = || SolveRequest {
+            materials: sc.materials.clone(),
+            max_iterations: None,
+            tolerance: None,
+        };
+        let warm = campaign.submit(request()).wait().expect("warm-up served");
+        assert_eq!(warm.solution.phi, golden.phi, "session warm-up mismatch");
+        let t = Instant::now();
+        let tickets: Vec<_> = (0..solves).map(|_| campaign.submit(request())).collect();
+        for ticket in tickets {
+            let out = ticket.wait().expect("queued solve served");
+            assert_eq!(out.solution.phi, golden.phi, "session flux mismatch");
+        }
+        session_s = session_s.min(t.elapsed().as_secs_f64());
+        session.shutdown();
+        let stats = session.stats();
+        assert_eq!(stats.universes_launched, 1, "one resident universe");
+        assert_eq!(stats.universes_retired, 1, "no universe leak");
+        assert!(
+            stats.campaigns[&campaign.id()].plan_cache_hits > 0,
+            "queued solves must share the compiled plan"
+        );
+    }
+    Numbers {
+        cells: n * n * n,
+        solves,
+        baseline_s,
+        session_s,
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (quickstart, large) = if test_mode {
+        (measure(8, 4, 1), None)
+    } else {
+        (measure(8, 24, 3), Some(measure(16, 12, 3)))
+    };
+
+    let report = |label: &str, n: &Numbers| {
+        println!(
+            "session {label} ({} cells, {} queued solves): per-solve universes {:>8.3} ms ({:.1}/s) | one session {:>8.3} ms ({:.1}/s) | {:.2}x",
+            n.cells,
+            n.solves,
+            n.baseline_s * 1e3,
+            n.baseline_sps(),
+            n.session_s * 1e3,
+            n.session_sps(),
+            n.speedup(),
+        );
+    };
+    report("quickstart", &quickstart);
+    if let Some(l) = &large {
+        report("16^3      ", l);
+    }
+
+    // The acceptance bar: the resident session must beat per-solve
+    // universes by >= 1.2x at quickstart scale. Only enforced in full
+    // mode (best-of-3); a single smoke sample on a loaded CI core
+    // would flake.
+    if !test_mode {
+        assert!(
+            quickstart.speedup() >= 1.2,
+            "session speedup {:.2}x below the 1.2x bar",
+            quickstart.speedup()
+        );
+    }
+
+    let scale_json = |n: &Numbers| {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"cells\": {cells},\n",
+                "    \"queued_solves\": {solves},\n",
+                "    \"per_solve_universe_seconds\": {bs:.6},\n",
+                "    \"session_seconds\": {ss:.6},\n",
+                "    \"per_solve_universe_solves_per_second\": {bsps:.3},\n",
+                "    \"session_solves_per_second\": {ssps:.3},\n",
+                "    \"session_speedup\": {sp:.3}\n",
+                "  }}"
+            ),
+            cells = n.cells,
+            solves = n.solves,
+            bs = n.baseline_s,
+            ss = n.session_s,
+            bsps = n.baseline_sps(),
+            ssps = n.session_sps(),
+            sp = n.speedup(),
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"session\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"config\": {{\n",
+            "    \"ranks\": 4,\n",
+            "    \"workers_per_rank\": 2,\n",
+            "    \"angles\": 8,\n",
+            "    \"grain\": 16,\n",
+            "    \"iterations_per_solve\": 1,\n",
+            "    \"admission\": \"fifo\"\n",
+            "  }},\n",
+            "  \"quickstart\": {qs},\n",
+            "  \"large\": {lg},\n",
+            "  \"phi_bit_identical\": true\n",
+            "}}\n"
+        ),
+        mode = if test_mode { "test" } else { "full" },
+        qs = scale_json(&quickstart),
+        lg = large
+            .as_ref()
+            .map(&scale_json)
+            .unwrap_or_else(|| "null".into()),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_session.json");
+    if test_mode && out.exists() {
+        // Smoke numbers are not a baseline: keep the committed full-
+        // mode file, only prove the bench still runs end to end.
+        println!("test mode: committed baseline left in place");
+    } else {
+        std::fs::write(&out, json).expect("write BENCH_session.json");
+        println!("baseline written to {}", out.display());
+    }
+}

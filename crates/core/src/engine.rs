@@ -234,6 +234,10 @@ fn worker_loop<F: ProgramFactory>(
         }
         // One lock per same-shard run instead of one per program.
         pool.finish_batch(&mut finishes);
+        // Stamp after the hand-off: the gap between a worker's newest
+        // stamp and the epoch's quiesce close is its per-epoch drain
+        // tail (`RunStats::worker_drain_seconds`).
+        pool.note_worker_activity(worker);
         if batch.outputs.len() >= pool.flush_streams() {
             flush_report(&pool, &to_master, &mut batch, worker);
         }
@@ -532,6 +536,7 @@ impl<F: ProgramFactory> Rank<F> {
         claim_batch: Option<usize>,
     ) -> RunStats {
         let t_start = Instant::now();
+        let epoch_start_nanos = self.pool.now_nanos();
         self.m.begin_epoch(self.config.num_workers);
         self.pool.set_batching(flush_streams, claim_batch);
 
@@ -661,6 +666,7 @@ impl<F: ProgramFactory> Rank<F> {
         // in flight (termination already means no stream can still
         // need delivery).
         let t_quiesce = Instant::now();
+        let mut quiet_seen = false;
         loop {
             while let Ok(report) = from_workers.try_recv() {
                 debug_assert!(
@@ -670,12 +676,35 @@ impl<F: ProgramFactory> Rank<F> {
                 m.absorb_worker_stats(&report);
                 m.stats.work_done += report.work_done;
             }
-            if pool.is_quiet() {
+            if quiet_seen {
                 break;
+            }
+            if pool.is_quiet() {
+                // A worker releases its held report *after* the
+                // channel send, so a final report can land between the
+                // sweep above and this quiet observation. Once the
+                // pool is quiet nothing can be claimed and no new
+                // report can form — one more sweep closes the window,
+                // keeping every stat delta in the epoch that ran it.
+                quiet_seen = true;
+                continue;
             }
             std::thread::yield_now();
         }
         m.bd.add(Category::Idle, t_quiesce.elapsed().as_secs_f64());
+
+        // Per-worker drain stamps: the tail between each worker's last
+        // report hand-off and this quiesce close, clamped to the epoch
+        // (a stamp predating the epoch means the worker never ran in
+        // it). Taken at the fence because idle-only worker reports are
+        // held back and cannot carry this tail themselves.
+        let close = pool.now_nanos();
+        m.stats.worker_drain_seconds = (0..self.config.num_workers)
+            .map(|w| {
+                let last = pool.worker_last_activity_nanos(w).max(epoch_start_nanos);
+                close.saturating_sub(last) as f64 * 1e-9
+            })
+            .collect();
 
         self.epochs_run += 1;
         let mut stats = std::mem::take(&mut m.stats);

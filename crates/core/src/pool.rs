@@ -27,7 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -159,6 +159,14 @@ pub struct Pool {
     /// (factory-fresh state *is* the first epoch's state) and in
     /// one-shot runs.
     epoch_input: Mutex<Option<Arc<EpochInput>>>,
+    /// Monotonic origin for [`Pool::note_worker_activity`] stamps.
+    activity_base: Instant,
+    /// Per-worker last-activity stamp, nanoseconds since
+    /// `activity_base` (`0` = never active). Written by each worker
+    /// after it hands a finished batch back; read by the rank at the
+    /// epoch fence to compute the per-epoch drain tail (idle-only
+    /// reports are held back, so the report channel cannot carry it).
+    last_activity: Vec<AtomicU64>,
     stop: AtomicBool,
     /// Sleep coordination: a sleeper registers in `sleepers` and
     /// re-checks `ready`/`stop` under this lock before waiting;
@@ -196,6 +204,8 @@ impl Pool {
             flush_streams: AtomicUsize::new(32),
             claim_batch: AtomicUsize::new(8),
             epoch_input: Mutex::new(None),
+            activity_base: Instant::now(),
+            last_activity: (0..n).map(|_| AtomicU64::new(0)).collect(),
             stop: AtomicBool::new(false),
             sleep: Mutex::new(()),
             cv: Condvar::new(),
@@ -269,6 +279,31 @@ impl Pool {
     /// Number of ready-queue shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Nanoseconds elapsed on this pool's monotonic activity clock.
+    /// All activity stamps share this origin, so differences are
+    /// directly comparable across threads.
+    pub fn now_nanos(&self) -> u64 {
+        // `max(1)` keeps 0 reserved for "never active".
+        (self.activity_base.elapsed().as_nanos() as u64).max(1)
+    }
+
+    /// Stamp `worker` as active *now*. Workers call this after each
+    /// report hand-off; the gap between the newest stamp and the epoch
+    /// close is that worker's end-of-epoch drain.
+    pub fn note_worker_activity(&self, worker: usize) {
+        if let Some(a) = self.last_activity.get(worker) {
+            a.store(self.now_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// `worker`'s newest activity stamp (nanoseconds on the
+    /// [`Pool::now_nanos`] clock; `0` = never active).
+    pub fn worker_last_activity_nanos(&self, worker: usize) -> u64 {
+        self.last_activity
+            .get(worker)
+            .map_or(0, |a| a.load(Ordering::Relaxed))
     }
 
     fn shard_of(&self, id: ProgramId) -> usize {
@@ -981,6 +1016,24 @@ mod tests {
         assert_eq!(*got.downcast_ref::<u64>().unwrap(), 17);
         pool.set_epoch_input(None);
         assert!(pool.epoch_input().is_none());
+    }
+
+    #[test]
+    fn activity_stamps_are_monotone_and_per_worker() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.worker_last_activity_nanos(0), 0, "never active");
+        assert_eq!(pool.worker_last_activity_nanos(1), 0);
+        pool.note_worker_activity(0);
+        let first = pool.worker_last_activity_nanos(0);
+        assert!(first > 0);
+        assert_eq!(pool.worker_last_activity_nanos(1), 0, "other untouched");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        pool.note_worker_activity(0);
+        assert!(pool.worker_last_activity_nanos(0) > first);
+        assert!(pool.now_nanos() >= pool.worker_last_activity_nanos(0));
+        // Out-of-range worker ids are ignored, not a panic.
+        pool.note_worker_activity(99);
+        assert_eq!(pool.worker_last_activity_nanos(99), 0);
     }
 
     #[test]

@@ -136,6 +136,15 @@ pub struct RunStats {
     /// Bytes sent to other ranks (stream payloads + record headers;
     /// framing itself adds no bytes).
     pub bytes_sent: u64,
+    /// Per-worker end-of-epoch drain: seconds between a worker's last
+    /// productive act (its last report hand-off to the pool) and the
+    /// epoch's quiesce close, clamped to the epoch. Workers hold back
+    /// idle-only reports, so this tail cannot be attributed through
+    /// the report channel without bleeding into the next epoch; the
+    /// rank stamps it at the fence instead, keeping the Fig.-16-style
+    /// idle breakdown exact per epoch. A worker that never ran in an
+    /// epoch drains for the whole epoch.
+    pub worker_drain_seconds: Vec<f64>,
 }
 
 impl RunStats {
@@ -171,6 +180,8 @@ impl RunStats {
             acc.frames_sent += s.frames_sent;
             acc.frames_received += s.frames_received;
             acc.bytes_sent += s.bytes_sent;
+            acc.worker_drain_seconds
+                .extend(s.worker_drain_seconds.iter().copied());
         }
         acc
     }
@@ -234,6 +245,22 @@ mod tests {
         assert_eq!(agg.work_done, 15);
         assert_eq!(agg.streams_sent, 1);
         assert_eq!(agg.streams_received, 1);
+    }
+
+    #[test]
+    fn aggregate_concatenates_worker_drains_like_workers() {
+        let a = RunStats {
+            rank: 0,
+            worker_drain_seconds: vec![0.5, 0.25],
+            ..Default::default()
+        };
+        let b = RunStats {
+            rank: 1,
+            worker_drain_seconds: vec![0.125],
+            ..Default::default()
+        };
+        let agg = RunStats::aggregate(&[a, b]);
+        assert_eq!(agg.worker_drain_seconds, vec![0.5, 0.25, 0.125]);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`solver`] — source iteration drivers: the JSweep-parallel solver
 //!   on the threaded runtime and a serial reference solver used as the
 //!   golden result in tests;
+//! * [`session`] — sweep as a service: a resident [`SolverSession`]
+//!   (one universe, one shared plan cache, one driver thread) serving
+//!   queued solves from concurrent campaigns under a pluggable
+//!   admission policy (see `docs/session.md`);
 //! * [`kobayashi`] — the Kobayashi benchmark problem generator used by
 //!   the JSNT-S experiments (Figs. 12, 16, 17a).
 
@@ -27,6 +31,7 @@ pub mod kernel;
 pub mod kobayashi;
 pub mod program;
 pub mod replay;
+pub mod session;
 pub mod solver;
 pub mod trace;
 pub mod xs;
@@ -34,6 +39,11 @@ pub mod xs;
 pub use kernel::KernelKind;
 pub use program::{SweepEpoch, SweepMode};
 pub use replay::{plan_key, CoarsePlan, EvictionPolicy, PlanCache, PlanKey};
+pub use session::{
+    AdmissionPolicy, CampaignHandle, CampaignStats, EpochCandidate, EpochRecord, Fifo, RoundRobin,
+    SessionError, SessionOptions, SessionStats, SolveOutcome, SolveRequest, SolveTicket,
+    SolverSession,
+};
 pub use solver::{
     record_cluster_traces, solve_parallel, solve_parallel_cached, solve_serial, SnConfig,
     SnSolution,

@@ -88,6 +88,13 @@ pub struct SweepEpoch {
     pub emission: Arc<Vec<f64>>,
     /// This iteration's scheduling mode (fine/record vs replay).
     pub mode: SweepMode,
+    /// Material perturbation: `Some` swaps the resident programs'
+    /// cross sections for this epoch (same mesh, same group count —
+    /// the buffer shapes are fixed at program creation). `None` keeps
+    /// the materials the programs already hold. This is what lets one
+    /// resident session universe serve solve requests with different
+    /// material sets without a relaunch.
+    pub materials: Option<Arc<MaterialSet>>,
 }
 
 /// Multiply-mix hasher over the packed `(dst_cell, src_cell)` key of
@@ -662,6 +669,19 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
             "epoch emission density has the wrong shape"
         );
         self.emission = e.emission.clone();
+        if let Some(m) = &e.materials {
+            assert_eq!(
+                m.num_cells(),
+                self.setup_mesh.num_cells(),
+                "epoch materials must cover the resident mesh"
+            );
+            assert_eq!(
+                m.num_groups(),
+                self.groups,
+                "epoch materials cannot change the group count of a resident program"
+            );
+            self.materials = m.clone();
+        }
         let problem = self.problem.clone();
         let (p, a) = (self.id.patch.index(), self.id.task.0 as usize);
         let sub = &problem.subs[a][p];

@@ -379,9 +379,11 @@ pub enum EvictionPolicy {
     Manual,
     /// Bound the cache by estimated plan bytes
     /// ([`CoarsePlan::memory_bytes`], shared tasks counted once per
-    /// plan): after every insert, least-recently-*used* plans are
-    /// dropped until the total fits. The most recently inserted plan
-    /// always survives, even if it alone exceeds the bound.
+    /// plan): on every insert, least-recently-*used* plans are evicted
+    /// *before* the new plan enters, until it fits. The cache is never
+    /// observed holding both the victims and the new plan, and the
+    /// most recently inserted plan always survives, even if it alone
+    /// exceeds the bound.
     LruBytes {
         /// Total estimated footprint to keep the cache under.
         max_bytes: usize,
@@ -474,14 +476,64 @@ impl PlanCache {
         })
     }
 
-    /// Store a compiled plan, then enforce the eviction policy. The
+    /// Store a compiled plan, enforcing the eviction policy
+    /// **atomically with the insertion** (one lock acquisition): under
+    /// [`EvictionPolicy::LruBytes`] the victims are evicted *before*
+    /// the new plan enters, so no concurrent [`PlanCache::get`] /
+    /// [`PlanCache::memory_bytes`] can observe the cache holding both
+    /// — insertion can never transiently exceed the byte bound. The
     /// plan just inserted counts as most recently used and is never
-    /// the one evicted.
+    /// the one evicted (a sole plan survives even a zero budget).
     pub fn insert(&self, key: PlanKey, plan: Arc<CoarsePlan>) {
+        self.store(key, plan, false);
+    }
+
+    /// [`PlanCache::insert`] that refuses to evict: the plan is stored
+    /// only if the policy admits it without dropping any other entry
+    /// (same-key replacement is always allowed). Returns whether the
+    /// plan was stored. This is the right call for opportunistic
+    /// inserts — e.g. a plan compiled on a solve's final iteration,
+    /// which the solve itself will never replay: caching it is a bet
+    /// on a future solve, and that bet must not thrash plans other
+    /// requests are actively hitting out of an at-capacity
+    /// [`EvictionPolicy::LruBytes`] cache.
+    pub fn insert_opportunistic(&self, key: PlanKey, plan: Arc<CoarsePlan>) -> bool {
+        self.store(key, plan, true)
+    }
+
+    fn store(&self, key: PlanKey, plan: Arc<CoarsePlan>, opportunistic: bool) -> bool {
         let bytes = plan.memory_bytes();
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let last_used = inner.tick;
+        // Same-key replacement frees its own bytes first and never
+        // needs headroom beyond the size delta.
+        let replaced = inner.plans.remove(&key);
+        if let EvictionPolicy::LruBytes { max_bytes } = self.policy {
+            let mut total: usize = inner.plans.values().map(|e| e.bytes).sum();
+            if opportunistic && total + bytes > max_bytes {
+                // Would need an eviction (or exceed the budget while
+                // alone): decline and keep the cache exactly as found.
+                if let Some(e) = replaced {
+                    inner.plans.insert(key, e);
+                }
+                return false;
+            }
+            // Evict-before-insert: least-recently-used entries leave
+            // until the newcomer fits, stopping (at the latest) when it
+            // would be alone.
+            while total + bytes > max_bytes && !inner.plans.is_empty() {
+                let oldest = inner
+                    .plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty cache");
+                let e = inner.plans.remove(&oldest).expect("key just observed");
+                total -= e.bytes;
+                inner.evicted += 1;
+            }
+        }
         inner.plans.insert(
             key,
             CacheEntry {
@@ -490,41 +542,21 @@ impl PlanCache {
                 last_used,
             },
         );
-        self.enforce(&mut inner);
-    }
-
-    /// Apply the automatic policy (called with the lock held, after an
-    /// insert).
-    fn enforce(&self, inner: &mut CacheInner) {
-        match self.policy {
-            EvictionPolicy::Manual => {}
-            EvictionPolicy::LruBytes { max_bytes } => {
-                let mut total: usize = inner.plans.values().map(|e| e.bytes).sum();
-                while total > max_bytes && inner.plans.len() > 1 {
-                    let oldest = inner
-                        .plans
-                        .iter()
-                        .min_by_key(|(_, e)| e.last_used)
-                        .map(|(&k, _)| k)
-                        .expect("non-empty cache");
-                    let e = inner.plans.remove(&oldest).expect("key just observed");
-                    total -= e.bytes;
-                    inner.evicted += 1;
-                }
-            }
-            EvictionPolicy::NewestGenerations { keep } => {
-                let mut gens: Vec<u64> = inner.plans.keys().map(|k| k.mesh_generation).collect();
-                gens.sort_unstable();
-                gens.dedup();
-                if gens.len() <= keep {
-                    return;
-                }
+        if let EvictionPolicy::NewestGenerations { keep } = self.policy {
+            // Superseded generations are structurally unreachable, so
+            // dropping them is hygiene, not thrash — the opportunistic
+            // path applies it too.
+            let mut gens: Vec<u64> = inner.plans.keys().map(|k| k.mesh_generation).collect();
+            gens.sort_unstable();
+            gens.dedup();
+            if gens.len() > keep {
                 let cutoff = gens[gens.len() - keep];
                 let before = inner.plans.len();
                 inner.plans.retain(|k, _| k.mesh_generation >= cutoff);
                 inner.evicted += (before - inner.plans.len()) as u64;
             }
         }
+        true
     }
 
     /// Plans dropped by the automatic policy so far (manual
@@ -682,6 +714,63 @@ mod tests {
         let cache = PlanCache::with_policy(EvictionPolicy::LruBytes { max_bytes: 0 });
         cache.insert(plan_key(&prob, 16), dummy_plan(prob.mesh_generation));
         assert_eq!(cache.len(), 1, "sole plan survives a zero budget");
+    }
+
+    #[test]
+    fn opportunistic_insert_declines_instead_of_evicting() {
+        let (_, prob) = build_problem(true);
+        let unit = dummy_plan(prob.mesh_generation).memory_bytes();
+        let cache = PlanCache::with_policy(EvictionPolicy::LruBytes { max_bytes: unit });
+        let hot = plan_key(&prob, 8);
+        cache.insert(hot, dummy_plan(prob.mesh_generation));
+        // No headroom: the opportunistic insert must leave the
+        // resident plan alone rather than thrash it.
+        assert!(!cache.insert_opportunistic(plan_key(&prob, 16), dummy_plan(prob.mesh_generation)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(&hot).is_some(), "resident plan untouched");
+        // Same-key replacement is always admitted.
+        assert!(cache.insert_opportunistic(hot, dummy_plan(prob.mesh_generation)));
+        assert_eq!(cache.len(), 1);
+        // With headroom, the opportunistic insert stores normally.
+        let roomy = PlanCache::with_policy(EvictionPolicy::LruBytes {
+            max_bytes: 2 * unit,
+        });
+        roomy.insert(hot, dummy_plan(prob.mesh_generation));
+        assert!(roomy.insert_opportunistic(plan_key(&prob, 16), dummy_plan(prob.mesh_generation)));
+        assert_eq!(roomy.len(), 2);
+        // Under Manual policy it is a plain insert.
+        let manual = PlanCache::new();
+        assert!(manual.insert_opportunistic(hot, dummy_plan(prob.mesh_generation)));
+        assert_eq!(manual.len(), 1);
+    }
+
+    #[test]
+    fn insert_never_exceeds_budget_even_transiently() {
+        // Evict-before-insert means the byte total observed through
+        // the public API is <= max_bytes after every mutation (sole
+        // oversized plan excepted) — including a same-key replacement
+        // that grows.
+        let (_, prob) = build_problem(true);
+        let unit = dummy_plan(prob.mesh_generation).memory_bytes();
+        let cache = PlanCache::with_policy(EvictionPolicy::LruBytes {
+            max_bytes: 3 * unit,
+        });
+        for (i, grain) in [8usize, 16, 32].iter().enumerate() {
+            cache.insert(plan_key(&prob, *grain), dummy_plan(prob.mesh_generation));
+            assert_eq!(cache.len(), i + 1);
+            assert!(cache.memory_bytes() <= 3 * unit);
+        }
+        // A fourth distinct key evicts exactly one victim first.
+        cache.insert(plan_key(&prob, 64), dummy_plan(prob.mesh_generation));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.memory_bytes() <= 3 * unit);
+        // Same-key replacement does not count its own old bytes
+        // against the headroom.
+        cache.insert(plan_key(&prob, 64), dummy_plan(prob.mesh_generation));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1, "replacement evicts nothing");
     }
 
     #[test]

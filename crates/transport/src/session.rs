@@ -1,0 +1,1066 @@
+//! Sweep-as-a-service: a resident [`SolverSession`] serving queued
+//! solves from many concurrent campaigns.
+//!
+//! [`solve_parallel_cached`](crate::solver::solve_parallel_cached) is
+//! one-shot: it launches a resident universe, runs one solve's source
+//! iterations as epochs, and tears the universe down. Multi-solve
+//! workloads — time stepping, eigenvalue iteration, material sweeps,
+//! uncertainty campaigns — pay that launch/teardown once per solve and
+//! re-enter the runtime from scratch each time, even though every
+//! solve of a given problem shape could run on the *same* resident
+//! programs with the *same* compiled replay plan.
+//!
+//! A [`SolverSession`] keeps exactly one
+//! [`EpochWorld`](crate::solver) alive on a dedicated driver thread:
+//! one resident [`jsweep_core::Universe`], one shared [`PlanCache`].
+//! Campaigns (independent clients, typically one per thread) obtain a
+//! [`CampaignHandle`] and submit [`SolveRequest`]s asynchronously; each
+//! request is reduced to a sequence of sweep epochs and interleaved
+//! with other campaigns' epochs by a pluggable [`AdmissionPolicy`].
+//! Every completed request resolves its [`SolveTicket`] with a
+//! [`SolveOutcome`] whose flux is **bit-identical** to a solo
+//! `solve_parallel_cached` call of the same request: an epoch of a
+//! session *is* the loop body of the solo solver (see
+//! `advance_one_epoch`), and fine-path and replay iterations produce
+//! the same flux bit-for-bit (§V-E), so interleaving changes wall
+//! clock, never physics.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!      launch()                 submit()          epochs (policy-picked)
+//!   ┌────────────┐  campaign() ┌─────────┐ admit ┌─────────┐ done ┌──────────┐
+//!   │ SolverSession│──────────▶│ queued  │──────▶│ running │─────▶│ resolved │
+//!   └────────────┘             └─────────┘       └─────────┘      └──────────┘
+//!        │  refine(mesh', problem'): drain admitted work, retire the
+//!        │  universe, swap the world — later admissions record fresh
+//!        │  plans under the new generation stamp (stale plans are
+//!        │  structurally unreachable: the generation is in the PlanKey).
+//!        ▼
+//!     shutdown(): drain admitted work, resolve everything still queued
+//!     with SessionError::Closed, retire the universe, join the driver.
+//! ```
+//!
+//! Pause/resume gate *epoch execution* only: a paused session still
+//! admits submissions (the deterministic-interleaving tests rely on
+//! this to stage a known backlog before any epoch runs).
+//!
+//! See `docs/session.md` for the full state diagram, the admission
+//! policies, and the stats glossary.
+
+use crate::replay::{EvictionPolicy, PlanCache};
+use crate::solver::{advance_one_epoch, EpochWorld, SnConfig, SnSolution, SolveProgress};
+use crate::xs::MaterialSet;
+use jsweep_graph::SweepProblem;
+use jsweep_mesh::SweepTopology;
+use jsweep_quadrature::QuadratureSet;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// One queued solve: the physics that varies per request. The problem
+/// shape (mesh, decomposition, quadrature, solver knobs) is session
+/// state — requests that need a different shape need a different
+/// session (or a [`SolverSession::refine`]).
+#[derive(Clone)]
+pub struct SolveRequest {
+    /// Cross sections and sources for this solve. Must cover the
+    /// session's mesh; with a live resident universe the group count
+    /// must match the resident programs (their buffer shapes are fixed
+    /// at launch) — violations resolve the ticket with
+    /// [`SessionError::Rejected`] instead of panicking the driver.
+    pub materials: Arc<MaterialSet>,
+    /// Override of [`SnConfig::max_iterations`] for this request.
+    pub max_iterations: Option<usize>,
+    /// Override of [`SnConfig::tolerance`] for this request.
+    pub tolerance: Option<f64>,
+}
+
+/// Why a [`SolveTicket`] resolved without a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The session shut down before the request was served.
+    Closed,
+    /// The request was incompatible with the session's world (wrong
+    /// mesh coverage, or a group count the resident programs cannot
+    /// adopt).
+    Rejected(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Closed => write!(f, "session closed before the request was served"),
+            SessionError::Rejected(why) => write!(f, "request rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The resolved result of one [`SolveRequest`].
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Campaign the request belonged to.
+    pub campaign: u64,
+    /// Submission sequence number within the campaign (0-based).
+    pub seq: u64,
+    /// The solve result — bit-identical to a solo
+    /// [`crate::solver::solve_parallel_cached`] of the same request,
+    /// including per-epoch [`jsweep_core::RunStats`] in
+    /// [`SnSolution::stats`].
+    pub solution: SnSolution,
+    /// Mesh generation the solve ran against.
+    pub mesh_generation: u64,
+    /// Seconds between submission and the request's first epoch (its
+    /// time at the back of the queue).
+    pub queue_wait_seconds: f64,
+}
+
+/// A solve the admission policy can schedule an epoch for: the head
+/// request of one campaign's queue. Requests within a campaign are
+/// strictly ordered; campaigns are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCandidate {
+    /// Campaign id.
+    pub campaign: u64,
+    /// Request sequence number within the campaign.
+    pub seq: u64,
+    /// Global admission order of the request (monotone across the
+    /// session) — the FIFO sort key.
+    pub admission_index: u64,
+    /// Epochs already run for this request.
+    pub epochs_run: usize,
+}
+
+/// Decides which admitted solve runs the next epoch.
+///
+/// Called by the driver with one candidate per campaign that has work
+/// (never empty); must return an index into `candidates`. Policies are
+/// deterministic functions of the candidate list and their own state —
+/// the deterministic-interleaving tests replay a seeded submission
+/// order against a policy and assert the exact epoch schedule.
+pub trait AdmissionPolicy: Send {
+    /// Pick the candidate whose solve runs the next epoch.
+    fn next_epoch(&mut self, candidates: &[EpochCandidate]) -> usize;
+}
+
+/// Strict first-come-first-served: the earliest-admitted request runs
+/// to completion before any later one gets an epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Fifo {
+    fn next_epoch(&mut self, candidates: &[EpochCandidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.admission_index)
+            .map(|(i, _)| i)
+            .expect("candidates is never empty")
+    }
+}
+
+/// Per-campaign round-robin: one epoch to the smallest campaign id
+/// strictly greater than the last-served id, wrapping. Keeps every
+/// campaign's latency bounded regardless of how many requests the
+/// others have queued.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    last: Option<u64>,
+}
+
+impl AdmissionPolicy for RoundRobin {
+    fn next_epoch(&mut self, candidates: &[EpochCandidate]) -> usize {
+        let after = |floor: u64| {
+            candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.campaign > floor)
+                .min_by_key(|(_, c)| c.campaign)
+        };
+        let first = || {
+            candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.campaign)
+        };
+        let (i, c) = match self.last {
+            Some(l) => after(l).or_else(first),
+            None => first(),
+        }
+        .expect("candidates is never empty");
+        self.last = Some(c.campaign);
+        i
+    }
+}
+
+/// Per-campaign accounting, aggregated over the campaign's lifetime.
+/// Per-epoch [`jsweep_core::RunStats`] deltas ride in each
+/// [`SolveOutcome::solution`]; these are the running totals a monitor
+/// would poll.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed with a solution.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Epochs run on behalf of this campaign.
+    pub epochs_run: u64,
+    /// Admissions that found their replay plan in the session cache.
+    pub plan_cache_hits: u64,
+    /// Admissions that missed the cache (their first iteration
+    /// records).
+    pub plan_cache_misses: u64,
+    /// Total seconds the campaign's requests spent queued before their
+    /// first epoch.
+    pub queue_wait_seconds: f64,
+    /// Total aggregated epoch wall seconds.
+    pub epoch_wall_seconds: f64,
+    /// Total units of sweep work executed.
+    pub work_done: u64,
+    /// Total patch-program compute calls.
+    pub compute_calls: u64,
+    /// Total end-of-epoch worker drain seconds (see
+    /// [`jsweep_core::RunStats::worker_drain_seconds`]).
+    pub worker_drain_seconds: f64,
+}
+
+/// One line of the session's epoch log: which solve ran, in which
+/// scheduling mode, against which plan and mesh generation. The
+/// deterministic-interleaving tests compare this log against a
+/// reference schedule; the soak test asserts no replayed epoch ever
+/// used a plan from a superseded generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Campaign served.
+    pub campaign: u64,
+    /// Request sequence number within the campaign.
+    pub seq: u64,
+    /// The request's iteration count after this epoch (1-based).
+    pub iteration: usize,
+    /// Whether the epoch replayed a coarse plan (vs the fine path).
+    pub replayed: bool,
+    /// Generation stamp of the replayed plan (`None` on fine epochs).
+    pub plan_generation: Option<u64>,
+    /// Mesh generation of the world the epoch ran against.
+    pub mesh_generation: u64,
+}
+
+/// Snapshot of a session's accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Mesh generation currently served.
+    pub mesh_generation: u64,
+    /// Resident universes launched over the session's lifetime (one
+    /// per world that ran at least one epoch).
+    pub universes_launched: u64,
+    /// Resident universes retired (shutdown or refinement). Equal to
+    /// `universes_launched` after shutdown — the no-leak invariant the
+    /// soak test pins.
+    pub universes_retired: u64,
+    /// Total epochs run.
+    pub epochs_run: u64,
+    /// Per-campaign accounting.
+    pub campaigns: BTreeMap<u64, CampaignStats>,
+    /// Ordered log of every epoch run.
+    pub epoch_log: Vec<EpochRecord>,
+}
+
+/// Configuration of a [`SolverSession`].
+pub struct SessionOptions {
+    /// Solver knobs shared by every request ([`SolveRequest`] may
+    /// override `max_iterations` / `tolerance` per solve).
+    pub solver: SnConfig,
+    /// Epoch scheduling policy across campaigns.
+    pub admission: Box<dyn AdmissionPolicy>,
+    /// Eviction policy of the session's shared [`PlanCache`].
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            solver: SnConfig::default(),
+            admission: Box::new(Fifo),
+            eviction: EvictionPolicy::Manual,
+        }
+    }
+}
+
+/// One-shot result slot a submitter blocks on.
+#[derive(Default)]
+struct TicketCell {
+    slot: Mutex<Option<Result<SolveOutcome, SessionError>>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn fulfill(&self, result: Result<SolveOutcome, SessionError>) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Future of one submitted request.
+pub struct SolveTicket {
+    cell: Arc<TicketCell>,
+}
+
+impl SolveTicket {
+    /// Block until the request resolves.
+    pub fn wait(self) -> Result<SolveOutcome, SessionError> {
+        let mut slot = self.cell.slot.lock();
+        while slot.is_none() {
+            self.cell.cv.wait(&mut slot);
+        }
+        slot.take().expect("slot checked non-empty")
+    }
+
+    /// Non-blocking check; `None` while the request is still queued or
+    /// running.
+    pub fn poll(&self) -> Option<Result<SolveOutcome, SessionError>> {
+        self.cell.slot.lock().clone()
+    }
+}
+
+enum Cmd<T: SweepTopology + Send + Sync + 'static> {
+    Submit {
+        campaign: u64,
+        seq: u64,
+        request: SolveRequest,
+        reply: Arc<TicketCell>,
+        submitted: Instant,
+    },
+    Refine {
+        mesh: Arc<T>,
+        problem: Arc<SweepProblem>,
+    },
+    Pause,
+    Resume,
+    Shutdown,
+}
+
+/// Ingress queue shared by every handle and the driver. Closing and
+/// draining happen under the same lock as submission, so a submit
+/// either lands before the drain (and is resolved `Closed` by the
+/// driver) or observes `closed` and resolves immediately — a ticket
+/// can never be abandoned unresolved.
+struct Ingress<T: SweepTopology + Send + Sync + 'static> {
+    queue: VecDeque<Cmd<T>>,
+    closed: bool,
+}
+
+struct Shared<T: SweepTopology + Send + Sync + 'static> {
+    ingress: Mutex<Ingress<T>>,
+    cv: Condvar,
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> Shared<T> {
+    fn push(&self, cmd: Cmd<T>) -> bool {
+        let mut g = self.ingress.lock();
+        if g.closed {
+            return false;
+        }
+        g.queue.push_back(cmd);
+        self.cv.notify_one();
+        true
+    }
+}
+
+/// An admitted request being served.
+struct ActiveSolve {
+    seq: u64,
+    admission_index: u64,
+    submitted: Instant,
+    queue_wait: Option<f64>,
+    progress: SolveProgress,
+    reply: Arc<TicketCell>,
+}
+
+/// A resident sweep service: one world, one plan cache, one driver
+/// thread serving queued solves from any number of concurrent
+/// campaigns. See the [module docs](self) for the lifecycle.
+pub struct SolverSession<T: SweepTopology + Send + Sync + 'static> {
+    shared: Arc<Shared<T>>,
+    driver: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<SessionStats>>,
+    cache: Arc<PlanCache>,
+    next_campaign: AtomicU64,
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
+    /// Launch the session's driver thread over one problem shape. The
+    /// resident universe itself launches lazily on the first epoch.
+    pub fn launch(
+        mesh: Arc<T>,
+        problem: Arc<SweepProblem>,
+        quadrature: QuadratureSet,
+        options: SessionOptions,
+    ) -> Self {
+        let stats = Arc::new(Mutex::new(SessionStats {
+            mesh_generation: problem.mesh_generation,
+            ..Default::default()
+        }));
+        let cache = Arc::new(PlanCache::with_policy(options.eviction));
+        let shared = Arc::new(Shared {
+            ingress: Mutex::new(Ingress {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let world = EpochWorld::new(mesh, problem, quadrature, options.solver);
+        let driver = Driver {
+            shared: shared.clone(),
+            world,
+            cache: cache.clone(),
+            policy: options.admission,
+            stats: stats.clone(),
+            admitted: BTreeMap::new(),
+            pending: VecDeque::new(),
+            paused: false,
+            admission_counter: 0,
+        };
+        let handle = thread::Builder::new()
+            .name("jsweep-session".into())
+            .spawn(move || driver.run())
+            .expect("spawn session driver");
+        SolverSession {
+            shared,
+            driver: Some(handle),
+            stats,
+            cache,
+            next_campaign: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a new campaign. Handles are cheap, clonable, and safe to
+    /// move to other threads; clones share the campaign's sequence
+    /// numbering.
+    pub fn campaign(&self) -> CampaignHandle<T> {
+        CampaignHandle {
+            campaign: self.next_campaign.fetch_add(1, Ordering::Relaxed),
+            shared: self.shared.clone(),
+            seq: Arc::new(AtomicU64::new(0)),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Swap the session's world for a refined (or otherwise rebuilt)
+    /// mesh. In-flight admitted work drains on the old world first;
+    /// requests admitted after the swap record fresh plans under the
+    /// new generation stamp. A stale plan is structurally unreachable
+    /// (the generation is part of the [`crate::replay::PlanKey`]).
+    pub fn refine(&self, mesh: Arc<T>, problem: Arc<SweepProblem>) {
+        assert_eq!(
+            mesh.generation(),
+            problem.mesh_generation,
+            "mesh topology changed since SweepProblem::build; rebuild the problem"
+        );
+        self.shared.push(Cmd::Refine { mesh, problem });
+    }
+
+    /// Stop running epochs (submission stays open). Queued work keeps
+    /// accumulating until [`SolverSession::resume`].
+    pub fn pause(&self) {
+        self.shared.push(Cmd::Pause);
+    }
+
+    /// Resume epoch execution after a [`SolverSession::pause`].
+    pub fn resume(&self) {
+        self.shared.push(Cmd::Resume);
+    }
+
+    /// Snapshot the session's accounting.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.lock().clone()
+    }
+
+    /// Snapshot one campaign's accounting, if it ever submitted.
+    pub fn campaign_stats(&self, campaign: u64) -> Option<CampaignStats> {
+        self.stats.lock().campaigns.get(&campaign).cloned()
+    }
+
+    /// The session's shared plan cache (for capacity and eviction
+    /// introspection; plans are inserted and served by the driver).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Drain admitted work, resolve everything still queued with
+    /// [`SessionError::Closed`], retire the resident universe and join
+    /// the driver. Idempotent; also runs on drop. A paused session is
+    /// resumed first — shutdown waits for admitted work.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.driver.take() {
+            self.shared.push(Cmd::Resume);
+            self.shared.push(Cmd::Shutdown);
+            handle.join().expect("session driver panicked");
+        }
+    }
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> Drop for SolverSession<T> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.driver.take() {
+            self.shared.push(Cmd::Resume);
+            self.shared.push(Cmd::Shutdown);
+            // Propagating a panic out of drop would abort; the explicit
+            // `shutdown` path surfaces driver panics instead.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A campaign's submission endpoint. Obtained from
+/// [`SolverSession::campaign`]; clonable across threads.
+pub struct CampaignHandle<T: SweepTopology + Send + Sync + 'static> {
+    campaign: u64,
+    shared: Arc<Shared<T>>,
+    seq: Arc<AtomicU64>,
+    stats: Arc<Mutex<SessionStats>>,
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> Clone for CampaignHandle<T> {
+    fn clone(&self) -> Self {
+        CampaignHandle {
+            campaign: self.campaign,
+            shared: self.shared.clone(),
+            seq: self.seq.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> CampaignHandle<T> {
+    /// This campaign's id (the key into
+    /// [`SessionStats::campaigns`]).
+    pub fn id(&self) -> u64 {
+        self.campaign
+    }
+
+    /// Queue a solve. Returns immediately with the ticket to wait or
+    /// poll on; requests of one campaign are served strictly in
+    /// submission order.
+    pub fn submit(&self, request: SolveRequest) -> SolveTicket {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(TicketCell::default());
+        self.stats
+            .lock()
+            .campaigns
+            .entry(self.campaign)
+            .or_default()
+            .submitted += 1;
+        let sent = self.shared.push(Cmd::Submit {
+            campaign: self.campaign,
+            seq,
+            request,
+            reply: cell.clone(),
+            submitted: Instant::now(),
+        });
+        if !sent {
+            cell.fulfill(Err(SessionError::Closed));
+        }
+        SolveTicket { cell }
+    }
+
+    /// Snapshot this campaign's accounting.
+    pub fn stats(&self) -> CampaignStats {
+        self.stats
+            .lock()
+            .campaigns
+            .get(&self.campaign)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+struct Driver<T: SweepTopology + Send + Sync + 'static> {
+    shared: Arc<Shared<T>>,
+    world: EpochWorld<T>,
+    cache: Arc<PlanCache>,
+    policy: Box<dyn AdmissionPolicy>,
+    stats: Arc<Mutex<SessionStats>>,
+    /// Admitted solves per campaign; the head of each queue is the
+    /// campaign's running request.
+    admitted: BTreeMap<u64, VecDeque<ActiveSolve>>,
+    /// Ingested commands not yet processed — `Refine`/`Shutdown` stall
+    /// here until the admitted work drains.
+    pending: VecDeque<Cmd<T>>,
+    paused: bool,
+    admission_counter: u64,
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
+    fn run(mut self) {
+        loop {
+            // Ingest everything available without blocking.
+            let drained: Vec<Cmd<T>> = self.shared.ingress.lock().queue.drain(..).collect();
+            for cmd in drained {
+                self.ingest(cmd);
+            }
+            if self.process_pending() {
+                self.finish();
+                return;
+            }
+            if !self.paused && self.has_work() {
+                self.run_one_epoch();
+                continue;
+            }
+            // Idle (or paused): sleep until the next command.
+            let mut g = self.shared.ingress.lock();
+            while g.queue.is_empty() {
+                self.shared.cv.wait(&mut g);
+            }
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        !self.admitted.is_empty()
+    }
+
+    /// Pause/resume apply the moment they are seen — even while a
+    /// refinement or shutdown is stalled waiting for the backlog —
+    /// everything else queues in order.
+    fn ingest(&mut self, cmd: Cmd<T>) {
+        match cmd {
+            Cmd::Pause => self.paused = true,
+            Cmd::Resume => self.paused = false,
+            other => self.pending.push_back(other),
+        }
+    }
+
+    /// Work through pending commands in arrival order. Returns `true`
+    /// when a shutdown is due now.
+    fn process_pending(&mut self) -> bool {
+        while let Some(front) = self.pending.front() {
+            match front {
+                Cmd::Submit { .. } => {
+                    let Some(Cmd::Submit {
+                        campaign,
+                        seq,
+                        request,
+                        reply,
+                        submitted,
+                    }) = self.pending.pop_front()
+                    else {
+                        unreachable!("front checked")
+                    };
+                    self.admit(campaign, seq, request, reply, submitted);
+                }
+                Cmd::Refine { .. } => {
+                    // Refinement is a barrier: the admitted backlog
+                    // finishes on the old world first.
+                    if self.has_work() {
+                        return false;
+                    }
+                    let Some(Cmd::Refine { mesh, problem }) = self.pending.pop_front() else {
+                        unreachable!("front checked")
+                    };
+                    self.apply_refine(mesh, problem);
+                }
+                Cmd::Shutdown => {
+                    if self.has_work() {
+                        return false;
+                    }
+                    self.pending.pop_front();
+                    return true;
+                }
+                Cmd::Pause | Cmd::Resume => {
+                    let Some(cmd) = self.pending.pop_front() else {
+                        unreachable!("front checked")
+                    };
+                    self.ingest(cmd);
+                }
+            }
+        }
+        false
+    }
+
+    fn admit(
+        &mut self,
+        campaign: u64,
+        seq: u64,
+        request: SolveRequest,
+        reply: Arc<TicketCell>,
+        submitted: Instant,
+    ) {
+        if request.materials.num_cells() != self.world.mesh.num_cells() {
+            return self.reject(
+                campaign,
+                reply,
+                format!(
+                    "materials cover {} cells, mesh has {}",
+                    request.materials.num_cells(),
+                    self.world.mesh.num_cells()
+                ),
+            );
+        }
+        if self.world.config.resident {
+            // Resident programs cannot change their group count; the
+            // constraint extends to the not-yet-launched backlog (its
+            // first epoch will fix the universe's shape).
+            let current = self.world.resident_groups().or_else(|| {
+                self.admitted
+                    .values()
+                    .flat_map(|q| q.iter())
+                    .next()
+                    .map(|s| s.progress.materials.num_groups())
+            });
+            if let Some(groups) = current {
+                if groups != request.materials.num_groups() {
+                    return self.reject(
+                        campaign,
+                        reply,
+                        format!(
+                            "request has {} energy groups, resident programs have {groups}",
+                            request.materials.num_groups()
+                        ),
+                    );
+                }
+            }
+        }
+        let max_iterations = request
+            .max_iterations
+            .unwrap_or(self.world.config.max_iterations);
+        let tolerance = request.tolerance.unwrap_or(self.world.config.tolerance);
+        let progress = self.world.begin_solve(
+            request.materials,
+            max_iterations,
+            tolerance,
+            Some(&self.cache),
+        );
+        {
+            let mut s = self.stats.lock();
+            let cs = s.campaigns.entry(campaign).or_default();
+            if self.world.config.coarsen {
+                if progress.plan_from_cache {
+                    cs.plan_cache_hits += 1;
+                } else {
+                    cs.plan_cache_misses += 1;
+                }
+            }
+        }
+        if max_iterations == 0 {
+            // Degenerate request: nothing to run — mirror the solo
+            // solver, which returns the zero-flux starting state.
+            let wait = submitted.elapsed().as_secs_f64();
+            self.stats
+                .lock()
+                .campaigns
+                .entry(campaign)
+                .or_default()
+                .completed += 1;
+            reply.fulfill(Ok(SolveOutcome {
+                campaign,
+                seq,
+                solution: progress.into_solution(),
+                mesh_generation: self.world.problem.mesh_generation,
+                queue_wait_seconds: wait,
+            }));
+            return;
+        }
+        let admission_index = self.admission_counter;
+        self.admission_counter += 1;
+        self.admitted
+            .entry(campaign)
+            .or_default()
+            .push_back(ActiveSolve {
+                seq,
+                admission_index,
+                submitted,
+                queue_wait: None,
+                progress,
+                reply,
+            });
+    }
+
+    fn reject(&mut self, campaign: u64, reply: Arc<TicketCell>, why: String) {
+        self.stats
+            .lock()
+            .campaigns
+            .entry(campaign)
+            .or_default()
+            .rejected += 1;
+        reply.fulfill(Err(SessionError::Rejected(why)));
+    }
+
+    fn run_one_epoch(&mut self) {
+        let candidates: Vec<EpochCandidate> = self
+            .admitted
+            .iter()
+            .map(|(&campaign, q)| {
+                let s = q.front().expect("campaign queues are never left empty");
+                EpochCandidate {
+                    campaign,
+                    seq: s.seq,
+                    admission_index: s.admission_index,
+                    epochs_run: s.progress.iterations,
+                }
+            })
+            .collect();
+        let pick = self.policy.next_epoch(&candidates);
+        assert!(
+            pick < candidates.len(),
+            "admission policy returned candidate {pick} of {}",
+            candidates.len()
+        );
+        let campaign = candidates[pick].campaign;
+        let had_universe = self.world.has_universe();
+        let queue = self
+            .admitted
+            .get_mut(&campaign)
+            .expect("picked campaign exists");
+        let solve = queue
+            .front_mut()
+            .expect("campaign queues are never left empty");
+        if solve.queue_wait.is_none() {
+            solve.queue_wait = Some(solve.submitted.elapsed().as_secs_f64());
+        }
+        let plan_generation = solve.progress.plan.as_ref().map(|p| p.mesh_generation);
+        let outcome = advance_one_epoch(&mut self.world, &mut solve.progress, Some(&self.cache));
+        let epoch_stats = solve.progress.stats.last().expect("epoch recorded stats");
+        {
+            let mut s = self.stats.lock();
+            s.epochs_run += 1;
+            if !had_universe && self.world.has_universe() {
+                s.universes_launched += 1;
+            }
+            s.epoch_log.push(EpochRecord {
+                campaign,
+                seq: solve.seq,
+                iteration: solve.progress.iterations,
+                replayed: outcome.replayed,
+                plan_generation: if outcome.replayed {
+                    plan_generation
+                } else {
+                    None
+                },
+                mesh_generation: self.world.problem.mesh_generation,
+            });
+            let cs = s.campaigns.entry(campaign).or_default();
+            cs.epochs_run += 1;
+            cs.epoch_wall_seconds += epoch_stats.wall_seconds;
+            cs.work_done += epoch_stats.work_done;
+            cs.compute_calls += epoch_stats.compute_calls;
+            cs.worker_drain_seconds += epoch_stats.worker_drain_seconds.iter().sum::<f64>();
+        }
+        if outcome.done {
+            let solve = queue.pop_front().expect("head just served");
+            if queue.is_empty() {
+                self.admitted.remove(&campaign);
+            }
+            let wait = solve.queue_wait.unwrap_or(0.0);
+            {
+                let mut s = self.stats.lock();
+                let cs = s.campaigns.entry(campaign).or_default();
+                cs.completed += 1;
+                cs.queue_wait_seconds += wait;
+            }
+            solve.reply.fulfill(Ok(SolveOutcome {
+                campaign,
+                seq: solve.seq,
+                solution: solve.progress.into_solution(),
+                mesh_generation: self.world.problem.mesh_generation,
+                queue_wait_seconds: wait,
+            }));
+        }
+    }
+
+    fn apply_refine(&mut self, mesh: Arc<T>, problem: Arc<SweepProblem>) {
+        self.retire_world();
+        let config = self.world.config.clone();
+        let quadrature = self.world.quadrature.clone();
+        self.world = EpochWorld::new(mesh, problem, quadrature, config);
+        self.stats.lock().mesh_generation = self.world.problem.mesh_generation;
+    }
+
+    fn retire_world(&mut self) {
+        let had = self.world.has_universe();
+        self.world.retire();
+        if had {
+            self.stats.lock().universes_retired += 1;
+        }
+    }
+
+    /// Close the ingress and resolve everything unserved. Closing and
+    /// draining under the ingress lock means no submit can slip
+    /// between the drain and the close with a forever-pending ticket.
+    fn finish(&mut self) {
+        self.retire_world();
+        let leftovers: Vec<Cmd<T>> = {
+            let mut g = self.shared.ingress.lock();
+            g.closed = true;
+            g.queue.drain(..).collect()
+        };
+        for cmd in self.pending.drain(..).chain(leftovers) {
+            if let Cmd::Submit { reply, .. } = cmd {
+                reply.fulfill(Err(SessionError::Closed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xs::Material;
+    use jsweep_graph::problem::ProblemOptions;
+    use jsweep_mesh::{partition, StructuredMesh};
+
+    fn candidate(campaign: u64, admission_index: u64) -> EpochCandidate {
+        EpochCandidate {
+            campaign,
+            seq: 0,
+            admission_index,
+            epochs_run: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_serves_earliest_admission() {
+        let mut p = Fifo;
+        let c = [candidate(3, 7), candidate(1, 2), candidate(2, 5)];
+        assert_eq!(p.next_epoch(&c), 1);
+        assert_eq!(p.next_epoch(&c), 1, "stateless: same pick again");
+    }
+
+    #[test]
+    fn round_robin_cycles_campaigns() {
+        let mut p = RoundRobin::default();
+        let c = [candidate(1, 0), candidate(4, 1), candidate(9, 2)];
+        let picks: Vec<u64> = (0..6).map(|_| c[p.next_epoch(&c)].campaign).collect();
+        assert_eq!(picks, vec![1, 4, 9, 1, 4, 9]);
+        // A vanished campaign (completed) is skipped naturally.
+        let c2 = [candidate(1, 0), candidate(9, 2)];
+        assert_eq!(c2[p.next_epoch(&c2)].campaign, 1, "wraps past missing 4");
+    }
+
+    fn session_world() -> (
+        Arc<StructuredMesh>,
+        Arc<SweepProblem>,
+        QuadratureSet,
+        Arc<MaterialSet>,
+    ) {
+        let m = Arc::new(StructuredMesh::unit(4, 4, 4));
+        let quad = QuadratureSet::sn(2);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions::default(),
+        ));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            64,
+            Material::uniform(1, 1.0, 0.3, 1.0),
+        ));
+        (m, prob, quad, mats)
+    }
+
+    fn quick_options() -> SessionOptions {
+        SessionOptions {
+            solver: SnConfig {
+                max_iterations: 4,
+                grain: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn session_round_trips_a_solve() {
+        let (m, prob, quad, mats) = session_world();
+        let cfg = quick_options();
+        let solo = crate::solver::solve_parallel(
+            m.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &cfg.solver,
+        );
+        let mut session = SolverSession::launch(m, prob, quad, cfg);
+        let campaign = session.campaign();
+        let out = campaign
+            .submit(SolveRequest {
+                materials: mats,
+                max_iterations: None,
+                tolerance: None,
+            })
+            .wait()
+            .expect("solve served");
+        assert_eq!(out.solution.phi, solo.phi, "session flux == solo flux");
+        assert_eq!(out.solution.iterations, solo.iterations);
+        session.shutdown();
+        let stats = session.stats();
+        assert_eq!(stats.universes_launched, 1);
+        assert_eq!(stats.universes_retired, 1);
+        assert_eq!(stats.campaigns[&campaign.id()].completed, 1);
+    }
+
+    #[test]
+    fn mismatched_materials_are_rejected_not_panicked() {
+        let (m, prob, quad, mats) = session_world();
+        let mut session = SolverSession::launch(m, prob, quad, quick_options());
+        let campaign = session.campaign();
+        // Wrong cell count.
+        let bad = Arc::new(MaterialSet::homogeneous(
+            27,
+            Material::uniform(1, 1.0, 0.3, 1.0),
+        ));
+        let err = campaign
+            .submit(SolveRequest {
+                materials: bad,
+                max_iterations: None,
+                tolerance: None,
+            })
+            .wait()
+            .expect_err("rejected");
+        assert!(matches!(err, SessionError::Rejected(_)));
+        // Wrong group count once the resident shape is fixed.
+        let ok = campaign.submit(SolveRequest {
+            materials: mats,
+            max_iterations: None,
+            tolerance: None,
+        });
+        let two_group = Arc::new(MaterialSet::homogeneous(
+            64,
+            Material::uniform(2, 1.0, 0.3, 1.0),
+        ));
+        let bad_groups = campaign.submit(SolveRequest {
+            materials: two_group,
+            max_iterations: None,
+            tolerance: None,
+        });
+        assert!(ok.wait().is_ok());
+        assert!(matches!(bad_groups.wait(), Err(SessionError::Rejected(_))));
+        session.shutdown();
+        assert_eq!(session.campaign_stats(campaign.id()).unwrap().rejected, 2);
+    }
+
+    #[test]
+    fn submits_after_shutdown_resolve_closed() {
+        let (m, prob, quad, mats) = session_world();
+        let mut session = SolverSession::launch(m, prob, quad, quick_options());
+        let campaign = session.campaign();
+        session.shutdown();
+        let err = campaign
+            .submit(SolveRequest {
+                materials: mats,
+                max_iterations: None,
+                tolerance: None,
+            })
+            .wait()
+            .expect_err("session is gone");
+        assert_eq!(err, SessionError::Closed);
+    }
+}

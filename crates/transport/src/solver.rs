@@ -20,7 +20,7 @@
 use crate::kernel::{solve_cell, KernelKind};
 use crate::program::{FluxBins, SweepEpoch, SweepFactory, SweepMode, SweepSetup};
 use crate::replay::{
-    build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache, TraceBins,
+    build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache, PlanKey, TraceBins,
 };
 use crate::xs::MaterialSet;
 use jsweep_core::{run_universe, EpochTuning, RunStats, RuntimeConfig, TerminationKind, Universe};
@@ -475,6 +475,276 @@ pub fn solve_parallel_cached<T: SweepTopology + Send + Sync + 'static>(
     solve_parallel_impl(mesh, problem, quadrature, materials, config, Some(cache))
 }
 
+/// The resident scheduling world parallel solves run epochs against:
+/// one problem shape (mesh + decomposition + quadrature + solver
+/// knobs), one set of shared flux bins, and at most one resident
+/// [`Universe`]. [`solve_parallel_impl`] builds one per solve; a
+/// [`crate::session::SolverSession`] keeps one alive across many
+/// queued solves and retires it only on shutdown or refinement.
+pub(crate) struct EpochWorld<T: SweepTopology + Send + Sync + 'static> {
+    pub(crate) mesh: Arc<T>,
+    pub(crate) problem: Arc<SweepProblem>,
+    pub(crate) quadrature: QuadratureSet,
+    pub(crate) config: SnConfig,
+    flux_bins: Arc<FluxBins>,
+    base: RuntimeConfig,
+    universe: Option<Universe>,
+    /// Group count the resident programs were built with (`None` while
+    /// no universe is live). Resident programs cannot change their
+    /// group count ([`crate::program::SweepEpoch::materials`]), so a
+    /// session must reject mismatched requests before they reach the
+    /// runtime.
+    resident_groups: Option<usize>,
+    /// Cache key of this world's replay plan; `None` with coarsening
+    /// off.
+    key: Option<PlanKey>,
+}
+
+impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
+    pub(crate) fn new(
+        mesh: Arc<T>,
+        problem: Arc<SweepProblem>,
+        quadrature: QuadratureSet,
+        config: SnConfig,
+    ) -> Self {
+        assert_eq!(
+            mesh.generation(),
+            problem.mesh_generation,
+            "mesh topology changed since SweepProblem::build; rebuild the problem"
+        );
+        let flux_bins: Arc<FluxBins> = Arc::new(
+            (0..problem.num_patches())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        );
+        let base = RuntimeConfig {
+            num_workers: config.workers_per_rank,
+            termination: config.termination,
+            ..Default::default()
+        };
+        let key = config.coarsen.then(|| plan_key(&problem, config.grain));
+        EpochWorld {
+            mesh,
+            problem,
+            quadrature,
+            config,
+            flux_bins,
+            base,
+            universe: None,
+            resident_groups: None,
+            key,
+        }
+    }
+
+    /// Start a solve against this world: look the replay plan up in
+    /// `cache` (when coarsening is on) and build the zero-flux starting
+    /// state.
+    pub(crate) fn begin_solve(
+        &self,
+        materials: Arc<MaterialSet>,
+        max_iterations: usize,
+        tolerance: f64,
+        cache: Option<&PlanCache>,
+    ) -> SolveProgress {
+        assert_eq!(
+            materials.num_cells(),
+            self.mesh.num_cells(),
+            "materials must cover the mesh"
+        );
+        let plan: Option<Arc<CoarsePlan>> = match (cache, &self.key) {
+            (Some(c), Some(k)) => c.get(k),
+            _ => None,
+        };
+        if let Some(p) = &plan {
+            // Defense in depth: the generation is part of the key, so a
+            // stale plan cannot be looked up — but never replay one even
+            // if a caller assembled the cache by hand.
+            assert_eq!(
+                p.mesh_generation, self.problem.mesh_generation,
+                "stale replay plan (mesh was refined); plans must be rebuilt, not replayed"
+            );
+        }
+        let n = self.mesh.num_cells();
+        let groups = materials.num_groups();
+        SolveProgress {
+            phi: vec![0.0; n * groups],
+            iterations: 0,
+            residual: f64::INFINITY,
+            stats: Vec::new(),
+            coarse_build_seconds: 0.0,
+            plan_from_cache: plan.is_some(),
+            plan,
+            materials,
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Whether a resident universe is currently live.
+    pub(crate) fn has_universe(&self) -> bool {
+        self.universe.is_some()
+    }
+
+    /// Group count of the live resident programs, if any.
+    pub(crate) fn resident_groups(&self) -> Option<usize> {
+        self.resident_groups
+    }
+
+    /// Shut the resident universe down (idempotent).
+    pub(crate) fn retire(&mut self) {
+        if let Some(mut u) = self.universe.take() {
+            u.shutdown();
+        }
+        self.resident_groups = None;
+    }
+}
+
+/// Mutable state of one in-flight solve: the flux iterate, its
+/// convergence trackers, and the replay plan it records or replays.
+/// One per queued request in a session; [`solve_parallel_impl`] owns
+/// exactly one.
+pub(crate) struct SolveProgress {
+    pub(crate) materials: Arc<MaterialSet>,
+    pub(crate) max_iterations: usize,
+    pub(crate) tolerance: f64,
+    pub(crate) phi: Vec<f64>,
+    pub(crate) iterations: usize,
+    pub(crate) residual: f64,
+    pub(crate) stats: Vec<RunStats>,
+    pub(crate) plan: Option<Arc<CoarsePlan>>,
+    pub(crate) plan_from_cache: bool,
+    pub(crate) coarse_build_seconds: f64,
+}
+
+impl SolveProgress {
+    /// Seal the solve into its public result.
+    pub(crate) fn into_solution(self) -> SnSolution {
+        SnSolution {
+            phi: self.phi,
+            iterations: self.iterations,
+            residual: self.residual,
+            stats: self.stats,
+            coarse_build_seconds: self.coarse_build_seconds,
+            plan_from_cache: self.plan_from_cache,
+        }
+    }
+}
+
+/// What [`advance_one_epoch`] did.
+pub(crate) struct EpochOutcome {
+    /// The solve is finished: converged below its tolerance, or out of
+    /// iterations.
+    pub(crate) done: bool,
+    /// The epoch replayed a coarse plan (vs running the fine path).
+    pub(crate) replayed: bool,
+}
+
+/// Run exactly one source iteration of `progress` against `world`:
+/// pick the scheduling mode, run the sweep as an epoch of the resident
+/// universe (launching it lazily on the first epoch; the non-resident
+/// configuration spawns a one-shot runtime instead), fold the flux,
+/// update the convergence trackers, and compile/store the replay plan
+/// when this was the recording iteration. This is the loop body of
+/// [`solve_parallel`], exposed step-wise so a
+/// [`crate::session::SolverSession`] can interleave epochs of many
+/// concurrent solves on one world — running a request's epochs through
+/// this function back-to-back is *exactly* a [`solve_parallel_cached`]
+/// call, which is what makes session results bit-identical to solo
+/// solves.
+pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
+    world: &mut EpochWorld<T>,
+    progress: &mut SolveProgress,
+    cache: Option<&PlanCache>,
+) -> EpochOutcome {
+    let n = world.mesh.num_cells();
+    let groups = progress.materials.num_groups();
+    let (mode, bins) = select_mode(
+        &progress.plan,
+        world.config.coarsen,
+        world.problem.num_tasks(),
+    );
+    let replayed = matches!(mode, SweepMode::Coarse { .. });
+    let (stats, phi_new) = if world.config.resident {
+        let emission = Arc::new(emission_density(&progress.materials, &progress.phi));
+        let materials = progress.materials.clone();
+        let u = world.universe.get_or_insert_with(|| {
+            let factory = Arc::new(SweepFactory::new(SweepSetup {
+                mesh: world.mesh.clone(),
+                problem: world.problem.clone(),
+                quadrature: world.quadrature.clone(),
+                materials: materials.clone(),
+                emission: emission.clone(),
+                kernel: world.config.kernel,
+                grain: world.config.grain,
+                flux_bins: world.flux_bins.clone(),
+                mode: mode.clone(),
+            }));
+            Universe::launch(
+                world.problem.patches.num_ranks(),
+                factory,
+                world.base.clone(),
+            )
+        });
+        world.resident_groups = Some(groups);
+        let tuning = tuning_for(&mode, &world.base);
+        // The epoch input carries the materials so a resident program
+        // built for an earlier request adopts this solve's cross
+        // sections on reset (first-epoch programs get them through the
+        // factory instead).
+        let rank_stats = u.run_epoch_tuned(
+            Arc::new(SweepEpoch {
+                emission,
+                mode,
+                materials: Some(materials),
+            }),
+            tuning,
+        );
+        let phi_new = fold_flux(&world.problem, &world.flux_bins, n, groups);
+        (RunStats::aggregate(&rank_stats), phi_new)
+    } else {
+        sweep_iteration(
+            &world.mesh,
+            &world.problem,
+            &world.quadrature,
+            &progress.materials,
+            &world.config,
+            &progress.phi,
+            mode,
+        )
+    };
+    progress.stats.push(stats);
+
+    progress.iterations += 1;
+    progress.residual = relative_change(&phi_new, &progress.phi);
+    progress.phi = phi_new;
+    let done =
+        progress.residual < progress.tolerance || progress.iterations >= progress.max_iterations;
+
+    // Compile the replay plan once the recording iteration is in.
+    // Without a cache this is skipped when no iteration remains to
+    // replay it (converged, or max_iterations exhausted); with a cache
+    // the plan is still compiled and offered — future solves replay it
+    // even if this one is done — but only *opportunistically*: a plan
+    // this solve will never replay must not evict plans other requests
+    // are actively hitting out of an at-capacity cache.
+    if let Some(b) = bins {
+        if !done || cache.is_some() {
+            let traces = collect_traces(&world.problem, &b);
+            let built = Arc::new(build_plan(&world.problem, &traces, world.mesh.as_ref()));
+            progress.coarse_build_seconds = built.build_seconds;
+            if let (Some(c), Some(k)) = (cache, world.key) {
+                if done {
+                    c.insert_opportunistic(k, built.clone());
+                } else {
+                    c.insert(k, built.clone());
+                }
+            }
+            progress.plan = Some(built);
+        }
+    }
+    EpochOutcome { done, replayed }
+}
+
 fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
     mesh: Arc<T>,
     problem: Arc<SweepProblem>,
@@ -483,118 +753,15 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
     config: &SnConfig,
     cache: Option<&PlanCache>,
 ) -> SnSolution {
-    assert_eq!(
-        mesh.generation(),
-        problem.mesh_generation,
-        "mesh topology changed since SweepProblem::build; rebuild the problem"
-    );
-    let n = mesh.num_cells();
-    let groups = materials.num_groups();
-    let mut phi = vec![0.0; n * groups];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-    let mut all_stats = Vec::new();
-    let mut coarse_build_seconds = 0.0;
-
-    // Plan lookup: only meaningful when coarsening is on.
-    let key = match (cache, config.coarsen) {
-        (Some(_), true) => Some(plan_key(&problem, config.grain)),
-        _ => None,
-    };
-    let mut plan: Option<Arc<CoarsePlan>> = key
-        .as_ref()
-        .and_then(|k| cache.expect("key implies cache").get(k));
-    if let Some(p) = &plan {
-        // Defense in depth: the generation is part of the key, so a
-        // stale plan cannot be looked up — but never replay one even if
-        // a caller assembled the cache by hand.
-        assert_eq!(
-            p.mesh_generation, problem.mesh_generation,
-            "stale replay plan (mesh was refined); plans must be rebuilt, not replayed"
-        );
-    }
-    let plan_from_cache = plan.is_some();
-
-    // Persistent universe (default): one resident runtime for the
-    // whole solve. The first epoch's state rides in the factory (the
-    // launch contract of `Universe`); later epochs re-arm the resident
-    // programs through `SweepProgram::reset` with a `SweepEpoch`.
-    let mut universe: Option<Universe> = None;
-    let flux_bins: Arc<FluxBins> = Arc::new(
-        (0..problem.num_patches())
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
-    );
-    let base = RuntimeConfig {
-        num_workers: config.workers_per_rank,
-        termination: config.termination,
-        ..Default::default()
-    };
-
-    for _ in 0..config.max_iterations {
-        let (mode, bins) = select_mode(&plan, config.coarsen, problem.num_tasks());
-        let (stats, phi_new) = if config.resident {
-            let emission = Arc::new(emission_density(&materials, &phi));
-            let u = universe.get_or_insert_with(|| {
-                let factory = Arc::new(SweepFactory::new(SweepSetup {
-                    mesh: mesh.clone(),
-                    problem: problem.clone(),
-                    quadrature: quadrature.clone(),
-                    materials: materials.clone(),
-                    emission: emission.clone(),
-                    kernel: config.kernel,
-                    grain: config.grain,
-                    flux_bins: flux_bins.clone(),
-                    mode: mode.clone(),
-                }));
-                Universe::launch(problem.patches.num_ranks(), factory, base.clone())
-            });
-            let tuning = tuning_for(&mode, &base);
-            let rank_stats = u.run_epoch_tuned(Arc::new(SweepEpoch { emission, mode }), tuning);
-            let phi_new = fold_flux(&problem, &flux_bins, n, groups);
-            (RunStats::aggregate(&rank_stats), phi_new)
-        } else {
-            sweep_iteration(&mesh, &problem, quadrature, &materials, config, &phi, mode)
-        };
-        all_stats.push(stats);
-
-        iterations += 1;
-        residual = relative_change(&phi_new, &phi);
-        phi = phi_new;
-
-        // Compile the replay plan once the recording iteration is in.
-        // Without a cache this is skipped when no iteration remains to
-        // replay it (converged below, or max_iterations exhausted);
-        // with a cache the plan is always compiled and stored — future
-        // solves replay it even if this one is done.
-        if let Some(b) = bins {
-            let is_last = residual < config.tolerance || iterations >= config.max_iterations;
-            if !is_last || cache.is_some() {
-                let traces = collect_traces(&problem, &b);
-                let built = Arc::new(build_plan(&problem, &traces, mesh.as_ref()));
-                coarse_build_seconds = built.build_seconds;
-                if let (Some(c), Some(k)) = (cache, key) {
-                    c.insert(k, built.clone());
-                }
-                plan = Some(built);
-            }
-        }
-        if residual < config.tolerance {
+    let mut world = EpochWorld::new(mesh, problem, quadrature.clone(), config.clone());
+    let mut progress = world.begin_solve(materials, config.max_iterations, config.tolerance, cache);
+    while progress.iterations < progress.max_iterations {
+        if advance_one_epoch(&mut world, &mut progress, cache).done {
             break;
         }
     }
-    if let Some(mut u) = universe {
-        u.shutdown();
-    }
-
-    SnSolution {
-        phi,
-        iterations,
-        residual,
-        stats: all_stats,
-        coarse_build_seconds,
-        plan_from_cache,
-    }
+    world.retire();
+    progress.into_solution()
 }
 
 /// Run a single fine-mode parallel sweep iteration (zero incoming
@@ -767,6 +934,68 @@ mod tests {
             a.phi, b.phi,
             "angle-ordered reduction must be deterministic"
         );
+    }
+
+    #[test]
+    fn final_iteration_plan_compile_respects_cache_capacity() {
+        // A solve that ends on its recording iteration still compiles
+        // its plan for future solves — but only opportunistically: at
+        // LruBytes capacity the compile must not thrash a plan other
+        // requests are hitting. Pinned here because the original
+        // insert-then-evict path evicted the resident plan first.
+        use crate::replay::{EvictionPolicy, PlanCache};
+        let m = Arc::new(StructuredMesh::unit(4, 4, 4));
+        let mats = Arc::new(MaterialSet::homogeneous(
+            64,
+            Material::uniform(1, 1.0, 0.3, 1.0),
+        ));
+        let quad = QuadratureSet::sn(2);
+        let ps = partition::decompose_structured(&m, (2, 2, 2), 2);
+        let prob = Arc::new(SweepProblem::build(
+            m.as_ref(),
+            ps,
+            &quad,
+            &ProblemOptions::default(),
+        ));
+        // `max_iterations: 1` makes the recording iteration the last
+        // one, forcing the opportunistic-compile path.
+        let cfg = SnConfig {
+            max_iterations: 1,
+            grain: 16,
+            ..Default::default()
+        };
+        // The resident "hot" plan of some other shape, filling the
+        // budget exactly.
+        let hot_key = plan_key(&prob, 999);
+        let hot_plan = Arc::new(CoarsePlan {
+            tasks: Vec::new(),
+            build_seconds: 0.0,
+            mesh_generation: prob.mesh_generation,
+        });
+        let full = PlanCache::with_policy(EvictionPolicy::LruBytes {
+            max_bytes: hot_plan.memory_bytes(),
+        });
+        full.insert(hot_key, hot_plan);
+        let sol = solve_parallel_cached(m.clone(), prob.clone(), &quad, mats.clone(), &cfg, &full);
+        assert_eq!(sol.iterations, 1);
+        assert!(
+            sol.coarse_build_seconds > 0.0,
+            "plan was still compiled for the caller"
+        );
+        assert_eq!(full.len(), 1, "declined insert leaves the cache as found");
+        assert!(full.get(&hot_key).is_some(), "hot plan survives");
+        assert_eq!(full.evictions(), 0);
+        // With headroom the same solve's plan is cached and the next
+        // solve replays it from iteration 1.
+        let roomy = PlanCache::with_policy(EvictionPolicy::LruBytes {
+            max_bytes: usize::MAX,
+        });
+        let a = solve_parallel_cached(m.clone(), prob.clone(), &quad, mats.clone(), &cfg, &roomy);
+        assert!(!a.plan_from_cache);
+        assert_eq!(roomy.len(), 1);
+        let b = solve_parallel_cached(m.clone(), prob.clone(), &quad, mats.clone(), &cfg, &roomy);
+        assert!(b.plan_from_cache, "second solve replays the cached plan");
+        assert_eq!(a.phi, b.phi, "fine and replay iterations are bit-identical");
     }
 
     #[test]

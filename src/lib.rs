@@ -70,7 +70,8 @@ pub mod prelude {
     pub use jsweep_mesh::{PatchId, PatchSet, StructuredMesh, SweepTopology, TetMesh};
     pub use jsweep_quadrature::{AngleId, QuadratureSet};
     pub use jsweep_transport::{
-        solve_parallel, solve_parallel_cached, solve_serial, KernelKind, Material, MaterialSet,
-        PlanCache, SnConfig,
+        solve_parallel, solve_parallel_cached, solve_serial, EvictionPolicy, Fifo, KernelKind,
+        Material, MaterialSet, PlanCache, RoundRobin, SessionError, SessionOptions, SnConfig,
+        SolveRequest, SolverSession,
     };
 }

@@ -288,3 +288,124 @@ fn trace_sweep(subs: &[Subgraph], grain: usize) -> Vec<ClusterTrace> {
     }
     traces
 }
+
+/// Six (key, unit-size plan) pairs over three distinct mesh
+/// generations, for the concurrent plan-cache property below.
+fn plan_cache_fixtures() -> Vec<(
+    jsweep::transport::PlanKey,
+    std::sync::Arc<jsweep::transport::CoarsePlan>,
+)> {
+    use jsweep::graph::{problem::ProblemOptions, SweepProblem};
+    use jsweep::transport::{plan_key, CoarsePlan};
+    use std::sync::Arc;
+    let quad = QuadratureSet::sn(2);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        let m = StructuredMesh::unit(3, 3, 3);
+        let ps = partition::decompose_structured(&m, (1, 1, 1), 1);
+        let p = SweepProblem::build(&m, ps, &quad, &ProblemOptions::default());
+        for grain in [8usize, 16] {
+            out.push((
+                plan_key(&p, grain),
+                Arc::new(CoarsePlan {
+                    tasks: Vec::new(),
+                    build_seconds: 0.0,
+                    mesh_generation: p.mesh_generation,
+                }),
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PlanCache under concurrent get/insert/opportunistic-insert/
+    /// retain interleavings: a lookup never returns a plan of the
+    /// wrong generation, LruBytes never exceeds its byte bound at any
+    /// observation point (evict-before-insert), the eviction counter
+    /// is monotone, and NewestGenerations never ends holding more
+    /// generations than it keeps.
+    #[test]
+    fn plan_cache_is_consistent_under_concurrent_access(
+        policy_pick in 0u8..3,
+        ops in prop::collection::vec(
+            prop::collection::vec((0u8..5, 0usize..6), 1..12),
+            3..4,
+        ),
+    ) {
+        use jsweep::transport::{EvictionPolicy, PlanCache};
+        let fixtures = plan_cache_fixtures();
+        let unit = fixtures[0].1.memory_bytes();
+        prop_assert!(unit > 0);
+        let max_bytes = 2 * unit;
+        let policy = match policy_pick {
+            0 => EvictionPolicy::Manual,
+            1 => EvictionPolicy::LruBytes { max_bytes },
+            _ => EvictionPolicy::NewestGenerations { keep: 2 },
+        };
+        let cache = PlanCache::with_policy(policy);
+        let keep_gen = fixtures[4].0.mesh_generation();
+
+        std::thread::scope(|scope| {
+            for thread_ops in &ops {
+                let cache = &cache;
+                let fixtures = &fixtures;
+                scope.spawn(move || {
+                    let mut last_evictions = 0u64;
+                    for &(op, k) in thread_ops {
+                        let (key, plan) = &fixtures[k];
+                        match op {
+                            0 | 1 => cache.insert(*key, plan.clone()),
+                            2 => {
+                                if let Some(got) = cache.get(key) {
+                                    assert_eq!(
+                                        got.mesh_generation,
+                                        key.mesh_generation(),
+                                        "lookup returned a wrong-generation plan"
+                                    );
+                                }
+                            }
+                            3 => {
+                                let _ = cache.insert_opportunistic(*key, plan.clone());
+                            }
+                            _ => {
+                                let _ = cache.retain_generations(&[keep_gen]);
+                            }
+                        }
+                        if let EvictionPolicy::LruBytes { max_bytes } = policy {
+                            // Unit-size plans and max >= unit: even the
+                            // sole-plan exception cannot exceed the
+                            // bound, at any observation point.
+                            assert!(
+                                cache.memory_bytes() <= max_bytes,
+                                "byte bound exceeded mid-interleaving"
+                            );
+                        }
+                        let e = cache.evictions();
+                        assert!(e >= last_evictions, "eviction counter went backwards");
+                        last_evictions = e;
+                    }
+                });
+            }
+        });
+
+        match policy {
+            EvictionPolicy::LruBytes { max_bytes } => {
+                prop_assert!(cache.memory_bytes() <= max_bytes);
+            }
+            EvictionPolicy::NewestGenerations { keep } => {
+                let live: HashSet<u64> = fixtures
+                    .iter()
+                    .filter(|(k, _)| cache.get(k).is_some())
+                    .map(|(k, _)| k.mesh_generation())
+                    .collect();
+                prop_assert!(live.len() <= keep);
+            }
+            EvictionPolicy::Manual => {
+                prop_assert!(cache.len() <= fixtures.len());
+            }
+        }
+    }
+}
