@@ -76,6 +76,7 @@ fn measure(n: usize, solves: usize, runs: usize) -> Numbers {
             materials: sc.materials.clone(),
             max_iterations: None,
             tolerance: None,
+            retry: None,
         };
         let warm = campaign.submit(request()).wait().expect("warm-up served");
         assert_eq!(warm.solution.phi, golden.phi, "session warm-up mismatch");

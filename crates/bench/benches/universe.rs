@@ -155,7 +155,7 @@ fn measure_micro(ranks: usize, programs_per_rank: u32, epochs: usize, runs: usiz
         let t0 = Instant::now();
         let mut u = Universe::launch(ranks, factory.clone(), config.clone());
         for _ in 0..epochs {
-            let stats = u.run_epoch(Arc::new(()));
+            let stats = u.run_epoch(Arc::new(())).expect("bench epoch");
             let work: u64 = stats.iter().map(|s| s.work_done).sum();
             assert_eq!(work, ranks as u64 * u64::from(programs_per_rank));
         }

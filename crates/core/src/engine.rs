@@ -31,6 +31,7 @@
 //! * incoming frames are unpacked zero-copy and handed to the pool as
 //!   one [`Pool::deliver_batch`] call.
 
+use crate::fault::{panic_message, EpochFault, FaultKind, FaultPlan};
 use crate::pool::Pool;
 use crate::program::{
     frame_push, unpack_frame, ComputeCtx, EpochInput, ProgramFactory, ProgramId, Stream,
@@ -88,6 +89,18 @@ pub struct RuntimeConfig {
     /// one-claim-per-round-trip behaviour. Re-tunable per epoch on a
     /// persistent universe.
     pub claim_batch: usize,
+    /// Epoch watchdog deadline, default off. When set, a rank whose
+    /// pool holds active work but whose master sees no progress (no
+    /// worker reports, no network traffic) for this long declares the
+    /// epoch stalled: the hang becomes an [`EpochFault`] of kind
+    /// [`FaultKind::Stall`] instead of blocking forever. The deadline
+    /// must exceed the longest legitimate single compute call — a
+    /// worker deep in one kernel reports nothing until it finishes.
+    pub watchdog: Option<Duration>,
+    /// Deterministic fault-injection plan (chaos testing only),
+    /// default none. Inert unless the `fault-inject` cargo feature is
+    /// enabled; see [`FaultPlan`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -98,12 +111,22 @@ impl Default for RuntimeConfig {
             report_flush_streams: 32,
             max_frame_streams: 256,
             claim_batch: 8,
+            watchdog: None,
+            fault_plan: None,
         }
     }
 }
 
 /// Multi-stream frames travel under this tag.
 const TAG_FRAME: u32 = 0;
+
+/// Epoch-abort broadcasts travel under this tag: when a rank faults
+/// it packs the [`EpochFault`] and sends it to every peer, which
+/// breaks out of the epoch with the same fault. A user-space tag —
+/// faulted epochs never reach the epoch fence, and a faulted
+/// universe's comm world is discarded wholesale on relaunch, so abort
+/// residue can never leak into a healthy epoch.
+const TAG_ABORT: u32 = 1;
 
 /// Report a worker sends the master after one or more compute rounds.
 /// Besides the routed payload (`outputs`, `work_done`) it carries the
@@ -118,16 +141,24 @@ struct Report {
     work_done: u64,
     compute_calls: u64,
     bd: Breakdown,
+    /// Contained program panics caught at the claim site. Faults are
+    /// report content like any other: they register in
+    /// [`Pool::hold_report`] until flushed, so the pool can never
+    /// look quiet while a fault is still in flight to the master.
+    faults: Vec<EpochFault>,
     /// Whether this report is registered in [`Pool::hold_report`]
-    /// (true once the batch has any content — outputs, work or stat
-    /// deltas — so quiescence is never observable with an unflushed
-    /// batch anywhere).
+    /// (true once the batch has any content — outputs, work, stat
+    /// deltas or faults — so quiescence is never observable with an
+    /// unflushed batch anywhere).
     held: bool,
 }
 
 impl Report {
     fn is_empty(&self) -> bool {
-        self.outputs.is_empty() && self.work_done == 0 && self.compute_calls == 0
+        self.outputs.is_empty()
+            && self.work_done == 0
+            && self.compute_calls == 0
+            && self.faults.is_empty()
     }
 }
 
@@ -151,11 +182,18 @@ fn flush_report(pool: &Pool, to_master: &Sender<Report>, batch: &mut Report, wor
 }
 
 fn worker_loop<F: ProgramFactory>(
+    rank: usize,
     worker: usize,
     pool: Arc<Pool>,
     factory: Arc<F>,
     to_master: Sender<Report>,
+    inject: Option<Arc<FaultPlan>>,
 ) -> (Breakdown, u64) {
+    // With injection compiled out the plan is never consulted; the
+    // hooks below vanish and `inject` only exists to keep the spawn
+    // signature stable across feature sets.
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = (&inject, rank);
     let mut batch = Report::default();
     let mut claims: Vec<crate::pool::Claim> = Vec::new();
     let mut finishes: Vec<crate::pool::FinishEntry> = Vec::new();
@@ -172,36 +210,90 @@ fn worker_loop<F: ProgramFactory>(
                 break;
             }
         }
-        for claim in claims.drain(..) {
-            let mut program = match claim.program {
-                Some(p) => p,
-                None => batch.bd.timed(Category::Other, || {
-                    let mut p =
-                        Box::new(factory.create(claim.id)) as Box<dyn crate::program::PatchProgram>;
-                    // A program materialising in epoch ≥ 2 of a
-                    // persistent universe is factory-fresh (first
-                    // epoch's state); specialise it to the current
-                    // epoch exactly like the resident programs were at
-                    // the epoch boundary.
-                    if let Some(epoch) = pool.epoch_input() {
-                        p.reset(&*epoch);
-                    }
-                    p
-                }),
-            };
-            if !claim.initialized {
-                batch.bd.timed(Category::Other, || program.init());
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &inject {
+            if let Some(d) = plan.stall_for(rank, worker) {
+                // Injected stall: sleep while holding the claims so
+                // the pool stays un-quiet and the epoch watchdog can
+                // observe a stuck rank.
+                std::thread::sleep(d);
             }
-            let mut pending = claim.pending;
-            batch.bd.timed(Category::Input, || {
-                for (src, payload) in pending.drain(..) {
-                    program.input(src, payload);
+        }
+        for claim in claims.drain(..) {
+            let id = claim.id;
+            // Contain program panics at the claim site: everything a
+            // program's own code can run — create/reset, init, input,
+            // compute, vote — executes under `catch_unwind`, so a
+            // panicking patch poisons the *epoch* (reported as an
+            // `EpochFault` below), never this thread. Unwind safety is
+            // asserted because the poisoned program is discarded
+            // wholesale — its possibly-torn state is never observed
+            // again — and `batch` only accumulates timing slop.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut program = match claim.program {
+                    Some(p) => p,
+                    None => batch.bd.timed(Category::Other, || {
+                        let mut p = Box::new(factory.create(claim.id))
+                            as Box<dyn crate::program::PatchProgram>;
+                        // A program materialising in epoch ≥ 2 of a
+                        // persistent universe is factory-fresh (first
+                        // epoch's state); specialise it to the current
+                        // epoch exactly like the resident programs were at
+                        // the epoch boundary.
+                        if let Some(epoch) = pool.epoch_input() {
+                            p.reset(&*epoch);
+                        }
+                        p
+                    }),
+                };
+                if !claim.initialized {
+                    batch.bd.timed(Category::Other, || program.init());
                 }
-            });
-            let mut ctx = ComputeCtx::default();
-            let t0 = Instant::now();
-            program.compute(&mut ctx);
-            let dt = t0.elapsed().as_secs_f64();
+                let mut pending = claim.pending;
+                batch.bd.timed(Category::Input, || {
+                    for (src, payload) in pending.drain(..) {
+                        program.input(src, payload);
+                    }
+                });
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &inject {
+                    if plan.should_panic(id) {
+                        panic!(
+                            "injected fault: compute of patch {} task {}",
+                            id.patch.0, id.task.0
+                        );
+                    }
+                }
+                let mut ctx = ComputeCtx::default();
+                let t0 = Instant::now();
+                program.compute(&mut ctx);
+                let dt = t0.elapsed().as_secs_f64();
+                let halted = program.vote_to_halt();
+                (program, pending, ctx, dt, halted)
+            }));
+            let (program, pending, mut ctx, dt, halted) = match outcome {
+                Ok(round) => round,
+                Err(payload) => {
+                    // The program (and any outputs of the poisoned
+                    // round) died with the unwind. Report the fault —
+                    // held like any other content until flushed — and
+                    // poison the slot so the pool stays consistent and
+                    // can still quiesce around the loss.
+                    if !batch.held {
+                        pool.hold_report();
+                        batch.held = true;
+                    }
+                    batch.faults.push(EpochFault {
+                        rank,
+                        worker,
+                        program: Some(id),
+                        payload: panic_message(payload.as_ref()),
+                        kind: FaultKind::Panic,
+                    });
+                    pool.discard(id);
+                    continue;
+                }
+            };
             batch.compute_calls += 1;
             if !batch.held {
                 // Any non-empty batch — even a stat-only one — holds
@@ -218,7 +310,6 @@ fn worker_loop<F: ProgramFactory>(
             batch
                 .bd
                 .add(Category::GraphOp, (dt - ctx.kernel_seconds).max(0.0));
-            let halted = program.vote_to_halt();
             if !ctx.out.is_empty() || ctx.work_done > 0 {
                 batch.bd.timed(Category::Output, || {
                     batch.outputs.append(&mut ctx.out);
@@ -238,7 +329,9 @@ fn worker_loop<F: ProgramFactory>(
         // stamp and the epoch's quiesce close is its per-epoch drain
         // tail (`RunStats::worker_drain_seconds`).
         pool.note_worker_activity(worker);
-        if batch.outputs.len() >= pool.flush_streams() {
+        // Faults flush eagerly: the master should learn of a poisoned
+        // epoch at the first opportunity, not a batch boundary later.
+        if !batch.faults.is_empty() || batch.outputs.len() >= pool.flush_streams() {
             flush_report(&pool, &to_master, &mut batch, worker);
         }
     }
@@ -489,10 +582,11 @@ impl<F: ProgramFactory> Rank<F> {
             let pool = pool.clone();
             let factory = factory.clone();
             let tx = to_master.clone();
+            let inject = config.fault_plan.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}-worker-{w}"))
-                    .spawn(move || worker_loop(w, pool, factory, tx))
+                    .spawn(move || worker_loop(rank, w, pool, factory, tx, inject))
                     .expect("spawn worker"),
             );
         }
@@ -529,12 +623,18 @@ impl<F: ProgramFactory> Rank<F> {
     /// stats. `input` is handed to every resident program's
     /// [`crate::PatchProgram::reset`] from the second epoch on; the
     /// first epoch runs factory-fresh programs as-is.
+    ///
+    /// `Err` means the epoch was poisoned — a contained program
+    /// panic, a watchdog-detected stall, or an abort broadcast from a
+    /// faulted peer. A faulted rank must not run further epochs (its
+    /// pool holds poisoned state and its peers' epochs diverged);
+    /// the owning [`crate::Universe`] relaunches instead.
     pub(crate) fn run_epoch(
         &mut self,
         input: &Arc<EpochInput>,
         flush_streams: Option<usize>,
         claim_batch: Option<usize>,
-    ) -> RunStats {
+    ) -> Result<RunStats, EpochFault> {
         let t_start = Instant::now();
         let epoch_start_nanos = self.pool.now_nanos();
         self.m.begin_epoch(self.config.num_workers);
@@ -585,22 +685,44 @@ impl<F: ProgramFactory> Rank<F> {
 
         let mut counting = Counting::new(rank, size);
 
+        // Fault containment: the first fault seen this epoch — local
+        // (a worker-reported panic, a watchdog stall, worker-channel
+        // death) or remote (a peer's abort broadcast) — ends the
+        // epoch with `Err`. Local faults are re-broadcast to peers
+        // after the loop; remote ones are not (each origin broadcasts
+        // exactly once, so abort storms cannot loop).
+        let mut fault: Option<EpochFault> = None;
+        let mut fault_is_local = false;
+        let mut last_progress = Instant::now();
+
         'main: loop {
             let mut progress = false;
 
             // Drain worker reports: route streams, track progress.
-            while let Ok(report) = from_workers.try_recv() {
+            while let Ok(mut report) = from_workers.try_recv() {
                 progress = true;
+                if let Some(f) = report.faults.pop() {
+                    fault.get_or_insert(f);
+                    fault_is_local = true;
+                    report.faults.clear();
+                }
                 m.route_report(pool, comm, report);
             }
             // One frame per destination per drain round.
             m.flush_frames(comm);
+            if fault.is_some() {
+                break 'main;
+            }
 
             // Drain network messages: incoming frames + protocol traffic.
             while let Some(msg) = m.bd.timed(Category::Comm, || comm.try_recv()) {
                 progress = true;
                 match msg.tag {
                     TAG_FRAME => m.recv_frame(pool, msg.payload),
+                    TAG_ABORT => {
+                        fault = Some(EpochFault::unpack(&msg.payload));
+                        break 'main;
+                    }
                     _ => {
                         let v = match self.config.termination {
                             TerminationKind::Counting => counting.on_message(&msg, comm),
@@ -635,23 +757,87 @@ impl<F: ProgramFactory> Rank<F> {
                 }
             }
 
-            if !progress {
+            if progress {
+                last_progress = Instant::now();
+            } else {
+                // Watchdog: active local work with no progress for the
+                // deadline means a worker (or the program it runs) is
+                // stuck — convert the hang into a fault. A *quiet*
+                // pool is exempt: a rank legitimately waits arbitrarily
+                // long for remote traffic, and the genuinely stalled
+                // rank is the one whose own pool stays busy.
+                if let Some(deadline) = self.config.watchdog {
+                    if !pool.is_quiet() && last_progress.elapsed() >= deadline {
+                        let stalest = (0..self.config.num_workers)
+                            .min_by_key(|&w| pool.worker_last_activity_nanos(w))
+                            .unwrap_or(0);
+                        fault = Some(EpochFault {
+                            rank,
+                            worker: stalest,
+                            program: None,
+                            payload: format!(
+                                "watchdog: no progress for {deadline:?} with active work"
+                            ),
+                            kind: FaultKind::Stall,
+                        });
+                        fault_is_local = true;
+                        break 'main;
+                    }
+                }
                 // Nothing to do right now: park briefly on the worker
                 // channel (the latency-critical path).
                 let t0 = Instant::now();
                 let parked = from_workers.recv_timeout(Duration::from_micros(200));
                 m.bd.add(Category::Idle, t0.elapsed().as_secs_f64());
                 match parked {
-                    Ok(report) => {
+                    Ok(mut report) => {
+                        if let Some(f) = report.faults.pop() {
+                            fault.get_or_insert(f);
+                            fault_is_local = true;
+                            report.faults.clear();
+                        }
                         m.route_report(pool, comm, report);
                         m.flush_frames(comm);
+                        if fault.is_some() {
+                            break 'main;
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => {
-                        panic!("rank {rank}: all worker threads died mid-epoch")
+                        // Workers only exit on `Pool::stop`; death here
+                        // is an engine bug, but it is still contained
+                        // as a fault rather than a process abort.
+                        fault = Some(EpochFault {
+                            rank,
+                            worker: 0,
+                            program: None,
+                            payload: "all worker threads died mid-epoch".to_string(),
+                            kind: FaultKind::RankDeath,
+                        });
+                        fault_is_local = true;
+                        break 'main;
                     }
                 }
             }
+        }
+
+        // A poisoned epoch ends here: tell every peer (local origin
+        // only — remote aborts were already broadcast by their origin)
+        // and skip the quiesce drain, which a stuck worker could wedge
+        // forever. Outstanding claims and held reports are abandoned
+        // with the pool itself when the universe relaunches or shuts
+        // down.
+        if let Some(f) = fault {
+            if fault_is_local {
+                let payload = f.pack();
+                for peer in 0..size {
+                    if peer != rank {
+                        comm.send(peer, TAG_ABORT, payload.clone());
+                    }
+                }
+            }
+            self.epochs_run += 1;
+            return Err(f);
         }
 
         // Quiesce the local pool before closing the epoch: global
@@ -710,7 +896,7 @@ impl<F: ProgramFactory> Rank<F> {
         let mut stats = std::mem::take(&mut m.stats);
         stats.master = std::mem::take(&mut m.bd);
         stats.wall_seconds = t_start.elapsed().as_secs_f64();
-        stats
+        Ok(stats)
     }
 
     /// Stop the pool, join the workers and return their residual
@@ -719,11 +905,24 @@ impl<F: ProgramFactory> Rank<F> {
     /// output has been flushed and drained by the epoch that ran it —
     /// the residual is only the final flush's send-timing slop plus
     /// post-epoch idle, which belongs to no epoch.
+    ///
+    /// Worker threads contain program panics, so a join failure here
+    /// is an engine bug; it aborts with the worker's identity and
+    /// panic payload rather than a bare expect.
     pub(crate) fn shutdown(mut self) -> Vec<(Breakdown, u64)> {
         self.pool.stop();
+        let rank = self.m.rank;
         self.workers
             .drain(..)
-            .map(|h| h.join().expect("worker panicked"))
+            .enumerate()
+            .map(|(w, h)| {
+                h.join().unwrap_or_else(|e| {
+                    panic!(
+                        "rank {rank} worker {w} thread panicked: {}",
+                        panic_message(e.as_ref())
+                    )
+                })
+            })
             .collect()
     }
 }
@@ -741,7 +940,12 @@ pub fn run_rank<F: ProgramFactory>(
 ) -> RunStats {
     let mut rank = Rank::launch(comm, factory, config);
     let input: Arc<EpochInput> = Arc::new(());
-    let mut stats = rank.run_epoch(&input, None, None);
+    // The one-shot form keeps fail-fast semantics: there is no
+    // universe to relaunch, so a contained fault becomes a contextful
+    // panic on this rank's thread.
+    let mut stats = rank
+        .run_epoch(&input, None, None)
+        .unwrap_or_else(|f| panic!("one-shot epoch faulted: {f}"));
     for (w, (bd, calls)) in rank.shutdown().into_iter().enumerate() {
         // Fold the residual post-flush slop so one-shot totals stay
         // exact.

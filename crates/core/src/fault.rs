@@ -1,0 +1,441 @@
+//! Fault taxonomy and deterministic fault injection.
+//!
+//! The runtime's containment contract (the robustness counterpart of
+//! the paper's §IV data-driven execution, which assumes every
+//! patch-program computes to completion): a panicking `compute` —
+//! or a rank that stops making progress — poisons the **epoch**, not
+//! the process. Workers catch the panic at the claim site, report an
+//! [`EpochFault`] through the normal report channel, and keep
+//! serving; the master broadcasts an abort to its peers and
+//! `run_epoch` returns `Err` instead of tearing the world down. A
+//! faulted [`crate::Universe`] is then relaunched in place; coarse
+//! plans survive because they key on the mesh generation, not the
+//! universe (see `docs/replay.md`).
+//!
+//! [`FaultPlan`] is the deterministic injection harness driving
+//! `tests/chaos.rs`. Its hooks are compiled in only under the
+//! `fault-inject` cargo feature; in default builds every hook is an
+//! inlined constant `None`/`false`, so production claim paths carry
+//! no injection cost and a configured plan is inert.
+
+use crate::program::ProgramId;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::time::Duration;
+
+#[cfg(feature = "fault-inject")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How an epoch came to fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A patch-program panicked inside `init`/`input`/`compute`.
+    Panic,
+    /// The epoch watchdog expired: the rank held active work but saw
+    /// no worker progress for the configured deadline
+    /// ([`crate::RuntimeConfig::watchdog`]).
+    Stall,
+    /// A rank thread died outright (an engine bug, not a program
+    /// panic — program panics are contained as [`FaultKind::Panic`]).
+    RankDeath,
+    /// Synthesized by the fault-injection harness at the session
+    /// tier (`fail epoch E of campaign C`); never produced by the
+    /// runtime itself.
+    Injected,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::RankDeath => "rank death",
+            FaultKind::Injected => "injected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A contained epoch failure: where it happened and why.
+///
+/// Returned by [`crate::Universe::run_epoch`] as the `Err` arm; the
+/// universe that produced it refuses further epochs until
+/// [`crate::Universe::relaunch`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EpochFault {
+    /// Rank on which the fault originated.
+    pub rank: usize,
+    /// Worker index on that rank (the stalled worker's best-guess
+    /// index for [`FaultKind::Stall`]).
+    pub worker: usize,
+    /// Offending patch-program, when one can be blamed (`None` for
+    /// stalls and rank deaths).
+    pub program: Option<ProgramId>,
+    /// Panic payload rendered to a string, or a description of the
+    /// stall/death.
+    pub payload: String,
+    /// Fault class.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for EpochFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on rank {} worker {}",
+            self.kind, self.rank, self.worker
+        )?;
+        if let Some(id) = self.program {
+            write!(f, " (patch {} task {})", id.patch.0, id.task.0)?;
+        }
+        write!(f, ": {}", self.payload)
+    }
+}
+
+impl EpochFault {
+    /// Wire form for the master's abort broadcast (`TAG_ABORT`).
+    pub(crate) fn pack(&self) -> Bytes {
+        let mut w = BytesMut::with_capacity(32 + self.payload.len());
+        w.put_u32_le(self.rank as u32);
+        w.put_u32_le(self.worker as u32);
+        w.put_u8(match self.kind {
+            FaultKind::Panic => 0,
+            FaultKind::Stall => 1,
+            FaultKind::RankDeath => 2,
+            FaultKind::Injected => 3,
+        });
+        match self.program {
+            Some(id) => {
+                w.put_u8(1);
+                w.put_u32_le(id.patch.0);
+                w.put_u32_le(id.task.0);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_slice(self.payload.as_bytes());
+        w.freeze()
+    }
+
+    /// Inverse of [`EpochFault::pack`].
+    pub(crate) fn unpack(b: &[u8]) -> EpochFault {
+        use jsweep_mesh::PatchId;
+        let rank = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+        let worker = u32::from_le_bytes(b[4..8].try_into().unwrap()) as usize;
+        let kind = match b[8] {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Stall,
+            2 => FaultKind::RankDeath,
+            _ => FaultKind::Injected,
+        };
+        let (program, rest) = if b[9] == 1 {
+            let patch = u32::from_le_bytes(b[10..14].try_into().unwrap());
+            let task = u32::from_le_bytes(b[14..18].try_into().unwrap());
+            (
+                Some(ProgramId::new(
+                    PatchId(patch),
+                    crate::program::TaskTag(task),
+                )),
+                &b[18..],
+            )
+        } else {
+            (None, &b[10..])
+        };
+        EpochFault {
+            rank,
+            worker,
+            program,
+            payload: String::from_utf8_lossy(rest).into_owned(),
+            kind,
+        }
+    }
+}
+
+/// Render a `catch_unwind`/`join` panic payload as a string.
+///
+/// Panic payloads are `Box<dyn Any>`; in practice they are `&str`
+/// (literal messages) or `String` (formatted messages). Anything else
+/// renders as an opaque placeholder rather than being lost.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One injected panic: the `nth` (1-based) compute call of patch
+/// `patch` — counted across every task of that patch, process-wide —
+/// panics. The counter lives in the shared plan, so the spec fires
+/// exactly once even across universe relaunches: an injected panic is
+/// a *transient* fault, which is what lets retry-policy tests recover.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug)]
+struct PanicSpec {
+    patch: u32,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+/// One injected stall: the `nth` (1-based) claim batch taken by
+/// worker `worker` of rank `rank` sleeps for `duration` while holding
+/// its claims, keeping the pool un-quiet so the epoch watchdog can
+/// observe a stuck rank.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug)]
+struct StallSpec {
+    rank: usize,
+    worker: usize,
+    nth: u64,
+    duration: Duration,
+    hits: AtomicU64,
+}
+
+/// One injected session-tier failure: the `epoch`-th (0-based) epoch
+/// *attempt* of campaign `campaign` is reported as faulted without
+/// running. One-shot.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug)]
+struct EpochFailSpec {
+    campaign: u64,
+    epoch: u64,
+    fired: AtomicBool,
+}
+
+/// A deterministic, seedable fault-injection plan.
+///
+/// Built once (usually per test) and installed via
+/// [`crate::RuntimeConfig::fault_plan`]; the runtime consults it at
+/// three hook points — compute calls, claim batches, and session
+/// epoch attempts. All triggers are counted events (the Nth compute
+/// of a patch, the Nth claim of a worker, the Nth epoch attempt of a
+/// campaign), so a deterministic workload faults at a deterministic
+/// point regardless of thread scheduling.
+///
+/// With the `fault-inject` cargo feature disabled the plan still
+/// constructs (so configs stay source-compatible) but every hook is a
+/// compiled-out constant and the plan is inert.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    #[cfg(feature = "fault-inject")]
+    panics: Vec<PanicSpec>,
+    #[cfg(feature = "fault-inject")]
+    stalls: Vec<StallSpec>,
+    #[cfg(feature = "fault-inject")]
+    epoch_fails: Vec<EpochFailSpec>,
+}
+
+impl FaultPlan {
+    /// Start building an empty plan.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan::default(),
+        }
+    }
+
+    /// A seeded one-panic plan for soak tests: splitmix64 over `seed`
+    /// picks a target patch in `0..num_patches` and a trigger count in
+    /// `1..=max_nth`. Same seed, same plan.
+    pub fn seeded(seed: u64, num_patches: u32, max_nth: u64) -> FaultPlanBuilder {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let patch = (next() % u64::from(num_patches.max(1))) as u32;
+        let nth = 1 + next() % max_nth.max(1);
+        FaultPlan::builder().panic_on_compute(patch, nth)
+    }
+
+    /// Should this compute call panic? Counts the call against every
+    /// matching spec; `true` exactly when a spec's counter lands on
+    /// its `nth`.
+    #[cfg(feature = "fault-inject")]
+    pub fn should_panic(&self, id: ProgramId) -> bool {
+        let mut fire = false;
+        for spec in &self.panics {
+            if spec.patch == id.patch.0 && spec.hits.fetch_add(1, Ordering::Relaxed) + 1 == spec.nth
+            {
+                fire = true;
+            }
+        }
+        fire
+    }
+
+    /// Inert stand-in when injection is compiled out.
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    pub fn should_panic(&self, _id: ProgramId) -> bool {
+        false
+    }
+
+    /// How long (if at all) this claim batch should stall. Counts the
+    /// batch against every matching spec.
+    #[cfg(feature = "fault-inject")]
+    pub fn stall_for(&self, rank: usize, worker: usize) -> Option<Duration> {
+        let mut stall = None;
+        for spec in &self.stalls {
+            if spec.rank == rank
+                && spec.worker == worker
+                && spec.hits.fetch_add(1, Ordering::Relaxed) + 1 == spec.nth
+            {
+                stall = Some(spec.duration);
+            }
+        }
+        stall
+    }
+
+    /// Inert stand-in when injection is compiled out.
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    pub fn stall_for(&self, _rank: usize, _worker: usize) -> Option<Duration> {
+        None
+    }
+
+    /// Should this session epoch attempt be failed without running?
+    /// One-shot per spec.
+    #[cfg(feature = "fault-inject")]
+    pub fn take_epoch_fail(&self, campaign: u64, epoch_attempt: u64) -> bool {
+        self.epoch_fails.iter().any(|spec| {
+            spec.campaign == campaign
+                && spec.epoch == epoch_attempt
+                && !spec.fired.swap(true, Ordering::Relaxed)
+        })
+    }
+
+    /// Inert stand-in when injection is compiled out.
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    pub fn take_epoch_fail(&self, _campaign: u64, _epoch_attempt: u64) -> bool {
+        false
+    }
+}
+
+/// Builder for [`FaultPlan`]. With the `fault-inject` feature
+/// disabled every method is a no-op, so test helpers compile either
+/// way.
+#[derive(Debug, Default)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+#[cfg_attr(
+    not(feature = "fault-inject"),
+    allow(unused_variables, unused_mut, clippy::needless_pass_by_value)
+)]
+impl FaultPlanBuilder {
+    /// Panic on the `nth` (1-based) compute call of any task of patch
+    /// `patch`, once.
+    pub fn panic_on_compute(mut self, patch: u32, nth: u64) -> FaultPlanBuilder {
+        #[cfg(feature = "fault-inject")]
+        self.plan.panics.push(PanicSpec {
+            patch,
+            nth,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Stall worker `worker` of rank `rank` for `duration` on its
+    /// `nth` (1-based) claim batch, once.
+    pub fn stall_worker(
+        mut self,
+        rank: usize,
+        worker: usize,
+        nth: u64,
+        duration: Duration,
+    ) -> FaultPlanBuilder {
+        #[cfg(feature = "fault-inject")]
+        self.plan.stalls.push(StallSpec {
+            rank,
+            worker,
+            nth,
+            duration,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Fail the `epoch`-th (0-based) epoch attempt of campaign
+    /// `campaign` at the session tier, once, without running it.
+    pub fn fail_epoch(mut self, campaign: u64, epoch: u64) -> FaultPlanBuilder {
+        #[cfg(feature = "fault-inject")]
+        self.plan.epoch_fails.push(EpochFailSpec {
+            campaign,
+            epoch,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TaskTag;
+    use jsweep_mesh::PatchId;
+
+    #[test]
+    fn fault_roundtrips_through_wire_form() {
+        let f = EpochFault {
+            rank: 3,
+            worker: 1,
+            program: Some(ProgramId::new(PatchId(7), TaskTag(2))),
+            payload: "boom".to_string(),
+            kind: FaultKind::Panic,
+        };
+        assert_eq!(EpochFault::unpack(&f.pack()), f);
+        let g = EpochFault {
+            rank: 0,
+            worker: 4,
+            program: None,
+            payload: "no progress for 100ms".to_string(),
+            kind: FaultKind::Stall,
+        };
+        assert_eq!(EpochFault::unpack(&g.pack()), g);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn panic_spec_fires_exactly_once_on_nth_compute() {
+        let plan = FaultPlan::builder().panic_on_compute(5, 3).build();
+        let id = ProgramId::new(PatchId(5), TaskTag(0));
+        let other = ProgramId::new(PatchId(4), TaskTag(0));
+        assert!(!plan.should_panic(other));
+        assert!(!plan.should_panic(id)); // 1st
+        assert!(!plan.should_panic(id)); // 2nd
+        assert!(plan.should_panic(id)); // 3rd fires
+        assert!(!plan.should_panic(id)); // spent
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn stall_and_epoch_specs_are_one_shot() {
+        let plan = FaultPlan::builder()
+            .stall_worker(1, 0, 1, Duration::from_millis(5))
+            .fail_epoch(9, 2)
+            .build();
+        assert_eq!(plan.stall_for(0, 0), None);
+        assert_eq!(plan.stall_for(1, 0), Some(Duration::from_millis(5)));
+        assert_eq!(plan.stall_for(1, 0), None);
+        assert!(!plan.take_epoch_fail(9, 1));
+        assert!(plan.take_epoch_fail(9, 2));
+        assert!(!plan.take_epoch_fail(9, 2));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = format!("{:?}", FaultPlan::seeded(42, 8, 10).build());
+        let b = format!("{:?}", FaultPlan::seeded(42, 8, 10).build());
+        assert_eq!(a, b);
+    }
+}

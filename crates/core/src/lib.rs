@@ -46,12 +46,14 @@
 //! convenience wrapper.
 
 pub mod engine;
+pub mod fault;
 pub mod pool;
 pub mod program;
 pub mod stats;
 pub mod universe;
 
 pub use engine::{run_rank, run_universe, RuntimeConfig, TerminationKind};
+pub use fault::{panic_message, EpochFault, FaultKind, FaultPlan, FaultPlanBuilder};
 pub use program::{
     pack_frame, unpack_frame, ComputeCtx, EpochInput, PatchProgram, ProgramFactory, ProgramId,
     Stream, TaskTag,

@@ -61,6 +61,12 @@ enum SlotState {
     Idle,
     Ready,
     Running,
+    /// The program panicked mid-claim and was discarded
+    /// ([`Pool::discard`]). Deliveries are swallowed, the slot is
+    /// never claimable again, and it does not count as active —
+    /// poisoned state only lives until the faulted universe is
+    /// relaunched or shut down.
+    Poisoned,
 }
 
 struct Slot {
@@ -259,6 +265,9 @@ impl Pool {
             // Stale entries (superseded priorities) would otherwise
             // accumulate across epochs.
             g.heap.clear();
+            // Poisoned slots (only reachable here if a caller ignored
+            // a fault and reset anyway) are dead weight: drop them.
+            g.slots.retain(|_, slot| slot.state != SlotState::Poisoned);
             for (&id, slot) in g.slots.iter_mut() {
                 assert_eq!(
                     slot.state,
@@ -378,9 +387,31 @@ impl Pool {
                 }
                 // Running: the new priority takes effect on re-queue.
                 SlotState::Running => 0,
+                // Discarded after a contained panic: never runs again.
+                SlotState::Poisoned => 0,
             }
         };
         self.publish_ready(newly);
+    }
+
+    /// Remove a claimed program after a contained panic: its slot
+    /// becomes `SlotState::Poisoned` — undeliverable, unclaimable —
+    /// and stops counting as active, so the pool can still quiesce
+    /// around the loss. Pending streams it accumulated while running
+    /// are dropped with it. The caller (the worker that caught the
+    /// unwind) owns no program instance any more; the poisoned slot
+    /// survives only until the faulted universe is relaunched.
+    pub fn discard(&self, id: ProgramId) {
+        let s = self.shard_of(id);
+        {
+            let mut g = self.shards[s].shard.lock();
+            let slot = g.slots.get_mut(&id).expect("discarding unknown program");
+            debug_assert_eq!(slot.state, SlotState::Running, "discard outside a claim");
+            slot.state = SlotState::Poisoned;
+            slot.program = None;
+            slot.pending.clear();
+        }
+        self.active.fetch_sub(1, Ordering::SeqCst);
     }
 
     fn deliver_into(g: &mut Shard, stream: Stream, priority: i64) -> usize {
@@ -388,6 +419,11 @@ impl Pool {
             .slots
             .entry(stream.dst)
             .or_insert_with(|| Slot::new(priority));
+        if slot.state == SlotState::Poisoned {
+            // Streams to a discarded program are dropped: the epoch is
+            // already poisoned and nothing may observe its torn state.
+            return 0;
+        }
         slot.pending.push((stream.src, stream.payload));
         if slot.state == SlotState::Idle {
             slot.state = SlotState::Ready;
@@ -520,7 +556,12 @@ impl Pool {
     /// hoarding the whole queue; deep queues batch fully.
     pub fn try_take_batch(&self, worker: usize, max: usize, out: &mut Vec<Claim>) -> usize {
         let ready = self.ready.load(Ordering::SeqCst);
-        if ready == 0 {
+        // A stopped pool hands out nothing, even with programs still
+        // ready: healthy shutdown only happens quiesced (nothing is
+        // ready), so this path abandons work exactly when an epoch
+        // faulted mid-flight — where a never-halting program would
+        // otherwise be re-claimed forever and wedge the join.
+        if ready == 0 || self.stop.load(Ordering::SeqCst) {
             return 0;
         }
         let n = self.shards.len();
@@ -560,14 +601,17 @@ impl Pool {
             // either they see us (and notify) or we see their update
             // here (and skip the wait).
             self.sleepers.fetch_add(1, Ordering::SeqCst);
+            // Stop wins over ready: once stopped, `try_take_batch`
+            // refuses to hand out the abandoned ready work, so looping
+            // on `ready > 0` would spin forever.
+            if self.stop.load(Ordering::SeqCst) {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return 0;
+            }
             if self.ready.load(Ordering::SeqCst) > 0 {
                 self.sleepers.fetch_sub(1, Ordering::SeqCst);
                 drop(g);
                 continue;
-            }
-            if self.stop.load(Ordering::SeqCst) {
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
-                return 0;
             }
             let t0 = Instant::now();
             self.cv.wait(&mut g);
@@ -949,6 +993,24 @@ mod tests {
             t.join().unwrap();
         }
         assert!(!pool.is_quiet(), "programs stay active (halted=false)");
+    }
+
+    #[test]
+    fn discard_poisons_slot_and_keeps_quiescence_consistent() {
+        let pool = Pool::new(1);
+        pool.activate(pid(0, 0), 0);
+        let claim = pool.try_take(0).unwrap();
+        assert!(!pool.is_quiet());
+        pool.discard(claim.id);
+        assert!(pool.is_quiet(), "discarded program must not count active");
+        // Deliveries and re-activations to a poisoned slot are
+        // swallowed: the program can never run again.
+        pool.deliver(stream_to(pid(0, 0)), 0);
+        pool.activate(pid(0, 0), 5);
+        assert!(pool.is_quiet());
+        assert!(pool.try_take(0).is_none());
+        // An epoch reset drops the poisoned slot entirely.
+        pool.reset_epoch(|id, _| panic!("poisoned slot {id:?} visited"));
     }
 
     #[test]

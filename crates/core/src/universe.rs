@@ -27,6 +27,7 @@
 //! rank starts epoch `k+1` — streams can never bleed between epochs.
 
 use crate::engine::{Rank, RuntimeConfig};
+use crate::fault::{panic_message, EpochFault};
 use crate::program::{EpochInput, ProgramFactory};
 use crate::stats::RunStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -54,7 +55,7 @@ enum Cmd {
 
 struct RankHandle {
     cmd: Sender<Cmd>,
-    stats: Receiver<RunStats>,
+    stats: Receiver<Result<RunStats, EpochFault>>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -63,7 +64,13 @@ struct RankHandle {
 /// number of epochs. See the [module docs](self) for the lifecycle.
 pub struct Universe {
     ranks: Vec<RankHandle>,
+    /// Respawns a fresh set of rank threads from the original factory
+    /// and config — the machinery behind [`Universe::relaunch`].
+    spawner: Box<dyn Fn() -> Vec<RankHandle> + Send>,
     epochs_run: u64,
+    /// Set when an epoch faulted; the universe refuses further epochs
+    /// until [`Universe::relaunch`].
+    faulted: Option<EpochFault>,
 }
 
 impl Universe {
@@ -80,11 +87,27 @@ impl Universe {
         factory: Arc<F>,
         config: RuntimeConfig,
     ) -> Universe {
-        let ranks = CommUniverse::endpoints(num_ranks)
+        let spawner =
+            Box::new(move || Universe::spawn_ranks(num_ranks, factory.clone(), config.clone()));
+        let ranks = spawner();
+        Universe {
+            ranks,
+            spawner,
+            epochs_run: 0,
+            faulted: None,
+        }
+    }
+
+    fn spawn_ranks<F: ProgramFactory>(
+        num_ranks: usize,
+        factory: Arc<F>,
+        config: RuntimeConfig,
+    ) -> Vec<RankHandle> {
+        CommUniverse::endpoints(num_ranks)
             .into_iter()
             .map(|comm| {
                 let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
-                let (stats_tx, stats_rx) = unbounded::<RunStats>();
+                let (stats_tx, stats_rx) = unbounded::<Result<RunStats, EpochFault>>();
                 let factory = factory.clone();
                 let config = config.clone();
                 let rank_id = comm.rank();
@@ -95,12 +118,17 @@ impl Universe {
                         while let Ok(cmd) = cmd_rx.recv() {
                             match cmd {
                                 Cmd::Epoch(input, tuning) => {
-                                    let stats = rank.run_epoch(
+                                    // A faulted epoch sends `Err` and
+                                    // keeps the thread alive: the rank
+                                    // still answers `Shutdown` (or is
+                                    // retired by a relaunch); it just
+                                    // never runs another epoch.
+                                    let result = rank.run_epoch(
                                         &input,
                                         tuning.report_flush_streams,
                                         tuning.claim_batch,
                                     );
-                                    if stats_tx.send(stats).is_err() {
+                                    if stats_tx.send(result).is_err() {
                                         break;
                                     }
                                 }
@@ -116,11 +144,7 @@ impl Universe {
                     join: Some(join),
                 }
             })
-            .collect();
-        Universe {
-            ranks,
-            epochs_run: 0,
-        }
+            .collect()
     }
 
     /// Number of resident ranks.
@@ -133,6 +157,13 @@ impl Universe {
         self.epochs_run
     }
 
+    /// The fault that poisoned this universe, if any. While set,
+    /// [`Universe::run_epoch`] returns this fault without running;
+    /// [`Universe::relaunch`] clears it.
+    pub fn fault(&self) -> Option<&EpochFault> {
+        self.faulted.as_ref()
+    }
+
     /// Run one epoch to global termination on every rank; returns the
     /// per-rank [`RunStats`] in rank order.
     ///
@@ -141,7 +172,13 @@ impl Universe {
     /// before the epoch's activation (epochs ≥ 2; the first epoch runs
     /// factory-fresh programs as-is). Epochs with no input use
     /// `Arc::new(())`.
-    pub fn run_epoch(&mut self, input: Arc<EpochInput>) -> Vec<RunStats> {
+    ///
+    /// `Err` means the epoch was poisoned — a contained program panic,
+    /// a watchdog stall, or a rank-thread death — and the universe is
+    /// now faulted: further `run_epoch` calls return the same fault
+    /// without running until [`Universe::relaunch`] respawns the
+    /// world.
+    pub fn run_epoch(&mut self, input: Arc<EpochInput>) -> Result<Vec<RunStats>, EpochFault> {
         self.run_epoch_tuned(input, EpochTuning::default())
     }
 
@@ -150,38 +187,106 @@ impl Universe {
         &mut self,
         input: Arc<EpochInput>,
         tuning: EpochTuning,
-    ) -> Vec<RunStats> {
-        for r in &self.ranks {
-            if r.cmd.send(Cmd::Epoch(input.clone(), tuning)).is_err() {
-                panic!("universe rank thread exited before shutdown");
+    ) -> Result<Vec<RunStats>, EpochFault> {
+        if let Some(f) = &self.faulted {
+            return Err(f.clone());
+        }
+        for i in 0..self.ranks.len() {
+            if self.ranks[i]
+                .cmd
+                .send(Cmd::Epoch(input.clone(), tuning))
+                .is_err()
+            {
+                // The rank thread is gone before shutdown — an engine
+                // bug, contained as a fault with the thread's panic
+                // payload (joining a vanished thread is immediate).
+                let fault = self.rank_death(i, "exited before shutdown");
+                self.faulted = Some(fault.clone());
+                return Err(fault);
             }
         }
-        let stats = self
-            .ranks
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                r.stats
-                    .recv()
-                    .unwrap_or_else(|_| panic!("universe rank {i} died during the epoch"))
-            })
-            .collect();
+        let raw: Vec<Option<Result<RunStats, EpochFault>>> =
+            self.ranks.iter().map(|r| r.stats.recv().ok()).collect();
+        let mut results: Vec<Result<RunStats, EpochFault>> = Vec::with_capacity(raw.len());
+        for (i, recvd) in raw.into_iter().enumerate() {
+            results.push(match recvd {
+                Some(result) => result,
+                None => Err(self.rank_death(i, "died during the epoch")),
+            });
+        }
+        // Deterministic fault choice when several ranks report one
+        // (the origin's broadcast means its peers usually return the
+        // *same* fault): the lowest-ranked error wins.
+        if let Some(fault) = results.iter().filter_map(|r| r.as_ref().err()).next() {
+            let fault = fault.clone();
+            self.faulted = Some(fault.clone());
+            return Err(fault);
+        }
         self.epochs_run += 1;
-        stats
+        Ok(results.into_iter().map(|r| r.expect("no errs")).collect())
+    }
+
+    /// Describe rank `i`'s thread death as a fault, harvesting its
+    /// panic payload (the thread is already gone, so the join cannot
+    /// block).
+    fn rank_death(&mut self, i: usize, what: &str) -> EpochFault {
+        let payload = match self.ranks[i].join.take().map(|j| j.join()) {
+            Some(Err(e)) => format!("rank thread {what}: {}", panic_message(e.as_ref())),
+            _ => format!("rank thread {what}"),
+        };
+        EpochFault {
+            rank: i,
+            worker: 0,
+            program: None,
+            payload,
+            kind: crate::fault::FaultKind::RankDeath,
+        }
+    }
+
+    /// Retire every rank thread and respawn a fresh world from the
+    /// original factory and config, clearing the fault. The relaunched
+    /// universe starts from factory-fresh program state — exactly like
+    /// a first epoch — on fresh comm endpoints, so no poisoned pool
+    /// state, in-flight frame or abort residue survives. Anything
+    /// keyed on the *mesh generation* (coarse plans in a shared
+    /// `PlanCache`, in particular) remains valid: relaunching changes
+    /// the runtime instance, not the problem (see `docs/replay.md`).
+    pub fn relaunch(&mut self) {
+        self.shutdown();
+        self.ranks = (self.spawner)();
+        self.faulted = None;
     }
 
     /// Stop every rank: pools stop, workers and rank threads join.
     /// Idempotent; also invoked on drop, so an explicit call is only
     /// needed to observe thread panics eagerly.
+    ///
+    /// # Panics
+    ///
+    /// If a rank thread itself panicked (an engine bug — program
+    /// panics are contained as epoch faults and do not kill rank
+    /// threads), this panics with the rank id, the universe's epoch
+    /// count and the thread's panic payload — after joining the
+    /// remaining ranks, so no thread is leaked behind the abort.
     pub fn shutdown(&mut self) {
         for r in &self.ranks {
             // Ignore a closed channel: the rank already exited.
             let _ = r.cmd.send(Cmd::Shutdown);
         }
-        for r in &mut self.ranks {
+        let epoch = self.epochs_run;
+        let mut failures: Vec<String> = Vec::new();
+        for (i, r) in self.ranks.iter_mut().enumerate() {
             if let Some(join) = r.join.take() {
-                join.join().expect("universe rank thread panicked");
+                if let Err(e) = join.join() {
+                    failures.push(format!(
+                        "rank {i} panicked (universe at epoch {epoch}): {}",
+                        panic_message(e.as_ref())
+                    ));
+                }
             }
+        }
+        if !failures.is_empty() {
+            panic!("universe shutdown: {}", failures.join("; "));
         }
     }
 }
@@ -189,8 +294,19 @@ impl Universe {
 impl Drop for Universe {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            // Don't double-panic while unwinding; rank threads exit on
-            // their own once the command channels close.
+            // Already unwinding: shut down without risking a double
+            // panic. Rank threads still get a `Shutdown` and a join —
+            // their panic payloads (if any) are swallowed here, since
+            // the unwind in progress is the error being reported — so
+            // dropping mid-unwind leaks no threads.
+            for r in &self.ranks {
+                let _ = r.cmd.send(Cmd::Shutdown);
+            }
+            for r in &mut self.ranks {
+                if let Some(join) = r.join.take() {
+                    let _ = join.join();
+                }
+            }
             return;
         }
         self.shutdown();
@@ -313,7 +429,7 @@ mod tests {
         );
         assert_eq!(u.num_ranks(), ranks);
         for (k, &off) in offsets.iter().enumerate() {
-            let stats = u.run_epoch(Arc::new(off));
+            let stats = u.run_epoch(Arc::new(off)).expect("epoch");
             assert_eq!(stats.len(), ranks);
             let work: u64 = stats.iter().map(|s| s.work_done).sum();
             assert_eq!(work, n as u64, "epoch {k} work accounting");
@@ -359,7 +475,7 @@ mod tests {
             sums: sums.clone(),
         });
         let mut u = Universe::launch(2, factory, RuntimeConfig::default());
-        let stats = u.run_epoch(Arc::new(()));
+        let stats = u.run_epoch(Arc::new(())).expect("epoch");
         drop(u); // shutdown via Drop
         let work: u64 = stats.iter().map(|s| s.work_done).sum();
         assert_eq!(work, 4);
@@ -623,7 +739,7 @@ mod tests {
             },
         );
         for epoch in 0..3 {
-            let stats = u.run_epoch(Arc::new(()));
+            let stats = u.run_epoch(Arc::new(())).expect("epoch");
             let work: u64 = stats.iter().map(|s| s.work_done).sum();
             assert_eq!(work, 2, "epoch {epoch} work accounting");
             let moved: u64 = stats.iter().map(|s| s.streams_sent + s.streams_local).sum();
@@ -680,7 +796,7 @@ mod tests {
             },
         );
         for epoch in 0..3u64 {
-            let stats = u.run_epoch(Arc::new(epoch));
+            let stats = u.run_epoch(Arc::new(epoch)).expect("epoch");
             for s in &stats {
                 assert_eq!(
                     s.worker_drain_seconds.len(),
@@ -727,9 +843,188 @@ mod tests {
                 ..Default::default()
             },
         );
-        u.run_epoch(Arc::new(0u64));
-        u.run_epoch(Arc::new(1u64));
+        u.run_epoch(Arc::new(0u64)).expect("epoch");
+        u.run_epoch(Arc::new(1u64)).expect("epoch");
         u.shutdown();
         assert_eq!(got.lock().clone(), vec![1]);
+    }
+
+    /// A ring program that panics mid-compute when the epoch input
+    /// asks for it (`u64::MAX` offset). Exercises the containment
+    /// path without any injection machinery.
+    struct FaultyRing {
+        inner: RingProgram,
+        panic_now: bool,
+    }
+
+    impl PatchProgram for FaultyRing {
+        fn init(&mut self) {
+            self.inner.init()
+        }
+        fn input(&mut self, src: ProgramId, payload: Bytes) {
+            self.inner.input(src, payload)
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx) {
+            if self.panic_now && self.inner.id.patch.0 == 1 {
+                panic!("faulty ring program blew up");
+            }
+            self.inner.compute(ctx)
+        }
+        fn vote_to_halt(&self) -> bool {
+            self.inner.vote_to_halt()
+        }
+        fn remaining_work(&self) -> u64 {
+            self.inner.remaining_work()
+        }
+        fn reset(&mut self, epoch: &crate::EpochInput) {
+            let &offset = epoch.downcast_ref::<u64>().expect("ring epoch input");
+            self.panic_now = offset == u64::MAX;
+            self.inner
+                .reset(&(if self.panic_now { 0u64 } else { offset }));
+        }
+    }
+
+    struct FaultyRingFactory {
+        inner: RingFactory,
+    }
+
+    impl ProgramFactory for FaultyRingFactory {
+        type Program = FaultyRing;
+        fn create(&self, id: ProgramId) -> FaultyRing {
+            FaultyRing {
+                inner: self.inner.create(id),
+                panic_now: false,
+            }
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            self.inner.programs_on_rank(rank)
+        }
+        fn rank_of(&self, id: ProgramId) -> usize {
+            self.inner.rank_of(id)
+        }
+        fn priority(&self, id: ProgramId) -> i64 {
+            self.inner.priority(id)
+        }
+        fn initial_workload(&self, id: ProgramId) -> u64 {
+            self.inner.initial_workload(id)
+        }
+    }
+
+    /// A program panic must poison the epoch (not the process), mark
+    /// the universe faulted, and relaunch must restore full service
+    /// from factory-fresh state — across both ranks, through the
+    /// abort broadcast.
+    #[test]
+    fn program_panic_faults_epoch_and_relaunch_recovers() {
+        let n = 6u32;
+        let sums = Arc::new(Mutex::new(vec![0u64; n as usize]));
+        let factory = Arc::new(FaultyRingFactory {
+            inner: RingFactory {
+                n,
+                ranks: 2,
+                sums: sums.clone(),
+            },
+        });
+        let mut u = Universe::launch(2, factory, RuntimeConfig::default());
+        // Healthy first epoch.
+        u.run_epoch(Arc::new(0u64)).expect("healthy epoch");
+        // Poisoned second epoch: program 1 (rank 1) panics.
+        let fault = u.run_epoch(Arc::new(u64::MAX)).expect_err("poisoned epoch");
+        assert_eq!(fault.kind, crate::fault::FaultKind::Panic);
+        assert_eq!(fault.rank, 1);
+        assert_eq!(fault.program.map(|id| id.patch.0), Some(1));
+        assert!(
+            fault.payload.contains("blew up"),
+            "payload: {}",
+            fault.payload
+        );
+        // The universe is now faulted: epochs are refused, cheaply.
+        assert!(u.fault().is_some());
+        let again = u.run_epoch(Arc::new(0u64)).expect_err("still faulted");
+        assert_eq!(again, fault);
+        // Relaunch restores service from factory-fresh state.
+        u.relaunch();
+        assert!(u.fault().is_none());
+        let stats = u.run_epoch(Arc::new(0u64)).expect("post-relaunch epoch");
+        let work: u64 = stats.iter().map(|s| s.work_done).sum();
+        assert_eq!(work, n as u64);
+        u.shutdown();
+    }
+
+    /// A compute that sleeps far past the watchdog deadline while
+    /// holding its claim: the watchdog must convert the hang into a
+    /// `Stall` fault instead of blocking the epoch forever.
+    struct Sleeper;
+
+    impl PatchProgram for Sleeper {
+        fn init(&mut self) {}
+        fn input(&mut self, _src: ProgramId, _payload: Bytes) {}
+        fn compute(&mut self, _ctx: &mut ComputeCtx) {
+            std::thread::sleep(std::time::Duration::from_millis(600));
+        }
+        fn vote_to_halt(&self) -> bool {
+            // Never halts and never commits work: with the claim held
+            // by the sleep, the master sees active work and no
+            // progress — the watchdog's exact trigger.
+            false
+        }
+        fn remaining_work(&self) -> u64 {
+            1
+        }
+    }
+
+    struct SleeperFactory;
+
+    impl ProgramFactory for SleeperFactory {
+        type Program = Sleeper;
+        fn create(&self, _id: ProgramId) -> Sleeper {
+            Sleeper
+        }
+        fn programs_on_rank(&self, rank: usize) -> Vec<ProgramId> {
+            if rank == 0 {
+                vec![ProgramId::new(PatchId(0), TaskTag(0))]
+            } else {
+                Vec::new()
+            }
+        }
+        fn rank_of(&self, _id: ProgramId) -> usize {
+            0
+        }
+        fn priority(&self, _id: ProgramId) -> i64 {
+            0
+        }
+        fn initial_workload(&self, _id: ProgramId) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_stall_into_fault() {
+        let mut u = Universe::launch(
+            1,
+            Arc::new(SleeperFactory),
+            RuntimeConfig {
+                num_workers: 1,
+                watchdog: Some(std::time::Duration::from_millis(100)),
+                ..Default::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let fault = u.run_epoch(Arc::new(())).expect_err("stalled epoch");
+        assert_eq!(fault.kind, crate::fault::FaultKind::Stall);
+        assert_eq!(fault.rank, 0);
+        assert!(
+            fault.payload.contains("watchdog"),
+            "payload: {}",
+            fault.payload
+        );
+        // The fault surfaces well before the sleeping compute ends —
+        // that is the whole point of the watchdog.
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(550),
+            "watchdog fired too late: {:?}",
+            t0.elapsed()
+        );
+        u.shutdown();
     }
 }

@@ -40,9 +40,9 @@ pub use kernel::KernelKind;
 pub use program::{SweepEpoch, SweepMode};
 pub use replay::{plan_key, CoarsePlan, EvictionPolicy, PlanCache, PlanKey};
 pub use session::{
-    AdmissionPolicy, CampaignHandle, CampaignStats, EpochCandidate, EpochRecord, Fifo, RoundRobin,
-    SessionError, SessionOptions, SessionStats, SolveOutcome, SolveRequest, SolveTicket,
-    SolverSession,
+    AdmissionPolicy, CampaignHandle, CampaignStats, EpochCandidate, EpochRecord, FaultReport, Fifo,
+    RetryPolicy, RoundRobin, SessionError, SessionOptions, SessionStats, SolveOutcome,
+    SolveRequest, SolveTicket, SolverSession,
 };
 pub use solver::{
     record_cluster_traces, solve_parallel, solve_parallel_cached, solve_serial, SnConfig,

@@ -51,15 +51,16 @@
 use crate::replay::{EvictionPolicy, PlanCache};
 use crate::solver::{advance_one_epoch, EpochWorld, SnConfig, SnSolution, SolveProgress};
 use crate::xs::MaterialSet;
+use jsweep_core::fault::{EpochFault, FaultKind};
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
 use jsweep_quadrature::QuadratureSet;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One queued solve: the physics that varies per request. The problem
 /// shape (mesh, decomposition, quadrature, solver knobs) is session
@@ -77,6 +78,62 @@ pub struct SolveRequest {
     pub max_iterations: Option<usize>,
     /// Override of [`SnConfig::tolerance`] for this request.
     pub tolerance: Option<f64>,
+    /// Override of the session-wide [`SessionOptions::retry`] policy
+    /// for this request.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl SolveRequest {
+    /// A request with the session's default iteration budget,
+    /// tolerance and retry policy.
+    pub fn new(materials: Arc<MaterialSet>) -> Self {
+        SolveRequest {
+            materials,
+            max_iterations: None,
+            tolerance: None,
+            retry: None,
+        }
+    }
+}
+
+/// How a request responds to a faulted epoch (a contained program
+/// panic, a watchdog-detected stall, or an injected failure — see
+/// [`EpochFault`]).
+///
+/// A retried epoch reruns the *same* source iteration on a relaunched
+/// universe: a faulted epoch never touches the solve's flux iterate,
+/// so a retry that succeeds continues the bit-identical iteration
+/// sequence as if the fault never happened. The default policy is no
+/// retries: every fault resolves the ticket
+/// [`SessionError::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Faulted epochs to retry before the request fails. Each retry
+    /// costs a universe relaunch.
+    pub max_retries: u32,
+    /// Driver-side delay before each retry (a persistent hardware or
+    /// state problem often needs time to clear; zero retries
+    /// immediately).
+    pub backoff: Duration,
+}
+
+/// Why (and where) a request failed: the terminal fault of a solve
+/// whose retry budget is exhausted. Carried by
+/// [`SessionError::Failed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Campaign of the failed request.
+    pub campaign: u64,
+    /// Sequence number of the failed request within its campaign.
+    pub seq: u64,
+    /// The source iteration the faulted epoch was attempting
+    /// (1-based); iterations before it completed normally.
+    pub iteration: usize,
+    /// Retries already spent on this request before the terminal
+    /// fault.
+    pub retries: u32,
+    /// The fault itself, as reported by the runtime.
+    pub fault: EpochFault,
 }
 
 /// Why a [`SolveTicket`] resolved without a solution.
@@ -88,6 +145,10 @@ pub enum SessionError {
     /// mesh coverage, or a group count the resident programs cannot
     /// adopt).
     Rejected(String),
+    /// The request's epochs faulted past its retry budget. Only the
+    /// offending request fails: the universe is relaunched and the
+    /// rest of the queue keeps being served.
+    Failed(FaultReport),
 }
 
 impl std::fmt::Display for SessionError {
@@ -95,6 +156,11 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::Closed => write!(f, "session closed before the request was served"),
             SessionError::Rejected(why) => write!(f, "request rejected: {why}"),
+            SessionError::Failed(r) => write!(
+                f,
+                "request failed at iteration {} after {} retries: {}",
+                r.iteration, r.retries, r.fault
+            ),
         }
     }
 }
@@ -210,6 +276,18 @@ pub struct CampaignStats {
     pub completed: u64,
     /// Requests rejected at admission.
     pub rejected: u64,
+    /// Requests that resolved [`SessionError::Failed`] (fault past the
+    /// retry budget).
+    pub failed: u64,
+    /// Faulted epochs attributed to this campaign's requests
+    /// (including ones a retry later recovered).
+    pub faults: u64,
+    /// Epoch retries spent by this campaign's requests.
+    pub retries: u64,
+    /// The campaign hit [`SessionOptions::quarantine_after`]
+    /// consecutive faults: its queue was flushed and every later
+    /// submission resolves [`SessionError::Rejected`].
+    pub quarantined: bool,
     /// Epochs run on behalf of this campaign.
     pub epochs_run: u64,
     /// Admissions that found their replay plan in the session cache.
@@ -242,10 +320,15 @@ pub struct EpochRecord {
     pub campaign: u64,
     /// Request sequence number within the campaign.
     pub seq: u64,
-    /// The request's iteration count after this epoch (1-based).
+    /// The request's iteration count after this epoch (1-based). A
+    /// faulted epoch records the iteration it was *attempting* — the
+    /// solve's own count did not advance.
     pub iteration: usize,
     /// Whether the epoch replayed a coarse plan (vs the fine path).
     pub replayed: bool,
+    /// The epoch faulted: it contributed no flux and no stats, and
+    /// the universe was relaunched afterwards.
+    pub faulted: bool,
     /// Generation stamp of the replayed plan (`None` on fine epochs).
     pub plan_generation: Option<u64>,
     /// Mesh generation of the world the epoch ran against.
@@ -266,6 +349,16 @@ pub struct SessionStats {
     pub universes_retired: u64,
     /// Total epochs run.
     pub epochs_run: u64,
+    /// Faulted epochs across the session (each also appears in its
+    /// campaign's [`CampaignStats::faults`]).
+    pub faults: u64,
+    /// Epoch retries spent across the session.
+    pub retries: u64,
+    /// Universe relaunches forced by faults. Every relaunch also
+    /// counts one `universes_retired` and (lazily, on the next epoch)
+    /// one `universes_launched`, so the no-leak invariant
+    /// `launched == retired after shutdown` is unchanged.
+    pub relaunches: u64,
     /// Per-campaign accounting.
     pub campaigns: BTreeMap<u64, CampaignStats>,
     /// Ordered log of every epoch run.
@@ -281,6 +374,15 @@ pub struct SessionOptions {
     pub admission: Box<dyn AdmissionPolicy>,
     /// Eviction policy of the session's shared [`PlanCache`].
     pub eviction: EvictionPolicy,
+    /// Session-wide default [`RetryPolicy`]; a [`SolveRequest::retry`]
+    /// overrides it per request. Default: no retries.
+    pub retry: RetryPolicy,
+    /// Quarantine a campaign after this many *consecutive* terminal
+    /// faults (a completed request resets the count): its queued
+    /// requests and all later submissions resolve
+    /// [`SessionError::Rejected`]. `0` (the default) disables
+    /// quarantine.
+    pub quarantine_after: u32,
 }
 
 impl Default for SessionOptions {
@@ -289,6 +391,8 @@ impl Default for SessionOptions {
             solver: SnConfig::default(),
             admission: Box::new(Fifo),
             eviction: EvictionPolicy::Manual,
+            retry: RetryPolicy::default(),
+            quarantine_after: 0,
         }
     }
 }
@@ -328,6 +432,25 @@ impl SolveTicket {
     /// running.
     pub fn poll(&self) -> Option<Result<SolveOutcome, SessionError>> {
         self.cell.slot.lock().clone()
+    }
+
+    /// Block at most `timeout` for the request to resolve; `None` on
+    /// timeout. The ticket stays usable afterwards — a later
+    /// [`SolveTicket::wait`], `wait_timeout` or
+    /// [`SolveTicket::poll`] still observes the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<SolveOutcome, SessionError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock();
+        loop {
+            if slot.is_some() {
+                return slot.clone();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cell.cv.wait_for(&mut slot, deadline - now);
+        }
     }
 }
 
@@ -383,6 +506,11 @@ struct ActiveSolve {
     queue_wait: Option<f64>,
     progress: SolveProgress,
     reply: Arc<TicketCell>,
+    /// Resolved at admission: the request's override or the session
+    /// default.
+    retry: RetryPolicy,
+    /// Faulted epochs already retried for this request.
+    retries: u32,
 }
 
 /// A resident sweep service: one world, one plan cache, one driver
@@ -428,6 +556,11 @@ impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
             pending: VecDeque::new(),
             paused: false,
             admission_counter: 0,
+            default_retry: options.retry,
+            quarantine_after: options.quarantine_after,
+            consecutive_faults: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            epoch_attempts: BTreeMap::new(),
         };
         let handle = thread::Builder::new()
             .name("jsweep-session".into())
@@ -597,6 +730,18 @@ struct Driver<T: SweepTopology + Send + Sync + 'static> {
     pending: VecDeque<Cmd<T>>,
     paused: bool,
     admission_counter: u64,
+    /// Session-wide default retry policy (see [`SessionOptions`]).
+    default_retry: RetryPolicy,
+    /// Consecutive-fault quarantine threshold; 0 disables.
+    quarantine_after: u32,
+    /// Terminal faults since the campaign's last completed request.
+    consecutive_faults: BTreeMap<u64, u32>,
+    /// Campaigns locked out by quarantine.
+    quarantined: BTreeSet<u64>,
+    /// Epoch *attempts* per campaign — faulted ones included, which is
+    /// what makes "fail epoch E of campaign C" fault injection
+    /// deterministic under retries.
+    epoch_attempts: BTreeMap<u64, u64>,
 }
 
 impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
@@ -693,6 +838,16 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
         reply: Arc<TicketCell>,
         submitted: Instant,
     ) {
+        if self.quarantined.contains(&campaign) {
+            return self.reject(
+                campaign,
+                reply,
+                format!(
+                    "campaign quarantined after {} consecutive faults",
+                    self.quarantine_after
+                ),
+            );
+        }
         if request.materials.num_cells() != self.world.mesh.num_cells() {
             return self.reject(
                 campaign,
@@ -732,6 +887,7 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
             .max_iterations
             .unwrap_or(self.world.config.max_iterations);
         let tolerance = request.tolerance.unwrap_or(self.world.config.tolerance);
+        let retry = request.retry.unwrap_or(self.default_retry);
         let progress = self.world.begin_solve(
             request.materials,
             max_iterations,
@@ -780,6 +936,8 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                 queue_wait: None,
                 progress,
                 reply,
+                retry,
+                retries: 0,
             });
     }
 
@@ -826,7 +984,49 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
             solve.queue_wait = Some(solve.submitted.elapsed().as_secs_f64());
         }
         let plan_generation = solve.progress.plan.as_ref().map(|p| p.mesh_generation);
-        let outcome = advance_one_epoch(&mut self.world, &mut solve.progress, Some(&self.cache));
+        // Count the attempt before running it: "fail epoch E of
+        // campaign C" injection keys on attempt numbers, faulted
+        // attempts included, which keeps the injection deterministic
+        // under retries.
+        let attempt = {
+            let a = self.epoch_attempts.entry(campaign).or_insert(0);
+            let cur = *a;
+            *a += 1;
+            cur
+        };
+        let injected = self
+            .world
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.take_epoch_fail(campaign, attempt));
+        let outcome = if injected {
+            Err(EpochFault {
+                rank: 0,
+                worker: 0,
+                program: None,
+                payload: format!("injected failure of campaign {campaign} epoch attempt {attempt}"),
+                kind: FaultKind::Injected,
+            })
+        } else {
+            advance_one_epoch(&mut self.world, &mut solve.progress, Some(&self.cache))
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(fault) => {
+                // The faulted epoch may still have launched the
+                // universe it faulted in; count the launch before
+                // `handle_fault` retires it, or the no-leak invariant
+                // (launched == retired) would drift on every fault.
+                if !had_universe && self.world.has_universe() {
+                    self.stats.lock().universes_launched += 1;
+                }
+                return self.handle_fault(campaign, fault);
+            }
+        };
+        // A completed epoch clears the campaign's consecutive-fault
+        // streak: quarantine is for campaigns that *keep* failing.
+        self.consecutive_faults.remove(&campaign);
         let epoch_stats = solve.progress.stats.last().expect("epoch recorded stats");
         {
             let mut s = self.stats.lock();
@@ -845,6 +1045,7 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                     None
                 },
                 mesh_generation: self.world.problem.mesh_generation,
+                faulted: false,
             });
             let cs = s.campaigns.entry(campaign).or_default();
             cs.epochs_run += 1;
@@ -872,6 +1073,114 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                 mesh_generation: self.world.problem.mesh_generation,
                 queue_wait_seconds: wait,
             }));
+        }
+    }
+
+    /// Contain a faulted epoch: account it, decide between retry and
+    /// terminal failure for the offending request (only that one —
+    /// the rest of the queue keeps being served), then relaunch the
+    /// universe.
+    ///
+    /// Ordering matters: the ticket resolves *before*
+    /// [`Driver::retire_world`], because retiring joins the faulted
+    /// universe's threads — after a watchdog stall that join waits out
+    /// the stuck compute, and the requester should not.
+    fn handle_fault(&mut self, campaign: u64, fault: EpochFault) {
+        let queue = self
+            .admitted
+            .get_mut(&campaign)
+            .expect("faulted campaign exists");
+        let solve = queue.front_mut().expect("faulted campaign has a head");
+        // The attempted iteration: the faulted epoch would have been
+        // iteration `iterations + 1`, and `progress` was untouched.
+        let iteration = solve.progress.iterations + 1;
+        let retrying = solve.retries < solve.retry.max_retries;
+        let backoff = solve.retry.backoff;
+        {
+            let mut s = self.stats.lock();
+            s.faults += 1;
+            s.epoch_log.push(EpochRecord {
+                campaign,
+                seq: solve.seq,
+                iteration,
+                replayed: false,
+                plan_generation: None,
+                mesh_generation: self.world.problem.mesh_generation,
+                faulted: true,
+            });
+            if retrying {
+                s.retries += 1;
+            }
+            let cs = s.campaigns.entry(campaign).or_default();
+            cs.faults += 1;
+            if retrying {
+                cs.retries += 1;
+            }
+        }
+        if retrying {
+            // The solve stays at the head of its queue with its
+            // progress untouched: the retried epoch reruns the same
+            // source iteration, so a recovered solve's flux sequence
+            // is bit-identical to an unfaulted one.
+            solve.retries += 1;
+        } else {
+            let solve = queue.pop_front().expect("head just faulted");
+            if queue.is_empty() {
+                self.admitted.remove(&campaign);
+            }
+            let retries = solve.retries;
+            solve.reply.fulfill(Err(SessionError::Failed(FaultReport {
+                campaign,
+                seq: solve.seq,
+                iteration,
+                retries,
+                fault,
+            })));
+            {
+                let mut s = self.stats.lock();
+                s.campaigns.entry(campaign).or_default().failed += 1;
+            }
+            let streak = self.consecutive_faults.entry(campaign).or_insert(0);
+            *streak += 1;
+            if self.quarantine_after > 0 && *streak >= self.quarantine_after {
+                self.quarantine(campaign);
+            }
+        }
+        // Relaunch last: the offending ticket already resolved (or is
+        // queued for retry), so blocking on the faulted universe's
+        // threads here delays no requester. The next epoch launches a
+        // fresh universe lazily on the same mesh generation — every
+        // plan in the shared cache keys on the generation, not the
+        // universe, so replay-mode requests keep hitting.
+        let had_universe = self.world.has_universe();
+        self.retire_world();
+        if had_universe {
+            self.stats.lock().relaunches += 1;
+        }
+        if retrying && !backoff.is_zero() {
+            thread::sleep(backoff);
+        }
+    }
+
+    /// Lock a campaign out: flush its queued requests as rejected and
+    /// refuse everything it submits from now on.
+    fn quarantine(&mut self, campaign: u64) {
+        self.quarantined.insert(campaign);
+        let why = format!(
+            "campaign quarantined after {} consecutive faults",
+            self.quarantine_after
+        );
+        let flushed = self.admitted.remove(&campaign).unwrap_or_default();
+        {
+            let mut s = self.stats.lock();
+            let cs = s.campaigns.entry(campaign).or_default();
+            cs.quarantined = true;
+            cs.rejected += flushed.len() as u64;
+        }
+        for solve in flushed {
+            solve
+                .reply
+                .fulfill(Err(SessionError::Rejected(why.clone())));
         }
     }
 
@@ -995,6 +1304,7 @@ mod tests {
                 materials: mats,
                 max_iterations: None,
                 tolerance: None,
+                retry: None,
             })
             .wait()
             .expect("solve served");
@@ -1022,6 +1332,7 @@ mod tests {
                 materials: bad,
                 max_iterations: None,
                 tolerance: None,
+                retry: None,
             })
             .wait()
             .expect_err("rejected");
@@ -1031,6 +1342,7 @@ mod tests {
             materials: mats,
             max_iterations: None,
             tolerance: None,
+            retry: None,
         });
         let two_group = Arc::new(MaterialSet::homogeneous(
             64,
@@ -1040,6 +1352,7 @@ mod tests {
             materials: two_group,
             max_iterations: None,
             tolerance: None,
+            retry: None,
         });
         assert!(ok.wait().is_ok());
         assert!(matches!(bad_groups.wait(), Err(SessionError::Rejected(_))));
@@ -1058,6 +1371,7 @@ mod tests {
                 materials: mats,
                 max_iterations: None,
                 tolerance: None,
+                retry: None,
             })
             .wait()
             .expect_err("session is gone");

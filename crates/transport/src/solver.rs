@@ -23,6 +23,7 @@ use crate::replay::{
     build_plan, collect_traces, new_trace_bins, plan_key, CoarsePlan, PlanCache, PlanKey, TraceBins,
 };
 use crate::xs::MaterialSet;
+use jsweep_core::fault::{EpochFault, FaultPlan};
 use jsweep_core::{run_universe, EpochTuning, RunStats, RuntimeConfig, TerminationKind, Universe};
 use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
@@ -86,6 +87,15 @@ pub struct SnConfig {
     /// kept for goldens and the `universe` bench). Bit-identical flux
     /// either way.
     pub resident: bool,
+    /// Epoch watchdog deadline (default off): a rank whose pool holds
+    /// active work but makes no progress for this long converts the
+    /// hang into an [`EpochFault`] instead of blocking the epoch
+    /// forever. See [`jsweep_core::RuntimeConfig::watchdog`].
+    pub watchdog: Option<std::time::Duration>,
+    /// Deterministic fault-injection plan (default none). With the
+    /// `fault-inject` feature compiled out this is carried but never
+    /// consulted — the runtime hooks are inert.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SnConfig {
@@ -100,6 +110,8 @@ impl Default for SnConfig {
             break_cycles: false,
             coarsen: true,
             resident: true,
+            watchdog: None,
+            fault_plan: None,
         }
     }
 }
@@ -328,6 +340,8 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
         SweepMode::Fine { .. } => RuntimeConfig {
             num_workers: config.workers_per_rank,
             termination: config.termination,
+            watchdog: config.watchdog,
+            fault_plan: config.fault_plan.clone(),
             ..Default::default()
         },
         // Replay iterations issue far fewer, larger compute calls and
@@ -339,6 +353,8 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
             termination: config.termination,
             claim_batch: REPLAY_CLAIM_BATCH,
             report_flush_streams: REPLAY_REPORT_FLUSH_STREAMS,
+            watchdog: config.watchdog,
+            fault_plan: config.fault_plan.clone(),
             ..Default::default()
         },
     };
@@ -520,6 +536,8 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
         let base = RuntimeConfig {
             num_workers: config.workers_per_rank,
             termination: config.termination,
+            watchdog: config.watchdog,
+            fault_plan: config.fault_plan.clone(),
             ..Default::default()
         };
         let key = config.coarsen.then(|| plan_key(&problem, config.grain));
@@ -590,12 +608,29 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
         self.resident_groups
     }
 
-    /// Shut the resident universe down (idempotent).
+    /// Shut the resident universe down (idempotent). Scrubs the flux
+    /// bins afterwards: a retire forced by a fault abandons in-flight
+    /// programs, and those keep depositing until the join — so the
+    /// authoritative scrub can only happen here, after every thread
+    /// is gone. (After a healthy epoch the bins are already empty.)
     pub(crate) fn retire(&mut self) {
         if let Some(mut u) = self.universe.take() {
             u.shutdown();
+            self.clear_flux_bins();
         }
         self.resident_groups = None;
+    }
+
+    /// Drop any partial flux deposits. A faulted epoch abandons
+    /// in-flight programs, so the shared bins may hold a *subset* of
+    /// the epoch's contributions — folding them into a later epoch
+    /// would corrupt that solve's flux. Best-effort on the fault
+    /// return path; [`EpochWorld::retire`] repeats it post-join to
+    /// catch stragglers that deposited after the epoch aborted.
+    pub(crate) fn clear_flux_bins(&self) {
+        for bin in self.flux_bins.iter() {
+            bin.lock().clear();
+        }
     }
 }
 
@@ -651,11 +686,20 @@ pub(crate) struct EpochOutcome {
 /// this function back-to-back is *exactly* a [`solve_parallel_cached`]
 /// call, which is what makes session results bit-identical to solo
 /// solves.
+///
+/// `Err` means the epoch was poisoned (see
+/// [`jsweep_core::universe::Universe::run_epoch`]): `progress` is left
+/// exactly as it was before the epoch — no stats entry, no iteration
+/// count, no flux update — and the shared bins are scrubbed of partial
+/// deposits, so the caller may retry the same iteration on a
+/// relaunched universe and still get the bit-identical flux sequence.
+/// The faulted universe itself is *not* retired here; the caller
+/// decides between retry, relaunch and teardown.
 pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
     world: &mut EpochWorld<T>,
     progress: &mut SolveProgress,
     cache: Option<&PlanCache>,
-) -> EpochOutcome {
+) -> Result<EpochOutcome, EpochFault> {
     let n = world.mesh.num_cells();
     let groups = progress.materials.num_groups();
     let (mode, bins) = select_mode(
@@ -691,14 +735,23 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
         // built for an earlier request adopts this solve's cross
         // sections on reset (first-epoch programs get them through the
         // factory instead).
-        let rank_stats = u.run_epoch_tuned(
+        let rank_stats = match u.run_epoch_tuned(
             Arc::new(SweepEpoch {
                 emission,
                 mode,
                 materials: Some(materials),
             }),
             tuning,
-        );
+        ) {
+            Ok(s) => s,
+            Err(f) => {
+                // Abandoned programs may have deposited a subset of
+                // this epoch's flux; scrub it so the bins are clean
+                // for whatever the caller runs next.
+                world.clear_flux_bins();
+                return Err(f);
+            }
+        };
         let phi_new = fold_flux(&world.problem, &world.flux_bins, n, groups);
         (RunStats::aggregate(&rank_stats), phi_new)
     } else {
@@ -742,7 +795,7 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
             progress.plan = Some(built);
         }
     }
-    EpochOutcome { done, replayed }
+    Ok(EpochOutcome { done, replayed })
 }
 
 fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
@@ -756,8 +809,17 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
     let mut world = EpochWorld::new(mesh, problem, quadrature.clone(), config.clone());
     let mut progress = world.begin_solve(materials, config.max_iterations, config.tolerance, cache);
     while progress.iterations < progress.max_iterations {
-        if advance_one_epoch(&mut world, &mut progress, cache).done {
-            break;
+        // The solo API keeps fail-fast semantics: there is exactly one
+        // request, so nothing is saved by containing its fault. The
+        // session driver is the caller that maps `Err` to a per-ticket
+        // failure instead.
+        match advance_one_epoch(&mut world, &mut progress, cache) {
+            Ok(o) if o.done => break,
+            Ok(_) => {}
+            Err(f) => {
+                world.retire();
+                panic!("sweep epoch faulted: {f}");
+            }
         }
     }
     world.retire();

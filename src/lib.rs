@@ -61,8 +61,8 @@ pub use jsweep_transport as transport;
 /// The most common imports in one place.
 pub mod prelude {
     pub use jsweep_core::{
-        run_universe, EpochTuning, PatchProgram, ProgramFactory, ProgramId, RuntimeConfig, Stream,
-        TaskTag, TerminationKind, Universe,
+        run_universe, EpochFault, EpochTuning, FaultKind, FaultPlan, PatchProgram, ProgramFactory,
+        ProgramId, RuntimeConfig, Stream, TaskTag, TerminationKind, Universe,
     };
     pub use jsweep_des::{simulate, MachineModel, ProblemOptions, SimOptions, SweepProblem};
     pub use jsweep_graph::PriorityStrategy;
@@ -70,8 +70,8 @@ pub mod prelude {
     pub use jsweep_mesh::{PatchId, PatchSet, StructuredMesh, SweepTopology, TetMesh};
     pub use jsweep_quadrature::{AngleId, QuadratureSet};
     pub use jsweep_transport::{
-        solve_parallel, solve_parallel_cached, solve_serial, EvictionPolicy, Fifo, KernelKind,
-        Material, MaterialSet, PlanCache, RoundRobin, SessionError, SessionOptions, SnConfig,
-        SolveRequest, SolverSession,
+        solve_parallel, solve_parallel_cached, solve_serial, EvictionPolicy, FaultReport, Fifo,
+        KernelKind, Material, MaterialSet, PlanCache, RetryPolicy, RoundRobin, SessionError,
+        SessionOptions, SnConfig, SolveRequest, SolverSession,
     };
 }

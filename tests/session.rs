@@ -42,6 +42,7 @@ fn request(mats: &Arc<MaterialSet>) -> SolveRequest {
         materials: mats.clone(),
         max_iterations: None,
         tolerance: None,
+        retry: None,
     }
 }
 
@@ -264,6 +265,159 @@ fn round_robin_schedule_is_deterministic() {
         (2, 1, 2, true),
     ];
     assert_eq!(schedule, expected);
+}
+
+/// A ticket dropped without ever being waited on must not block
+/// shutdown: the result slot is the ticket's own, and fulfilling a
+/// dropped slot is a no-op, not a deadlock.
+#[test]
+fn dropped_ticket_never_blocks_shutdown() {
+    let (mesh, problem, quad) = build_world();
+    let mats = materials(0.3);
+    let mut session = SolverSession::launch(
+        mesh,
+        problem,
+        quad,
+        SessionOptions {
+            solver: fixed_iteration_config(),
+            ..Default::default()
+        },
+    );
+    let h = session.campaign();
+    for _ in 0..3 {
+        drop(h.submit(request(&mats)));
+    }
+    let kept = h.submit(request(&mats));
+    session.shutdown();
+    // Shutdown drained the admitted queue: the kept ticket resolved
+    // even though its siblings' results had nowhere to go.
+    kept.poll()
+        .expect("kept ticket resolved by shutdown")
+        .expect("kept solve served");
+    let stats = session.stats();
+    assert_eq!(stats.campaigns[&h.id()].completed, 4);
+    assert_eq!(stats.universes_retired, stats.universes_launched);
+}
+
+/// `wait_timeout` observes "not yet" without consuming the ticket,
+/// then the real result once the session serves it.
+#[test]
+fn wait_timeout_is_reusable() {
+    use std::time::Duration;
+    let (mesh, problem, quad) = build_world();
+    let mats = materials(0.3);
+    let mut session = SolverSession::launch(
+        mesh,
+        problem,
+        quad,
+        SessionOptions {
+            solver: fixed_iteration_config(),
+            ..Default::default()
+        },
+    );
+    let h = session.campaign();
+    session.pause();
+    let t = h.submit(request(&mats));
+    assert!(
+        t.wait_timeout(Duration::from_millis(50)).is_none(),
+        "paused session cannot have served the request"
+    );
+    session.resume();
+    let out = t
+        .wait_timeout(Duration::from_secs(30))
+        .expect("resumed session serves the request")
+        .expect("solve served");
+    assert_eq!(out.campaign, h.id());
+    // The result is sticky: the same ticket still observes it.
+    assert!(t.poll().expect("sticky result").is_ok());
+    assert!(t.wait_timeout(Duration::ZERO).is_some());
+    session.shutdown();
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    /// Random interleavings of submit / pause / resume / refine from
+    /// two concurrent threads, then shutdown: every ticket resolves
+    /// exactly once (a solution, or a deliberate rejection — never a
+    /// hang, never a lost slot).
+    #[test]
+    fn interleaved_commands_resolve_every_ticket(
+        ops in proptest::collection::vec(0u8..6, 1..12),
+        split in 0usize..12,
+    ) {
+        let (mesh, problem, quad) = build_world();
+        let mats = materials(0.3);
+        let mut session = SolverSession::launch(
+            mesh,
+            problem.clone(),
+            quad.clone(),
+            SessionOptions {
+                solver: SnConfig {
+                    grain: 16,
+                    max_iterations: 2,
+                    tolerance: 1e-14,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let split = split.min(ops.len());
+        let (left, right) = ops.split_at(split);
+        let halves = [left, right];
+        let tickets: Vec<_> = std::thread::scope(|s| {
+            let workers: Vec<_> = halves
+                .iter()
+                .map(|half| {
+                    let h = session.campaign();
+                    let mats = mats.clone();
+                    let session = &session;
+                    let quad = &quad;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for &op in *half {
+                            match op {
+                                0..=2 => mine.push(h.submit(request(&mats))),
+                                3 => session.pause(),
+                                4 => session.resume(),
+                                _ => {
+                                    let m = Arc::new(StructuredMesh::unit(4, 4, 4));
+                                    let patches = decompose_structured(&m, (2, 2, 2), 2);
+                                    let p = Arc::new(SweepProblem::build(
+                                        m.as_ref(),
+                                        patches,
+                                        quad,
+                                        &ProblemOptions::default(),
+                                    ));
+                                    session.refine(m, p);
+                                }
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("interleaving thread"))
+                .collect()
+        });
+        // Shutdown resumes a paused session and drains admitted work.
+        session.shutdown();
+        for t in &tickets {
+            let first = t.poll();
+            proptest::prop_assert!(first.is_some(), "ticket left unresolved");
+            match first.unwrap() {
+                Ok(_) | Err(SessionError::Closed) | Err(SessionError::Rejected(_)) => {}
+                Err(other) => panic!("unexpected resolution: {other:?}"),
+            }
+            // Exactly once: a second observation sees the same slot,
+            // not a re-resolution.
+            proptest::prop_assert!(t.poll().is_some());
+        }
+        let stats = session.stats();
+        proptest::prop_assert_eq!(stats.universes_retired, stats.universes_launched);
+    }
 }
 
 /// Refinement bumps interleaved with in-flight campaigns. Run with
