@@ -1,0 +1,207 @@
+//! The pluggable transport seam: [`CommBackend`] and the default
+//! in-process [`ThreadBackend`].
+//!
+//! [`crate::Comm`] owns everything transport-independent — the stash,
+//! `recv_match`, `drain_user`, barriers and reductions — and delegates
+//! raw tagged delivery to a boxed [`CommBackend`]. A backend provides
+//! exactly four operations (send, non-blocking recv, blocking recv,
+//! close) plus its identity; everything a backend promises is pinned by
+//! `tests/comm_conformance.rs`, the executable contract any future
+//! transport (TCP, shared-memory rings) must pass.
+
+use crate::Message;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+
+/// A transport-level failure surfaced by a [`CommBackend`].
+///
+/// Errors are *sticky* diagnoses of a broken world, not transient
+/// conditions: once a peer is gone the endpoint keeps reporting it
+/// (after first delivering any messages that were already buffered).
+/// The runtime maps this into the fault taxonomy as a rank-death
+/// `EpochFault`, so the session's retry/relaunch machinery covers
+/// transport failure the same way it covers panics and stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// The connection to `peer` is gone without a graceful close —
+    /// the process or thread behind it died.
+    PeerClosed {
+        /// Rank id of the vanished peer.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerClosed { peer } => write!(f, "peer rank {peer} hung up"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One rank's raw transport endpoint.
+///
+/// Contract (pinned by `tests/comm_conformance.rs`):
+///
+/// * **Per-pair FIFO** — messages from one sender arrive in send order;
+///   no ordering is promised across senders.
+/// * **Self-send** — `send(rank, ..)` is delivered through the same
+///   receive path as remote messages.
+/// * **Buffered-then-error** — when a peer dies, messages it sent
+///   before dying are still delivered; only once the buffer is dry does
+///   `try_recv`/`recv` return [`CommError::PeerClosed`].
+/// * **Graceful close is silent** — a peer that called [`close`]
+///   (rather than dying) simply never delivers again; it is not an
+///   error.
+/// * `send` takes `&self` so the master can send while logically
+///   holding the endpoint; `try_recv` must be cheap enough to poll in
+///   the master drain loop.
+///
+/// [`close`]: CommBackend::close
+pub trait CommBackend: Send {
+    /// This endpoint's rank id.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Asynchronous tagged send. Fails with [`CommError::PeerClosed`]
+    /// if the destination endpoint is gone.
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError>;
+
+    /// Non-blocking receive of the next message of any tag.
+    /// `Ok(None)` means "nothing available right now".
+    fn try_recv(&mut self) -> Result<Option<Message>, CommError>;
+
+    /// Blocking receive of the next message of any tag.
+    fn recv(&mut self) -> Result<Message, CommError>;
+
+    /// Gracefully tear down this endpoint, telling peers the silence
+    /// that follows is intentional (not a death). Idempotent. Dropping
+    /// an endpoint *without* closing it is how peers detect a death.
+    fn close(&mut self);
+
+    /// Payload bytes pushed into the fabric by this endpoint
+    /// (wire-level framing included where the transport has any).
+    fn bytes_sent(&self) -> u64;
+}
+
+/// The default fabric: ranks as threads in one address space, crossbeam
+/// channels as the wire. Zero-copy, unbounded, never drops.
+///
+/// One asymmetry with process-grade backends is inherent: because every
+/// endpoint holds a sender to itself, the receive side can never
+/// disconnect, so a dead peer is only observable on **send** (the
+/// channel to it is gone). A blocking `recv` from a peer that died
+/// without sending will wait forever — acceptable in-process, where the
+/// runtime always detects the death through its own send traffic or the
+/// watchdog. See `docs/transport.md` for the backend matrix.
+pub struct ThreadBackend {
+    rank: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    bytes_sent: std::sync::atomic::AtomicU64,
+}
+
+impl ThreadBackend {
+    /// Create the `n` connected endpoints of an in-process world, in
+    /// rank order.
+    pub fn endpoints(n: usize) -> Vec<ThreadBackend> {
+        assert!(n > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ThreadBackend {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                bytes_sent: std::sync::atomic::AtomicU64::new(0),
+            })
+            .collect()
+    }
+}
+
+impl CommBackend for ThreadBackend {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        let n = payload.len() as u64;
+        self.senders[to]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| CommError::PeerClosed { peer: to })?;
+        self.bytes_sent
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, CommError> {
+        match self.receiver.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            // Unreachable while this endpoint is alive (it holds a
+            // sender to itself), but diagnose rather than panic.
+            Err(TryRecvError::Disconnected) => Err(CommError::PeerClosed { peer: self.rank }),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Message, CommError> {
+        self.receiver
+            .recv()
+            .map_err(|_| CommError::PeerClosed { peer: self.rank })
+    }
+
+    fn close(&mut self) {
+        // Channels tear down when dropped; nothing to announce — the
+        // thread world has no death-vs-close ambiguity to resolve.
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_send_to_dropped_peer_is_an_error_not_a_panic() {
+        let mut world = ThreadBackend::endpoints(2);
+        let b1 = world.pop().unwrap();
+        let b0 = world.pop().unwrap();
+        drop(b1);
+        let err = b0.send(1, 7, Bytes::new()).unwrap_err();
+        assert_eq!(err, CommError::PeerClosed { peer: 1 });
+        // Self-send still works after a peer death.
+        b0.send(0, 7, Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn thread_bytes_sent_counts_payload() {
+        let mut world = ThreadBackend::endpoints(1);
+        let mut b = world.pop().unwrap();
+        b.send(0, 1, Bytes::copy_from_slice(&[0u8; 10])).unwrap();
+        b.send(0, 2, Bytes::copy_from_slice(&[0u8; 5])).unwrap();
+        assert_eq!(b.bytes_sent(), 15);
+        assert_eq!(b.try_recv().unwrap().unwrap().tag, 1);
+    }
+}

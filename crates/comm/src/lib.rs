@@ -1,29 +1,43 @@
-//! Simulated MPI substrate.
+//! Simulated MPI substrate with pluggable transports.
 //!
 //! JSweep's runtime was built on MPI + threads on Tianhe-II. This crate
 //! reproduces the slice of MPI semantics the runtime consumes — ranks
 //! with asynchronous, per-pair-ordered point-to-point messages, plus a
-//! few collectives and distributed termination detection — with ranks
-//! as OS threads and crossbeam channels as the fabric (see DESIGN.md §2
-//! for why this substitution preserves the behaviour under study).
+//! few collectives and distributed termination detection — behind a
+//! pluggable [`CommBackend`] transport seam:
 //!
-//! * [`Universe::run`] spawns `n` rank threads and hands each a
-//!   [`Comm`] endpoint;
-//! * [`Comm`] provides tagged `send` / `try_recv` / `recv_match` and
-//!   collectives (`barrier`, `allreduce_*`);
+//! * [`Comm`] provides tagged `send` / `try_recv` / `recv_match`,
+//!   collectives (`barrier`, `allreduce_*`) and epoch-boundary
+//!   [`Comm::drain_user`] over any backend;
+//! * [`backend`] defines the [`CommBackend`] trait and the default
+//!   [`ThreadBackend`] (ranks as OS threads, crossbeam channels as the
+//!   fabric — see DESIGN.md §2 for why this substitution preserves the
+//!   behaviour under study);
+//! * [`socket`] is the process-grade backend: ranks connected over
+//!   UNIX-domain sockets, so a rank can be a separate OS process;
+//! * [`Universe::run`] spawns `n` rank threads over the thread fabric,
+//!   [`socket::SocketUniverse`] does the same over sockets;
 //! * [`termination`] implements both termination detectors the paper
 //!   supports (§IV-C): the general Dijkstra–Safra token protocol and
 //!   the workload-counting shortcut for algorithms with known totals;
 //! * [`pack`] is the byte-level stream codec (the pack/unpack cost that
 //!   Fig. 16 profiles).
+//!
+//! Transport failure is a first-class outcome, not a panic: every
+//! operation that touches the fabric returns `Result<_, `[`CommError`]`>`,
+//! and the runtime maps a dead peer into its fault taxonomy (rank
+//! death) so retry/relaunch machinery covers the transport too.
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod pack;
+pub mod socket;
 pub mod termination;
 
+pub use backend::{CommBackend, CommError, ThreadBackend};
+
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 
 /// Tags at or above this value are reserved for the substrate
@@ -38,6 +52,19 @@ pub const TAG_TERMINATE: u32 = RESERVED_TAG_BASE + 2;
 /// "This rank finished its known workload" report (counting detector).
 pub const TAG_LOCAL_DONE: u32 = RESERVED_TAG_BASE + 3;
 
+/// Which transport fabric connects the ranks of a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Ranks as threads in one address space, crossbeam channels as the
+    /// wire ([`ThreadBackend`]). The fast default.
+    #[default]
+    Thread,
+    /// Ranks connected over UNIX-domain sockets
+    /// ([`socket::SocketBackend`]); ranks may live in separate
+    /// processes.
+    Socket,
+}
+
 /// A received message.
 #[derive(Debug, Clone)]
 pub struct Message {
@@ -49,67 +76,80 @@ pub struct Message {
     pub payload: Bytes,
 }
 
-/// One rank's endpoint of the simulated communicator.
+/// One rank's endpoint of the communicator.
+///
+/// Owns a boxed [`CommBackend`] for raw tagged delivery plus the
+/// transport-independent machinery every backend shares: the stash of
+/// messages set aside by [`Comm::recv_match`], the collectives, and the
+/// epoch-boundary [`Comm::drain_user`] sweep.
 pub struct Comm {
-    rank: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    backend: Box<dyn CommBackend>,
     /// Messages received while waiting for a specific tag.
     stash: VecDeque<Message>,
 }
 
 impl Comm {
+    /// Wrap a transport endpoint into a full communicator.
+    pub fn from_backend(backend: Box<dyn CommBackend>) -> Comm {
+        Comm {
+            backend,
+            stash: VecDeque::new(),
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.backend.rank()
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.backend.size()
+    }
+
+    /// Payload bytes this endpoint has pushed into the fabric.
+    pub fn bytes_sent(&self) -> u64 {
+        self.backend.bytes_sent()
     }
 
     /// Asynchronous tagged send. Sending to self is allowed (the message
-    /// is delivered through the same queue as remote ones).
-    pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
-        self.senders[to]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("peer rank hung up");
+    /// is delivered through the same receive path as remote ones).
+    /// Fails if the destination is dead instead of unwinding the caller.
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        self.backend.send(to, tag, payload)
     }
 
     /// Non-blocking receive of the next message of *any* tag, checking
-    /// the stash first.
-    pub fn try_recv(&mut self) -> Option<Message> {
+    /// the stash first. `Ok(None)` means "nothing available right now";
+    /// an error means a peer died (delivered only after everything it
+    /// managed to send has been drained).
+    pub fn try_recv(&mut self) -> Result<Option<Message>, CommError> {
         if let Some(m) = self.stash.pop_front() {
-            return Some(m);
+            return Ok(Some(m));
         }
-        self.receiver.try_recv().ok()
+        self.backend.try_recv()
     }
 
     /// Blocking receive of any message.
-    pub fn recv(&mut self) -> Message {
+    pub fn recv(&mut self) -> Result<Message, CommError> {
         if let Some(m) = self.stash.pop_front() {
-            return m;
+            return Ok(m);
         }
-        self.receiver.recv().expect("all peers hung up")
+        self.backend.recv()
     }
 
     /// Blocking receive of the next message with the given tag;
     /// other messages are stashed (and later returned by
     /// `try_recv`/`recv` in arrival order).
-    pub fn recv_match(&mut self, tag: u32) -> Message {
+    pub fn recv_match(&mut self, tag: u32) -> Result<Message, CommError> {
         // Check the stash first.
         if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
-            return self.stash.remove(pos).unwrap();
+            return Ok(self.stash.remove(pos).unwrap());
         }
         loop {
-            let m = self.receiver.recv().expect("all peers hung up");
+            let m = self.backend.recv()?;
             if m.tag == tag {
-                return m;
+                return Ok(m);
             }
             self.stash.push_back(m);
         }
@@ -125,10 +165,19 @@ impl Comm {
     /// residue of the finished epoch, while reserved traffic (e.g. a
     /// peer's barrier message for the *next* synchronisation) must
     /// survive the sweep.
-    pub fn drain_user(&mut self) -> usize {
+    pub fn drain_user(&mut self) -> Result<usize, CommError> {
         let mut kept = VecDeque::new();
         let mut dropped = 0;
-        while let Some(m) = self.try_recv() {
+        loop {
+            let m = match self.try_recv() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(e) => {
+                    // Keep what we already sorted, then report the death.
+                    self.stash = kept;
+                    return Err(e);
+                }
+            };
             if m.tag >= RESERVED_TAG_BASE {
                 kept.push_back(m);
             } else {
@@ -137,67 +186,119 @@ impl Comm {
         }
         // `try_recv` drained the stash first, so it is empty now.
         self.stash = kept;
-        dropped
+        Ok(dropped)
     }
 
     /// Synchronise all ranks. Must be called collectively; no other
     /// collective may be in flight concurrently.
-    pub fn barrier(&mut self) {
-        if self.rank == 0 {
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        if self.rank() == 0 {
             for _ in 1..self.size() {
-                let _ = self.recv_match(TAG_COLLECTIVE);
+                let _ = self.recv_match(TAG_COLLECTIVE)?;
             }
             for r in 1..self.size() {
-                self.send(r, TAG_COLLECTIVE, Bytes::new());
+                self.send(r, TAG_COLLECTIVE, Bytes::new())?;
             }
         } else {
-            self.send(0, TAG_COLLECTIVE, Bytes::new());
-            let _ = self.recv_match(TAG_COLLECTIVE);
+            self.send(0, TAG_COLLECTIVE, Bytes::new())?;
+            let _ = self.recv_match(TAG_COLLECTIVE)?;
         }
+        Ok(())
     }
 
     /// Sum an `f64` across all ranks (collective).
-    pub fn allreduce_sum_f64(&mut self, x: f64) -> f64 {
+    pub fn allreduce_sum_f64(&mut self, x: f64) -> Result<f64, CommError> {
         self.allreduce_f64(x, |a, b| a + b)
     }
 
     /// Maximum of an `f64` across all ranks (collective).
-    pub fn allreduce_max_f64(&mut self, x: f64) -> f64 {
+    pub fn allreduce_max_f64(&mut self, x: f64) -> Result<f64, CommError> {
         self.allreduce_f64(x, f64::max)
     }
 
     /// Sum a `u64` across all ranks (collective).
-    pub fn allreduce_sum_u64(&mut self, x: u64) -> u64 {
-        let v = self.allreduce_f64(x as f64, |a, b| a + b);
-        v.round() as u64
+    pub fn allreduce_sum_u64(&mut self, x: u64) -> Result<u64, CommError> {
+        let v = self.allreduce_f64(x as f64, |a, b| a + b)?;
+        Ok(v.round() as u64)
     }
 
-    fn allreduce_f64(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
-        if self.rank == 0 {
+    fn allreduce_f64(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> Result<f64, CommError> {
+        if self.rank() == 0 {
             let mut acc = x;
             for _ in 1..self.size() {
-                let m = self.recv_match(TAG_COLLECTIVE);
+                let m = self.recv_match(TAG_COLLECTIVE)?;
                 acc = op(acc, f64::from_le_bytes(m.payload[..8].try_into().unwrap()));
             }
             let out = Bytes::copy_from_slice(&acc.to_le_bytes());
             for r in 1..self.size() {
-                self.send(r, TAG_COLLECTIVE, out.clone());
+                self.send(r, TAG_COLLECTIVE, out.clone())?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()));
-            let m = self.recv_match(TAG_COLLECTIVE);
-            f64::from_le_bytes(m.payload[..8].try_into().unwrap())
+            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()))?;
+            let m = self.recv_match(TAG_COLLECTIVE)?;
+            Ok(f64::from_le_bytes(m.payload[..8].try_into().unwrap()))
         }
     }
 
+    /// Elementwise sum of an `f64` slice across all ranks (collective),
+    /// in place. Rank 0 accumulates contributions **in rank order**
+    /// (deterministic, bit-exact regardless of arrival order) and
+    /// broadcasts the result.
+    ///
+    /// This is the SPMD flux reduction: each rank deposits only its own
+    /// patches' cells (disjoint supports, zeros elsewhere), and the
+    /// reduction assembles the full field identically on every rank.
+    pub fn allreduce_sum_f64_slice(&mut self, xs: &mut [f64]) -> Result<(), CommError> {
+        if self.size() == 1 {
+            return Ok(());
+        }
+        if self.rank() == 0 {
+            let mut parts: Vec<Option<Bytes>> = vec![None; self.size()];
+            for _ in 1..self.size() {
+                let m = self.recv_match(TAG_COLLECTIVE)?;
+                parts[m.src] = Some(m.payload);
+            }
+            for part in parts.into_iter().flatten() {
+                assert_eq!(part.len(), xs.len() * 8, "allreduce slice length mismatch");
+                for (x, c) in xs.iter_mut().zip(part.chunks_exact(8)) {
+                    *x += f64::from_le_bytes(c.try_into().unwrap());
+                }
+            }
+            let mut buf = Vec::with_capacity(xs.len() * 8);
+            for x in xs.iter() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            let payload = Bytes::from(buf);
+            for r in 1..self.size() {
+                self.send(r, TAG_COLLECTIVE, payload.clone())?;
+            }
+        } else {
+            let mut buf = Vec::with_capacity(xs.len() * 8);
+            for x in xs.iter() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            self.send(0, TAG_COLLECTIVE, Bytes::from(buf))?;
+            let m = self.recv_match(TAG_COLLECTIVE)?;
+            assert_eq!(
+                m.payload.len(),
+                xs.len() * 8,
+                "allreduce slice length mismatch"
+            );
+            for (x, c) in xs.iter_mut().zip(m.payload.chunks_exact(8)) {
+                *x = f64::from_le_bytes(c.try_into().unwrap());
+            }
+        }
+        Ok(())
+    }
+
     /// Gather each rank's `u64` on every rank (collective).
-    pub fn allgather_u64(&mut self, x: u64) -> Vec<u64> {
-        if self.rank == 0 {
+    pub fn allgather_u64(&mut self, x: u64) -> Result<Vec<u64>, CommError> {
+        if self.rank() == 0 {
             let mut all = vec![0u64; self.size()];
             all[0] = x;
             for _ in 1..self.size() {
-                let m = self.recv_match(TAG_COLLECTIVE);
+                let m = self.recv_match(TAG_COLLECTIVE)?;
                 all[m.src] = u64::from_le_bytes(m.payload[..8].try_into().unwrap());
             }
             let mut buf = Vec::with_capacity(8 * self.size());
@@ -206,21 +307,28 @@ impl Comm {
             }
             let payload = Bytes::from(buf);
             for r in 1..self.size() {
-                self.send(r, TAG_COLLECTIVE, payload.clone());
+                self.send(r, TAG_COLLECTIVE, payload.clone())?;
             }
-            all
+            Ok(all)
         } else {
-            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()));
-            let m = self.recv_match(TAG_COLLECTIVE);
-            m.payload
+            self.send(0, TAG_COLLECTIVE, Bytes::copy_from_slice(&x.to_le_bytes()))?;
+            let m = self.recv_match(TAG_COLLECTIVE)?;
+            Ok(m.payload
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-                .collect()
+                .collect())
         }
+    }
+
+    /// Gracefully tear down the endpoint: peers will see the following
+    /// silence as intentional rather than a death. Idempotent.
+    pub fn close(&mut self) {
+        self.backend.close();
     }
 }
 
-/// The simulated "MPI world": spawns rank threads and joins them.
+/// The simulated "MPI world" over the thread fabric: spawns rank
+/// threads and joins them.
 pub struct Universe;
 
 impl Universe {
@@ -231,23 +339,9 @@ impl Universe {
     /// caller owns the rank threads and their lifetimes, while
     /// [`Universe::run`] remains the one-shot spawn-and-join wrapper.
     pub fn endpoints(n: usize) -> Vec<Comm> {
-        assert!(n > 0, "need at least one rank");
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        receivers
+        ThreadBackend::endpoints(n)
             .into_iter()
-            .enumerate()
-            .map(|(rank, receiver)| Comm {
-                rank,
-                senders: senders.clone(),
-                receiver,
-                stash: VecDeque::new(),
-            })
+            .map(|b| Comm::from_backend(Box::new(b)))
             .collect()
     }
 
@@ -285,8 +379,9 @@ mod tests {
     fn ring_pass() {
         let results = Universe::run(4, |mut comm| {
             let next = (comm.rank() + 1) % comm.size();
-            comm.send(next, 7, Bytes::copy_from_slice(&[comm.rank() as u8]));
-            let m = comm.recv_match(7);
+            comm.send(next, 7, Bytes::copy_from_slice(&[comm.rank() as u8]))
+                .unwrap();
+            let m = comm.recv_match(7).unwrap();
             (m.src, m.payload[0])
         });
         for (rank, (src, byte)) in results.into_iter().enumerate() {
@@ -298,8 +393,8 @@ mod tests {
     #[test]
     fn single_rank_universe() {
         let r = Universe::run(1, |mut comm| {
-            comm.barrier();
-            comm.allreduce_sum_f64(2.5)
+            comm.barrier().unwrap();
+            comm.allreduce_sum_f64(2.5).unwrap()
         });
         assert_eq!(r, vec![2.5]);
     }
@@ -310,7 +405,7 @@ mod tests {
         static BEFORE: AtomicUsize = AtomicUsize::new(0);
         let _ = Universe::run(4, |mut comm| {
             BEFORE.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             assert_eq!(BEFORE.load(Ordering::SeqCst), 4);
         });
     }
@@ -318,8 +413,8 @@ mod tests {
     #[test]
     fn allreduce_sum_and_max() {
         let results = Universe::run(3, |mut comm| {
-            let s = comm.allreduce_sum_f64(comm.rank() as f64 + 1.0);
-            let m = comm.allreduce_max_f64(comm.rank() as f64);
+            let s = comm.allreduce_sum_f64(comm.rank() as f64 + 1.0).unwrap();
+            let m = comm.allreduce_max_f64(comm.rank() as f64).unwrap();
             (s, m)
         });
         for (s, m) in results {
@@ -330,9 +425,26 @@ mod tests {
 
     #[test]
     fn allgather_orders_by_rank() {
-        let results = Universe::run(3, |mut comm| comm.allgather_u64(comm.rank() as u64 * 10));
+        let results = Universe::run(3, |mut comm| {
+            comm.allgather_u64(comm.rank() as u64 * 10).unwrap()
+        });
         for r in results {
             assert_eq!(r, vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn allreduce_slice_sums_disjoint_supports() {
+        let results = Universe::run(3, |mut comm| {
+            // Each rank deposits into its own third of the field.
+            let mut xs = vec![0.0f64; 6];
+            xs[comm.rank() * 2] = comm.rank() as f64 + 1.0;
+            xs[comm.rank() * 2 + 1] = 10.0 * (comm.rank() as f64 + 1.0);
+            comm.allreduce_sum_f64_slice(&mut xs).unwrap();
+            xs
+        });
+        for xs in results {
+            assert_eq!(xs, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
         }
     }
 
@@ -340,14 +452,14 @@ mod tests {
     fn recv_match_stashes_other_tags() {
         let r = Universe::run(2, |mut comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, Bytes::copy_from_slice(b"first"));
-                comm.send(1, 2, Bytes::copy_from_slice(b"second"));
+                comm.send(1, 1, Bytes::copy_from_slice(b"first")).unwrap();
+                comm.send(1, 2, Bytes::copy_from_slice(b"second")).unwrap();
                 0
             } else {
                 // Wait for tag 2 first; tag 1 must be stashed, not lost.
-                let m2 = comm.recv_match(2);
+                let m2 = comm.recv_match(2).unwrap();
                 assert_eq!(&m2.payload[..], b"second");
-                let m1 = comm.try_recv().expect("stashed message lost");
+                let m1 = comm.try_recv().unwrap().expect("stashed message lost");
                 assert_eq!(m1.tag, 1);
                 assert_eq!(&m1.payload[..], b"first");
                 1
@@ -359,8 +471,8 @@ mod tests {
     #[test]
     fn self_send_is_delivered() {
         let r = Universe::run(1, |mut comm| {
-            comm.send(0, 9, Bytes::copy_from_slice(b"me"));
-            comm.recv_match(9).payload
+            comm.send(0, 9, Bytes::copy_from_slice(b"me")).unwrap();
+            comm.recv_match(9).unwrap().payload
         });
         assert_eq!(&r[0][..], b"me");
     }
@@ -368,12 +480,12 @@ mod tests {
     #[test]
     fn blocking_recv_returns_stashed_first() {
         let r = Universe::run(1, |mut comm| {
-            comm.send(0, 3, Bytes::copy_from_slice(b"a"));
-            comm.send(0, 4, Bytes::copy_from_slice(b"b"));
+            comm.send(0, 3, Bytes::copy_from_slice(b"a")).unwrap();
+            comm.send(0, 4, Bytes::copy_from_slice(b"b")).unwrap();
             // Match tag 4 first, stashing tag 3; blocking recv must then
             // return the stashed message before any new one.
-            let _ = comm.recv_match(4);
-            let m = comm.recv();
+            let _ = comm.recv_match(4).unwrap();
+            let m = comm.recv().unwrap();
             m.tag
         });
         assert_eq!(r, vec![3]);
@@ -382,7 +494,7 @@ mod tests {
     #[test]
     fn allreduce_max_with_negatives() {
         let results = Universe::run(3, |mut comm| {
-            comm.allreduce_max_f64(-(comm.rank() as f64) - 1.0)
+            comm.allreduce_max_f64(-(comm.rank() as f64) - 1.0).unwrap()
         });
         for m in results {
             assert_eq!(m, -1.0);
@@ -391,7 +503,7 @@ mod tests {
 
     #[test]
     fn allgather_single_rank() {
-        let r = Universe::run(1, |mut comm| comm.allgather_u64(17));
+        let r = Universe::run(1, |mut comm| comm.allgather_u64(17).unwrap());
         assert_eq!(r, vec![vec![17]]);
     }
 
@@ -400,13 +512,14 @@ mod tests {
         let r = Universe::run(2, |mut comm| {
             if comm.rank() == 0 {
                 for i in 0..100u32 {
-                    comm.send(1, 5, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    comm.send(1, 5, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
                 }
                 Vec::new()
             } else {
                 (0..100)
                     .map(|_| {
-                        let m = comm.recv_match(5);
+                        let m = comm.recv_match(5).unwrap();
                         u32::from_le_bytes(m.payload[..4].try_into().unwrap())
                     })
                     .collect()

@@ -15,9 +15,11 @@
 //!
 //! Both emit/consume messages through a [`Comm`] using the reserved
 //! tags; the runtime master polls `on_message` for anything it does not
-//! recognise and calls `maybe_initiate` when its rank is idle.
+//! recognise and calls `maybe_advance` when its rank is idle. Every
+//! call that may touch the fabric returns `Result<Verdict, CommError>`
+//! so a dead peer surfaces to the caller instead of unwinding.
 
-use crate::{Comm, Message, TAG_LOCAL_DONE, TAG_TERMINATE, TAG_TOKEN};
+use crate::{Comm, CommError, Message, TAG_LOCAL_DONE, TAG_TERMINATE, TAG_TOKEN};
 use bytes::Bytes;
 
 /// Outcome of feeding a substrate message to a detector.
@@ -76,20 +78,20 @@ impl Safra {
     }
 
     /// Feed a substrate message; returns the verdict.
-    pub fn on_message(&mut self, m: &Message, comm: &Comm) -> Verdict {
+    pub fn on_message(&mut self, m: &Message, comm: &Comm) -> Result<Verdict, CommError> {
         match m.tag {
             TAG_TOKEN => {
                 let count = i64::from_le_bytes(m.payload[..8].try_into().unwrap());
                 let black = m.payload[8] != 0;
                 self.token = Some((count, black));
                 let _ = comm;
-                Verdict::Continue
+                Ok(Verdict::Continue)
             }
             TAG_TERMINATE => {
                 self.terminated = true;
-                Verdict::Terminated
+                Ok(Verdict::Terminated)
             }
-            _ => Verdict::NotMine,
+            _ => Ok(Verdict::NotMine),
         }
     }
 
@@ -97,55 +99,55 @@ impl Safra {
     /// Forwards or initiates the token; rank 0 decides termination and
     /// broadcasts `TAG_TERMINATE` (returned verdict is `Terminated` for
     /// rank 0 in that instant; other ranks learn via the broadcast).
-    pub fn maybe_advance(&mut self, idle: bool, comm: &Comm) -> Verdict {
+    pub fn maybe_advance(&mut self, idle: bool, comm: &Comm) -> Result<Verdict, CommError> {
         if self.terminated {
-            return Verdict::Terminated;
+            return Ok(Verdict::Terminated);
         }
         if !idle {
-            return Verdict::Continue;
+            return Ok(Verdict::Continue);
         }
         if self.rank == 0 {
             match self.token.take() {
                 None => {
                     // Initiate a fresh white probe.
-                    self.send_token(comm, 0, false);
+                    self.send_token(comm, 0, false)?;
                     self.black = false;
-                    Verdict::Continue
+                    Ok(Verdict::Continue)
                 }
                 Some((count, black)) => {
                     if !black && !self.black && count + self.counter == 0 {
                         // White token, zero balance: quiescence.
                         for r in 0..self.size {
                             if r != 0 {
-                                comm.send(r, TAG_TERMINATE, Bytes::new());
+                                comm.send(r, TAG_TERMINATE, Bytes::new())?;
                             }
                         }
                         self.terminated = true;
-                        Verdict::Terminated
+                        Ok(Verdict::Terminated)
                     } else {
                         // Failed probe: start another round.
-                        self.send_token(comm, 0, false);
+                        self.send_token(comm, 0, false)?;
                         self.black = false;
-                        Verdict::Continue
+                        Ok(Verdict::Continue)
                     }
                 }
             }
         } else if let Some((count, black)) = self.token.take() {
             let out_black = black || self.black;
-            self.send_token(comm, count + self.counter, out_black);
+            self.send_token(comm, count + self.counter, out_black)?;
             self.black = false;
-            Verdict::Continue
+            Ok(Verdict::Continue)
         } else {
-            Verdict::Continue
+            Ok(Verdict::Continue)
         }
     }
 
-    fn send_token(&self, comm: &Comm, count: i64, black: bool) {
+    fn send_token(&self, comm: &Comm, count: i64, black: bool) -> Result<(), CommError> {
         let next = (self.rank + 1) % self.size;
         let mut payload = Vec::with_capacity(9);
         payload.extend_from_slice(&count.to_le_bytes());
         payload.push(black as u8);
-        comm.send(next, TAG_TOKEN, Bytes::from(payload));
+        comm.send(next, TAG_TOKEN, Bytes::from(payload))
     }
 }
 
@@ -179,9 +181,13 @@ impl Counting {
     /// Call whenever local remaining workload may have reached zero.
     /// Reports to rank 0 exactly once; rank 0 broadcasts termination
     /// when every rank (including itself) has reported.
-    pub fn maybe_report(&mut self, remaining_workload: u64, comm: &Comm) -> Verdict {
+    pub fn maybe_report(
+        &mut self,
+        remaining_workload: u64,
+        comm: &Comm,
+    ) -> Result<Verdict, CommError> {
         if self.terminated {
-            return Verdict::Terminated;
+            return Ok(Verdict::Terminated);
         }
         if remaining_workload == 0 && !self.reported {
             self.reported = true;
@@ -189,14 +195,14 @@ impl Counting {
                 self.done_ranks += 1;
                 return self.check_all_done(comm);
             } else {
-                comm.send(0, TAG_LOCAL_DONE, Bytes::new());
+                comm.send(0, TAG_LOCAL_DONE, Bytes::new())?;
             }
         }
-        Verdict::Continue
+        Ok(Verdict::Continue)
     }
 
     /// Feed a substrate message.
-    pub fn on_message(&mut self, m: &Message, comm: &Comm) -> Verdict {
+    pub fn on_message(&mut self, m: &Message, comm: &Comm) -> Result<Verdict, CommError> {
         match m.tag {
             TAG_LOCAL_DONE => {
                 debug_assert_eq!(self.rank, 0, "only rank 0 collects done reports");
@@ -205,21 +211,21 @@ impl Counting {
             }
             TAG_TERMINATE => {
                 self.terminated = true;
-                Verdict::Terminated
+                Ok(Verdict::Terminated)
             }
-            _ => Verdict::NotMine,
+            _ => Ok(Verdict::NotMine),
         }
     }
 
-    fn check_all_done(&mut self, comm: &Comm) -> Verdict {
+    fn check_all_done(&mut self, comm: &Comm) -> Result<Verdict, CommError> {
         if self.done_ranks == self.size {
             for r in 1..self.size {
-                comm.send(r, TAG_TERMINATE, Bytes::new());
+                comm.send(r, TAG_TERMINATE, Bytes::new())?;
             }
             self.terminated = true;
-            Verdict::Terminated
+            Ok(Verdict::Terminated)
         } else {
-            Verdict::Continue
+            Ok(Verdict::Continue)
         }
     }
 }
@@ -241,12 +247,12 @@ mod tests {
             let mut spins = 0u64;
             loop {
                 if to_send > 0 {
-                    comm.send(next, 1, Bytes::new());
+                    comm.send(next, 1, Bytes::new()).unwrap();
                     safra.on_send();
                     to_send -= 1;
                 }
-                while let Some(m) = comm.try_recv() {
-                    match safra.on_message(&m, &comm) {
+                while let Some(m) = comm.try_recv().unwrap() {
+                    match safra.on_message(&m, &comm).unwrap() {
                         Verdict::NotMine => {
                             received += 1;
                             safra.on_receive();
@@ -256,7 +262,7 @@ mod tests {
                     }
                 }
                 let idle = to_send == 0 && received == 5;
-                if safra.maybe_advance(idle, &comm) == Verdict::Terminated {
+                if safra.maybe_advance(idle, &comm).unwrap() == Verdict::Terminated {
                     return (received, spins);
                 }
                 spins += 1;
@@ -275,12 +281,12 @@ mod tests {
             let mut safra = Safra::new(0, 1);
             let mut spins = 0;
             loop {
-                while let Some(m) = comm.try_recv() {
-                    if safra.on_message(&m, &comm) == Verdict::Terminated {
+                while let Some(m) = comm.try_recv().unwrap() {
+                    if safra.on_message(&m, &comm).unwrap() == Verdict::Terminated {
                         return spins;
                     }
                 }
-                if safra.maybe_advance(true, &comm) == Verdict::Terminated {
+                if safra.maybe_advance(true, &comm).unwrap() == Verdict::Terminated {
                     return spins;
                 }
                 spins += 1;
@@ -300,12 +306,12 @@ mod tests {
             if comm.rank() == 1 {
                 // Delay, then send one message to rank 0.
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                comm.send(0, 1, Bytes::new());
+                comm.send(0, 1, Bytes::new()).unwrap();
                 safra.on_send();
             }
             loop {
-                while let Some(m) = comm.try_recv() {
-                    match safra.on_message(&m, &comm) {
+                while let Some(m) = comm.try_recv().unwrap() {
+                    match safra.on_message(&m, &comm).unwrap() {
                         Verdict::NotMine => {
                             got_message = true;
                             safra.on_receive();
@@ -315,7 +321,7 @@ mod tests {
                     }
                 }
                 let idle = comm.rank() == 1 || got_message || comm.rank() == 0;
-                if safra.maybe_advance(idle, &comm) == Verdict::Terminated {
+                if safra.maybe_advance(idle, &comm).unwrap() == Verdict::Terminated {
                     return got_message;
                 }
                 std::thread::yield_now();
@@ -333,11 +339,11 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(comm.rank() as u64));
             let mut spins = 0u64;
             loop {
-                if det.maybe_report(0, &comm) == Verdict::Terminated {
+                if det.maybe_report(0, &comm).unwrap() == Verdict::Terminated {
                     return true;
                 }
-                while let Some(m) = comm.try_recv() {
-                    if det.on_message(&m, &comm) == Verdict::Terminated {
+                while let Some(m) = comm.try_recv().unwrap() {
+                    if det.on_message(&m, &comm).unwrap() == Verdict::Terminated {
                         return true;
                     }
                 }
@@ -355,9 +361,9 @@ mod tests {
     fn counting_waits_for_nonzero_workload() {
         let r = Universe::run(1, |comm| {
             let mut det = Counting::new(0, 1);
-            assert_eq!(det.maybe_report(3, &comm), Verdict::Continue);
+            assert_eq!(det.maybe_report(3, &comm).unwrap(), Verdict::Continue);
             assert!(!det.is_terminated());
-            assert_eq!(det.maybe_report(0, &comm), Verdict::Terminated);
+            assert_eq!(det.maybe_report(0, &comm).unwrap(), Verdict::Terminated);
             det.is_terminated()
         });
         assert!(r[0]);

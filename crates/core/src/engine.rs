@@ -41,7 +41,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jsweep_comm::pack::Writer;
 use jsweep_comm::termination::{Counting, Safra, Verdict};
-use jsweep_comm::{Comm, Universe as CommUniverse};
+use jsweep_comm::{Comm, CommError, Universe as CommUniverse};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,6 +119,21 @@ impl Default for RuntimeConfig {
 
 /// Multi-stream frames travel under this tag.
 const TAG_FRAME: u32 = 0;
+
+/// Map a transport failure observed by `origin_rank` into the fault
+/// taxonomy: the fault is blamed on the *vanished peer* (that is the
+/// rank that died), not on the rank that noticed, so session-tier
+/// quarantine and retry accounting target the right rank.
+fn comm_fault(origin_rank: usize, e: CommError) -> EpochFault {
+    let CommError::PeerClosed { peer } = e;
+    EpochFault {
+        rank: peer,
+        worker: 0,
+        program: None,
+        payload: format!("transport failure observed on rank {origin_rank}: {e}"),
+        kind: FaultKind::RankDeath,
+    }
+}
 
 /// Epoch-abort broadcasts travel under this tag: when a rank faults
 /// it packs the [`EpochFault`] and sends it to every peer, which
@@ -394,6 +409,11 @@ struct Master<F: ProgramFactory> {
     bd: Breakdown,
     safra: Safra,
     work_done: u64,
+    /// First transport failure seen while routing this epoch (sends
+    /// happen deep in the routing hot path, where returning `Result`
+    /// through every layer would be noise; the main loop checks this
+    /// once per drain round instead).
+    dead: Option<CommError>,
 }
 
 impl<F: ProgramFactory> Master<F> {
@@ -429,6 +449,7 @@ impl<F: ProgramFactory> Master<F> {
             bd: Breakdown::default(),
             safra: Safra::new(rank, size),
             work_done: 0,
+            dead: None,
         }
     }
 
@@ -444,6 +465,7 @@ impl<F: ProgramFactory> Master<F> {
         self.bd = Breakdown::default();
         self.safra = Safra::new(self.rank, self.size);
         self.work_done = 0;
+        self.dead = None;
     }
 
     /// Priority of a local program (route-table hit or cached fallback).
@@ -523,9 +545,18 @@ impl<F: ProgramFactory> Master<F> {
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
         slot.count = 0;
-        self.bd
+        let sent = self
+            .bd
             .timed(Category::Comm, || comm.send(dst, TAG_FRAME, payload));
-        self.safra.on_send();
+        match sent {
+            Ok(()) => self.safra.on_send(),
+            // The destination rank is gone. Record the diagnosis for
+            // the main loop's per-round check; dropping the frame is
+            // sound because the epoch is already doomed.
+            Err(e) => {
+                self.dead.get_or_insert(e);
+            }
+        }
     }
 
     /// Send every pending frame (end of a drain round).
@@ -613,10 +644,10 @@ impl<F: ProgramFactory> Rank<F> {
     /// frames can never be mistaken for residue. The drain is
     /// tag-aware ([`Comm::drain_user`]): a faster peer may already
     /// have sent its second-barrier message, which must survive.
-    fn epoch_fence(&mut self) {
-        self.comm.barrier();
-        let _ = self.comm.drain_user();
-        self.comm.barrier();
+    fn epoch_fence(&mut self) -> Result<(), CommError> {
+        self.comm.barrier()?;
+        self.comm.drain_user()?;
+        self.comm.barrier()
     }
 
     /// Run one epoch to global termination and return this rank's
@@ -645,10 +676,17 @@ impl<F: ProgramFactory> Rank<F> {
         // runs pay no barrier at all.
         if self.epochs_run > 0 {
             let t_fence = Instant::now();
-            self.epoch_fence();
+            let fence = self.epoch_fence();
             self.m
                 .bd
                 .add(Category::Idle, t_fence.elapsed().as_secs_f64());
+            if let Err(e) = fence {
+                // A peer died between epochs. No abort broadcast: the
+                // peers will observe the same death through their own
+                // fences or drain loops.
+                self.epochs_run += 1;
+                return Err(comm_fault(self.m.rank, e));
+            }
         }
 
         // Re-arm resident programs for this epoch; the pool drops
@@ -667,6 +705,17 @@ impl<F: ProgramFactory> Rank<F> {
             (&mut self.m, &self.pool, &mut self.comm, &self.from_workers);
         let rank = m.rank;
         let size = m.size;
+
+        // Injected rank death (chaos testing): panic the whole rank
+        // thread after the fence, with peers mid-epoch, so they learn
+        // of the death only through the transport — a raw EOF on a
+        // socket fabric, a failed send on the thread fabric.
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.fault_plan {
+            if plan.should_kill_rank(rank) {
+                panic!("injected fault: rank {rank} death");
+            }
+        }
 
         // Progress tracking: local committed workload (re-evaluated
         // per epoch — constant for sweeps, but the factory may vary
@@ -710,12 +759,26 @@ impl<F: ProgramFactory> Rank<F> {
             }
             // One frame per destination per drain round.
             m.flush_frames(comm);
+            // A routing send may have diagnosed a dead peer.
+            if let Some(e) = m.dead.take() {
+                fault.get_or_insert(comm_fault(rank, e));
+                fault_is_local = true;
+            }
             if fault.is_some() {
                 break 'main;
             }
 
             // Drain network messages: incoming frames + protocol traffic.
-            while let Some(msg) = m.bd.timed(Category::Comm, || comm.try_recv()) {
+            loop {
+                let msg = match m.bd.timed(Category::Comm, || comm.try_recv()) {
+                    Ok(Some(msg)) => msg,
+                    Ok(None) => break,
+                    Err(e) => {
+                        fault = Some(comm_fault(rank, e));
+                        fault_is_local = true;
+                        break 'main;
+                    }
+                };
                 progress = true;
                 match msg.tag {
                     TAG_FRAME => m.recv_frame(pool, msg.payload),
@@ -728,15 +791,21 @@ impl<F: ProgramFactory> Rank<F> {
                             TerminationKind::Counting => counting.on_message(&msg, comm),
                             TerminationKind::Safra => m.safra.on_message(&msg, comm),
                         };
-                        if v == Verdict::Terminated {
-                            break 'main;
+                        match v {
+                            Ok(Verdict::Terminated) => break 'main,
+                            Ok(_) => {}
+                            Err(e) => {
+                                fault = Some(comm_fault(rank, e));
+                                fault_is_local = true;
+                                break 'main;
+                            }
                         }
                     }
                 }
             }
 
             // Termination detection.
-            match self.config.termination {
+            let verdict = match self.config.termination {
                 TerminationKind::Counting => {
                     debug_assert!(
                         m.work_done <= total_work,
@@ -744,16 +813,21 @@ impl<F: ProgramFactory> Rank<F> {
                         m.work_done
                     );
                     let remaining = total_work.saturating_sub(m.work_done);
-                    if counting.maybe_report(remaining, comm) == Verdict::Terminated {
-                        break 'main;
-                    }
+                    counting.maybe_report(remaining, comm)
                 }
                 TerminationKind::Safra => {
                     debug_assert!(m.dirty.is_empty(), "unflushed frames at idle check");
                     let idle = !progress && pool.is_quiet();
-                    if m.safra.maybe_advance(idle, comm) == Verdict::Terminated {
-                        break 'main;
-                    }
+                    m.safra.maybe_advance(idle, comm)
+                }
+            };
+            match verdict {
+                Ok(Verdict::Terminated) => break 'main,
+                Ok(_) => {}
+                Err(e) => {
+                    fault = Some(comm_fault(rank, e));
+                    fault_is_local = true;
+                    break 'main;
                 }
             }
 
@@ -798,6 +872,10 @@ impl<F: ProgramFactory> Rank<F> {
                         }
                         m.route_report(pool, comm, report);
                         m.flush_frames(comm);
+                        if let Some(e) = m.dead.take() {
+                            fault.get_or_insert(comm_fault(rank, e));
+                            fault_is_local = true;
+                        }
                         if fault.is_some() {
                             break 'main;
                         }
@@ -829,10 +907,12 @@ impl<F: ProgramFactory> Rank<F> {
         // down.
         if let Some(f) = fault {
             if fault_is_local {
+                // Best-effort: a peer that already died (the very thing
+                // some faults report) cannot be told about it.
                 let payload = f.pack();
                 for peer in 0..size {
                     if peer != rank {
-                        comm.send(peer, TAG_ABORT, payload.clone());
+                        let _ = comm.send(peer, TAG_ABORT, payload.clone());
                     }
                 }
             }
@@ -912,7 +992,8 @@ impl<F: ProgramFactory> Rank<F> {
     pub(crate) fn shutdown(mut self) -> Vec<(Breakdown, u64)> {
         self.pool.stop();
         let rank = self.m.rank;
-        self.workers
+        let residuals: Vec<_> = self
+            .workers
             .drain(..)
             .enumerate()
             .map(|(w, h)| {
@@ -923,7 +1004,81 @@ impl<F: ProgramFactory> Rank<F> {
                     )
                 })
             })
-            .collect()
+            .collect();
+        // Tell peers the silence that follows is intentional, so a
+        // process-grade transport does not read this rank's exit as a
+        // death.
+        self.comm.close();
+        residuals
+    }
+}
+
+impl<F: ProgramFactory> Drop for Rank<F> {
+    fn drop(&mut self) {
+        // A rank abandoned without `shutdown` — an injected rank death,
+        // or an engine panic unwinding through `run_epoch` — must still
+        // release its workers, or they would block forever on an empty
+        // pool and (joined by nobody) leak. `Pool::stop` is idempotent,
+        // so the normal shutdown path is unaffected. The comm endpoint
+        // is deliberately *not* closed here: its own drop logic
+        // distinguishes clean teardown from a mid-panic unwind, which
+        // is exactly how peers detect the death.
+        self.pool.stop();
+    }
+}
+
+/// One rank of an SPMD (one-process-per-rank) world: the public form
+/// of the resident rank engine, for callers that own a real process
+/// boundary instead of a [`crate::Universe`] of threads.
+///
+/// Where a `Universe` spawns every rank and harvests faults centrally,
+/// an `SpmdRank` is launched once per process over a connected
+/// [`Comm`] (typically a socket world) and driven epoch by epoch;
+/// transport failures and contained faults surface as
+/// [`EpochFault`]s from [`SpmdRank::run_epoch`] in each process
+/// independently.
+pub struct SpmdRank<F: ProgramFactory> {
+    inner: Rank<F>,
+}
+
+impl<F: ProgramFactory> SpmdRank<F> {
+    /// Spawn this process's workers and master state over `comm`.
+    pub fn launch(comm: Comm, factory: Arc<F>, config: &RuntimeConfig) -> SpmdRank<F> {
+        SpmdRank {
+            inner: Rank::launch(comm, factory, config),
+        }
+    }
+
+    /// Run one epoch to global termination (see the resident-rank
+    /// epoch contract on [`crate::Universe::run_epoch`]).
+    pub fn run_epoch(
+        &mut self,
+        input: &Arc<EpochInput>,
+        tuning: crate::EpochTuning,
+    ) -> Result<RunStats, EpochFault> {
+        self.inner
+            .run_epoch(input, tuning.report_flush_streams, tuning.claim_batch)
+    }
+
+    /// This process's rank id.
+    pub fn rank(&self) -> usize {
+        self.inner.comm.rank()
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.inner.comm.size()
+    }
+
+    /// The rank's comm endpoint, for out-of-epoch collectives
+    /// (reductions between solver iterations).
+    pub fn comm_mut(&mut self) -> &mut Comm {
+        &mut self.inner.comm
+    }
+
+    /// Join workers and close the endpoint gracefully.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 }
 

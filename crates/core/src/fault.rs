@@ -203,6 +203,20 @@ struct EpochFailSpec {
     fired: AtomicBool,
 }
 
+/// One injected rank death: the `nth` (1-based) epoch entered by rank
+/// `rank` — counted process-wide against the shared plan, so the spec
+/// fires exactly once even across universe relaunches — kills the
+/// whole rank thread (master and all), simulating a crashed rank
+/// process. Peers observe it through the transport (a raw EOF on a
+/// socket fabric), not through any in-process side channel.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug)]
+struct KillSpec {
+    rank: usize,
+    nth: u64,
+    hits: AtomicU64,
+}
+
 /// A deterministic, seedable fault-injection plan.
 ///
 /// Built once (usually per test) and installed via
@@ -224,6 +238,8 @@ pub struct FaultPlan {
     stalls: Vec<StallSpec>,
     #[cfg(feature = "fault-inject")]
     epoch_fails: Vec<EpochFailSpec>,
+    #[cfg(feature = "fault-inject")]
+    kills: Vec<KillSpec>,
 }
 
 impl FaultPlan {
@@ -313,6 +329,27 @@ impl FaultPlan {
     pub fn take_epoch_fail(&self, _campaign: u64, _epoch_attempt: u64) -> bool {
         false
     }
+
+    /// Should this rank die on entering the current epoch? Counts the
+    /// epoch entry against every matching spec; `true` exactly when a
+    /// spec's counter lands on its `nth`.
+    #[cfg(feature = "fault-inject")]
+    pub fn should_kill_rank(&self, rank: usize) -> bool {
+        let mut fire = false;
+        for spec in &self.kills {
+            if spec.rank == rank && spec.hits.fetch_add(1, Ordering::Relaxed) + 1 == spec.nth {
+                fire = true;
+            }
+        }
+        fire
+    }
+
+    /// Inert stand-in when injection is compiled out.
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    pub fn should_kill_rank(&self, _rank: usize) -> bool {
+        false
+    }
 }
 
 /// Builder for [`FaultPlan`]. With the `fault-inject` feature
@@ -372,6 +409,18 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Kill rank `rank` (panic the whole rank thread, master included)
+    /// on the `nth` (1-based) epoch it enters, once across relaunches.
+    pub fn kill_rank(mut self, rank: usize, nth: u64) -> FaultPlanBuilder {
+        #[cfg(feature = "fault-inject")]
+        self.plan.kills.push(KillSpec {
+            rank,
+            nth,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
     /// Finish the plan.
     pub fn build(self) -> FaultPlan {
         self.plan
@@ -415,6 +464,16 @@ mod tests {
         assert!(!plan.should_panic(id)); // 2nd
         assert!(plan.should_panic(id)); // 3rd fires
         assert!(!plan.should_panic(id)); // spent
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn kill_spec_fires_exactly_once_on_nth_epoch_entry() {
+        let plan = FaultPlan::builder().kill_rank(1, 2).build();
+        assert!(!plan.should_kill_rank(0));
+        assert!(!plan.should_kill_rank(1)); // 1st epoch entry
+        assert!(plan.should_kill_rank(1)); // 2nd fires
+        assert!(!plan.should_kill_rank(1)); // spent, incl. after relaunch
     }
 
     #[cfg(feature = "fault-inject")]

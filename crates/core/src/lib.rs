@@ -52,11 +52,12 @@ pub mod program;
 pub mod stats;
 pub mod universe;
 
-pub use engine::{run_rank, run_universe, RuntimeConfig, TerminationKind};
+pub use engine::{run_rank, run_universe, RuntimeConfig, SpmdRank, TerminationKind};
 pub use fault::{panic_message, EpochFault, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use jsweep_comm::TransportKind;
 pub use program::{
     pack_frame, unpack_frame, ComputeCtx, EpochInput, PatchProgram, ProgramFactory, ProgramId,
     Stream, TaskTag,
 };
 pub use stats::{Breakdown, RunStats};
-pub use universe::{EpochTuning, Universe};
+pub use universe::{fabric_for, CommFabric, EpochTuning, Universe};

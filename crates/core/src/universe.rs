@@ -31,9 +31,28 @@ use crate::fault::{panic_message, EpochFault};
 use crate::program::{EpochInput, ProgramFactory};
 use crate::stats::RunStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use jsweep_comm::Universe as CommUniverse;
+use jsweep_comm::socket::SocketUniverse;
+use jsweep_comm::{Comm, TransportKind, Universe as CommUniverse};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Builds the connected [`Comm`] world a universe launches its ranks
+/// over, in rank order. Called once per launch *and once per
+/// [`Universe::relaunch`]* — a relaunched universe must get fresh
+/// endpoints (a socket world's old connections carry death residue),
+/// which is why the fabric is a factory rather than a `Vec<Comm>`.
+pub type CommFabric = Arc<dyn Fn(usize) -> Vec<Comm> + Send + Sync>;
+
+/// The [`CommFabric`] for a built-in transport: crossbeam channels for
+/// [`TransportKind::Thread`], a UNIX-domain-socket world (still one
+/// process here — rank *processes* use `SpmdRank` + `SocketUniverse::
+/// connect` instead) for [`TransportKind::Socket`].
+pub fn fabric_for(kind: TransportKind) -> CommFabric {
+    match kind {
+        TransportKind::Thread => Arc::new(CommUniverse::endpoints),
+        TransportKind::Socket => Arc::new(SocketUniverse::endpoints),
+    }
+}
 
 /// Per-epoch overrides of the worker batching knobs (`None` keeps the
 /// previous value). Lets one resident universe run a recording epoch
@@ -87,8 +106,28 @@ impl Universe {
         factory: Arc<F>,
         config: RuntimeConfig,
     ) -> Universe {
-        let spawner =
-            Box::new(move || Universe::spawn_ranks(num_ranks, factory.clone(), config.clone()));
+        Universe::launch_with_fabric(
+            num_ranks,
+            factory,
+            config,
+            fabric_for(TransportKind::Thread),
+        )
+    }
+
+    /// [`Universe::launch`] over an explicit transport fabric. The
+    /// fabric is re-invoked on every [`Universe::relaunch`], so each
+    /// incarnation of the world gets fresh endpoints.
+    pub fn launch_with_fabric<F: ProgramFactory>(
+        num_ranks: usize,
+        factory: Arc<F>,
+        config: RuntimeConfig,
+        fabric: CommFabric,
+    ) -> Universe {
+        let spawner = Box::new(move || {
+            let endpoints = fabric(num_ranks);
+            assert_eq!(endpoints.len(), num_ranks, "fabric world size mismatch");
+            Universe::spawn_ranks(endpoints, factory.clone(), config.clone())
+        });
         let ranks = spawner();
         Universe {
             ranks,
@@ -99,11 +138,11 @@ impl Universe {
     }
 
     fn spawn_ranks<F: ProgramFactory>(
-        num_ranks: usize,
+        endpoints: Vec<Comm>,
         factory: Arc<F>,
         config: RuntimeConfig,
     ) -> Vec<RankHandle> {
-        CommUniverse::endpoints(num_ranks)
+        endpoints
             .into_iter()
             .map(|comm| {
                 let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
@@ -829,6 +868,37 @@ mod tests {
             }
         }
         u.shutdown();
+    }
+
+    /// The same resident ring over a socket fabric: epochs run, and a
+    /// relaunch rebuilds a *fresh* socket world (stale connections from
+    /// the first incarnation must not leak into the second).
+    #[test]
+    fn socket_fabric_runs_epochs_and_relaunches() {
+        let n = 4u32;
+        let sums = Arc::new(Mutex::new(vec![0u64; n as usize]));
+        let factory = Arc::new(RingFactory {
+            n,
+            ranks: 2,
+            sums: sums.clone(),
+        });
+        let mut u = Universe::launch_with_fabric(
+            2,
+            factory,
+            RuntimeConfig::default(),
+            super::fabric_for(jsweep_comm::TransportKind::Socket),
+        );
+        u.run_epoch(Arc::new(0u64)).expect("epoch 1");
+        u.run_epoch(Arc::new(10u64)).expect("epoch 2");
+        u.relaunch();
+        u.run_epoch(Arc::new(0u64)).expect("post-relaunch epoch");
+        u.shutdown();
+        // Each incarnation's first epoch runs factory-fresh (offset 0);
+        // only the second epoch carried an offset. Program k sees the
+        // ring token k three times plus one offset of 10.
+        for (k, &s) in sums.lock().iter().enumerate() {
+            assert_eq!(s, 3 * k as u64 + 10, "program {k}");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod solver;
 pub mod trace;
 pub mod xs;
 
+pub use jsweep_core::TransportKind;
 pub use kernel::KernelKind;
 pub use program::{SweepEpoch, SweepMode};
 pub use replay::{plan_key, CoarsePlan, EvictionPolicy, PlanCache, PlanKey};
@@ -45,7 +46,7 @@ pub use session::{
     SolveRequest, SolveTicket, SolverSession,
 };
 pub use solver::{
-    record_cluster_traces, solve_parallel, solve_parallel_cached, solve_serial, SnConfig,
-    SnSolution,
+    record_cluster_traces, solve_parallel, solve_parallel_cached, solve_parallel_spmd,
+    solve_serial, SnConfig, SnSolution,
 };
 pub use xs::{Material, MaterialSet};

@@ -24,7 +24,10 @@ use crate::replay::{
 };
 use crate::xs::MaterialSet;
 use jsweep_core::fault::{EpochFault, FaultPlan};
-use jsweep_core::{run_universe, EpochTuning, RunStats, RuntimeConfig, TerminationKind, Universe};
+use jsweep_core::{
+    fabric_for, run_universe, EpochTuning, RunStats, RuntimeConfig, SpmdRank, TerminationKind,
+    TransportKind, Universe,
+};
 use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
@@ -96,6 +99,13 @@ pub struct SnConfig {
     /// `fault-inject` feature compiled out this is carried but never
     /// consulted — the runtime hooks are inert.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Transport fabric the resident universe's ranks communicate
+    /// over (default [`TransportKind::Thread`]). See `docs/transport.md`
+    /// for the backend matrix; [`TransportKind::Socket`] exercises the
+    /// process-grade wire protocol while still hosting every rank in
+    /// this process ([`solve_parallel_spmd`] is the one-rank-per-
+    /// process entry point).
+    pub transport: TransportKind,
 }
 
 impl Default for SnConfig {
@@ -112,6 +122,7 @@ impl Default for SnConfig {
             resident: true,
             watchdog: None,
             fault_plan: None,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -369,7 +380,19 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
         flux_bins: flux_bins.clone(),
         mode,
     }));
-    let stats = run_universe(num_ranks, factory, runtime);
+    let stats = if config.transport == TransportKind::Thread {
+        run_universe(num_ranks, factory, runtime)
+    } else {
+        // One-shot universe over the configured fabric (run_universe
+        // is hard-wired to the thread world).
+        let mut u =
+            Universe::launch_with_fabric(num_ranks, factory, runtime, fabric_for(config.transport));
+        let stats = u
+            .run_epoch(Arc::new(()))
+            .unwrap_or_else(|f| panic!("sweep epoch faulted: {f}"));
+        u.shutdown();
+        stats
+    };
     let phi_new = fold_flux(problem, &flux_bins, n, groups);
     (RunStats::aggregate(&stats), phi_new)
 }
@@ -723,10 +746,11 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
                 flux_bins: world.flux_bins.clone(),
                 mode: mode.clone(),
             }));
-            Universe::launch(
+            Universe::launch_with_fabric(
                 world.problem.patches.num_ranks(),
                 factory,
                 world.base.clone(),
+                fabric_for(world.config.transport),
             )
         });
         world.resident_groups = Some(groups);
@@ -824,6 +848,116 @@ fn solve_parallel_impl<T: SweepTopology + Send + Sync + 'static>(
     }
     world.retire();
     progress.into_solution()
+}
+
+/// One rank's share of a parallel solve, for worlds where ranks are
+/// **separate processes** connected by a process-grade [`jsweep_comm::Comm`]
+/// (typically [`jsweep_comm::socket::SocketUniverse::connect`]).
+///
+/// Every process calls this with the *same* mesh, problem, quadrature,
+/// materials and config, plus its own endpoint; the function runs the
+/// full source-iteration loop SPMD-style — each iteration sweeps this
+/// rank's patches as one epoch of a resident [`SpmdRank`], folds the
+/// local flux contributions, and completes the iterate with
+/// [`jsweep_comm::Comm::allreduce_sum_f64_slice`] (per-patch supports are disjoint
+/// and the reduction accumulates in rank order, so the summed flux is
+/// bit-identical to the single-process solve's angle-ordered fold).
+/// Convergence decisions are therefore identical in every process, and
+/// the returned [`SnSolution::phi`] is the **global** flux.
+///
+/// Always runs the fine scheduling path ([`SnConfig::coarsen`] is
+/// ignored): replay recording assumes the single-process fold.
+/// [`SnSolution::stats`] carries *this rank's* per-iteration stats.
+///
+/// # Panics
+///
+/// Fail-fast like [`solve_parallel`]: a poisoned epoch or a dead peer
+/// panics this process (peers then observe the death through the
+/// transport). Session-tier containment wraps the thread-backed
+/// universe instead.
+pub fn solve_parallel_spmd<T: SweepTopology + Send + Sync + 'static>(
+    mesh: Arc<T>,
+    problem: Arc<SweepProblem>,
+    quadrature: &QuadratureSet,
+    materials: Arc<MaterialSet>,
+    config: &SnConfig,
+    comm: jsweep_comm::Comm,
+) -> SnSolution {
+    let n = mesh.num_cells();
+    let groups = materials.num_groups();
+    assert_eq!(materials.num_cells(), n, "materials must cover the mesh");
+    assert_eq!(
+        comm.size(),
+        problem.patches.num_ranks(),
+        "comm world size must match the problem's rank decomposition"
+    );
+    let flux_bins: Arc<FluxBins> = Arc::new(
+        (0..problem.num_patches())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+    );
+    let base = RuntimeConfig {
+        num_workers: config.workers_per_rank,
+        termination: config.termination,
+        watchdog: config.watchdog,
+        fault_plan: config.fault_plan.clone(),
+        ..Default::default()
+    };
+    let mut phi = vec![0.0; n * groups];
+    let factory = Arc::new(SweepFactory::new(SweepSetup {
+        mesh: mesh.clone(),
+        problem: problem.clone(),
+        quadrature: quadrature.clone(),
+        materials: materials.clone(),
+        emission: Arc::new(emission_density(&materials, &phi)),
+        kernel: config.kernel,
+        grain: config.grain,
+        flux_bins: flux_bins.clone(),
+        mode: SweepMode::Fine { trace_bins: None },
+    }));
+    let tuning = EpochTuning {
+        report_flush_streams: Some(base.report_flush_streams),
+        claim_batch: Some(base.claim_batch),
+    };
+    let mut rank = SpmdRank::launch(comm, factory, &base);
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let mut stats = Vec::new();
+    for _ in 0..config.max_iterations {
+        // The first epoch runs the factory-fresh programs (which carry
+        // this emission already); later epochs adopt it through reset.
+        let input: Arc<jsweep_core::EpochInput> = Arc::new(SweepEpoch {
+            emission: Arc::new(emission_density(&materials, &phi)),
+            mode: SweepMode::Fine { trace_bins: None },
+            materials: Some(materials.clone()),
+        });
+        let rank_stats = rank
+            .run_epoch(&input, tuning)
+            .unwrap_or_else(|f| panic!("sweep epoch faulted: {f}"));
+        stats.push(rank_stats);
+        // Local patches deposited into their bins; remote patches' bins
+        // are empty, so the fold yields this rank's disjoint share and
+        // the rank-ordered reduction completes the global iterate.
+        let mut phi_new = fold_flux(&problem, &flux_bins, n, groups);
+        rank.comm_mut()
+            .allreduce_sum_f64_slice(&mut phi_new)
+            .unwrap_or_else(|e| panic!("flux reduction failed: {e}"));
+        iterations += 1;
+        residual = relative_change(&phi_new, &phi);
+        phi = phi_new;
+        if residual < config.tolerance {
+            break;
+        }
+    }
+    rank.shutdown();
+    SnSolution {
+        phi,
+        iterations,
+        residual,
+        stats,
+        coarse_build_seconds: 0.0,
+        plan_from_cache: false,
+    }
 }
 
 /// Run a single fine-mode parallel sweep iteration (zero incoming

@@ -22,6 +22,11 @@
 //! * `shutdown_during_fault_leaks_no_tickets` — dropped-without-wait
 //!   tickets plus an in-flight fault, then immediate shutdown: no
 //!   hang, every kept ticket resolved, every universe retired.
+//! * `socket_rank_death_fails_ticket_and_recovers` — over the socket
+//!   transport, a rank killed mid-epoch resolves exactly the offending
+//!   ticket `Failed` with a `RankDeath` fault blaming the dead rank;
+//!   after relaunch the session serves solves bit-identical to the
+//!   thread-backend golden.
 //! * `soak_seeded_fault_plans` (`--ignored`) — seeded plans across
 //!   many sessions: every ticket resolves exactly once, no leaks.
 
@@ -410,6 +415,79 @@ fn shutdown_during_fault_leaks_no_tickets() {
         stats.universes_retired, stats.universes_launched,
         "no universe leaked across the fault"
     );
+}
+
+/// Over the UNIX-socket transport, killing a rank mid-epoch must fail
+/// exactly the offending ticket with a [`FaultKind::RankDeath`] fault
+/// blaming the dead rank (its peers observe the raw EOF), and the
+/// relaunched socket world must serve follow-up solves bit-identical
+/// to the thread-backend golden — the cross-transport determinism pin.
+#[test]
+fn socket_rank_death_fails_ticket_and_recovers() {
+    let golden = solo(0.3);
+
+    let (mesh, problem, quad) = build_world();
+    // Rank 1 dies on its second epoch entry: iteration 1 completes,
+    // iteration 2 kills it while rank 0 is mid-epoch.
+    let plan = FaultPlan::builder().kill_rank(1, 2).build();
+    let mut session = SolverSession::launch(
+        mesh,
+        problem,
+        quad,
+        SessionOptions {
+            solver: SnConfig {
+                transport: TransportKind::Socket,
+                ..chaos_config(plan)
+            },
+            ..Default::default()
+        },
+    );
+    let c = session.campaign();
+
+    let err = c
+        .submit(SolveRequest::new(materials(0.3)))
+        .wait()
+        .expect_err("rank death must fail the ticket");
+    match err {
+        SessionError::Failed(report) => {
+            assert_eq!(report.fault.kind, FaultKind::RankDeath);
+            assert_eq!(
+                report.fault.rank, 1,
+                "blame the killed rank, not the observer"
+            );
+            assert_eq!(report.iteration, 2, "death lands in the second iteration");
+            assert_eq!(
+                report.fault.program, None,
+                "no program to blame for a death"
+            );
+        }
+        other => panic!("expected Failed(RankDeath), got {other:?}"),
+    }
+
+    // The relaunch stood up a fresh socket world; the kill spec is
+    // spent, so the retry runs clean — and must match the thread-backend
+    // golden bit for bit.
+    let out = c
+        .submit(SolveRequest::new(materials(0.3)))
+        .wait()
+        .expect("session recovers on a fresh socket world");
+    assert_eq!(
+        out.solution.phi, golden.phi,
+        "socket solve must be bit-identical to the thread-backend golden"
+    );
+
+    session.shutdown();
+    let stats = session.stats();
+    assert_eq!(stats.faults, 1);
+    assert_eq!(stats.relaunches, 1);
+    assert_eq!(
+        stats.universes_launched, 2,
+        "dead socket world plus its replacement"
+    );
+    assert_eq!(stats.universes_retired, stats.universes_launched);
+    let cs = stats.campaigns.get(&c.id()).expect("campaign stats");
+    assert_eq!(cs.failed, 1);
+    assert_eq!(cs.completed, 1);
 }
 
 /// Seeded chaos soak: many sessions, each with a seeded one-panic

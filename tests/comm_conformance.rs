@@ -1,0 +1,315 @@
+//! Backend-generic conformance suite for the `Comm` endpoint surface.
+//!
+//! The same battery of behavioural pins runs over every transport
+//! backend (thread-channel fabric and UNIX-socket fabric), proving the
+//! [`jsweep::comm::CommBackend`] contract is honoured identically:
+//! per-pair FIFO delivery, `recv_match` stash ordering, `drain_user`
+//! preserving reserved-tag protocol traffic, collectives under
+//! concurrent user traffic, self-sends, and both termination
+//! detectors. Socket-only behaviours (multi-process rendezvous) get
+//! their own tests outside the macro.
+
+use bytes::Bytes;
+use jsweep::comm::socket::SocketUniverse;
+use jsweep::comm::termination::{Counting, Safra, Verdict};
+use jsweep::comm::{Comm, Universe, RESERVED_TAG_BASE};
+
+/// A reserved tag no protocol component uses (collective/token/
+/// terminate/done occupy base..base+3), so tests can emit reserved
+/// traffic without colliding with real collectives.
+const TAG_TEST_RESERVED: u32 = RESERVED_TAG_BASE + 9;
+
+/// Instantiate the conformance battery for one backend. `$world` is a
+/// `fn(n, Fn(Comm) -> R) -> Vec<R>` world runner (spawn + join).
+macro_rules! conformance_suite {
+    ($backend:ident, $world:path) => {
+        mod $backend {
+            use super::*;
+
+            fn world<R, F>(n: usize, f: F) -> Vec<R>
+            where
+                R: Send + 'static,
+                F: Fn(Comm) -> R + Send + Sync + 'static,
+            {
+                $world(n, f)
+            }
+
+            /// Each rank passes a token around the ring; content and
+            /// provenance must survive the trip.
+            #[test]
+            fn ring_pass() {
+                let out = world(4, |mut comm| {
+                    let next = (comm.rank() + 1) % comm.size();
+                    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                    comm.send(
+                        next,
+                        7,
+                        Bytes::copy_from_slice(&(comm.rank() as u64).to_le_bytes()),
+                    )
+                    .unwrap();
+                    let m = comm.recv().unwrap();
+                    assert_eq!(m.src, prev);
+                    assert_eq!(m.tag, 7);
+                    u64::from_le_bytes(m.payload[..8].try_into().unwrap())
+                });
+                assert_eq!(out, vec![3, 0, 1, 2]);
+            }
+
+            /// 100 messages between every ordered pair of ranks must
+            /// arrive in send order (per-pair FIFO), whatever the
+            /// interleaving across pairs.
+            #[test]
+            fn per_pair_fifo_ordering() {
+                const MSGS: u64 = 100;
+                world(3, |mut comm| {
+                    let (rank, size) = (comm.rank(), comm.size());
+                    for seq in 0..MSGS {
+                        for peer in (0..size).filter(|&p| p != rank) {
+                            comm.send(peer, 1, Bytes::copy_from_slice(&seq.to_le_bytes()))
+                                .unwrap();
+                        }
+                    }
+                    let mut last = vec![None::<u64>; size];
+                    for _ in 0..MSGS * (size as u64 - 1) {
+                        let m = comm.recv().unwrap();
+                        let seq = u64::from_le_bytes(m.payload[..8].try_into().unwrap());
+                        match last[m.src] {
+                            None => assert_eq!(seq, 0, "first msg from {} out of order", m.src),
+                            Some(prev) => assert_eq!(
+                                seq,
+                                prev + 1,
+                                "pair ({}, {rank}) delivered out of order",
+                                m.src
+                            ),
+                        }
+                        last[m.src] = Some(seq);
+                    }
+                    for (src, l) in last.iter().enumerate() {
+                        if src != rank {
+                            assert_eq!(*l, Some(MSGS - 1));
+                        }
+                    }
+                });
+            }
+
+            /// `recv_match` skips non-matching messages into the stash;
+            /// later receives must replay the stash in arrival order.
+            #[test]
+            fn recv_match_stashes_in_arrival_order() {
+                world(2, |mut comm| {
+                    if comm.rank() == 0 {
+                        for &(tag, val) in &[(1u32, 10u8), (2, 20), (1, 11), (3, 30)] {
+                            comm.send(1, tag, Bytes::copy_from_slice(&[val])).unwrap();
+                        }
+                        // Hold rank 0 alive until rank 1 is done, so a
+                        // socket EOF can't race the receives.
+                        let _ = comm.recv_match(4).unwrap();
+                    } else {
+                        let m = comm.recv_match(3).unwrap();
+                        assert_eq!((m.tag, m.payload[0]), (3, 30));
+                        // The three stashed messages come back in the
+                        // order they originally arrived.
+                        let order: Vec<(u32, u8)> = (0..3)
+                            .map(|_| {
+                                let m = comm.recv().unwrap();
+                                (m.tag, m.payload[0])
+                            })
+                            .collect();
+                        assert_eq!(order, vec![(1, 10), (2, 20), (1, 11)]);
+                        comm.send(0, 4, Bytes::new()).unwrap();
+                    }
+                });
+            }
+
+            /// `drain_user` discards queued user messages but must keep
+            /// reserved-tag protocol traffic, in arrival order.
+            #[test]
+            fn drain_user_preserves_reserved_traffic() {
+                world(2, |mut comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 5, Bytes::copy_from_slice(b"stale")).unwrap();
+                        comm.send(1, TAG_TEST_RESERVED, Bytes::copy_from_slice(b"keep"))
+                            .unwrap();
+                        comm.send(1, 6, Bytes::copy_from_slice(b"stale2")).unwrap();
+                        comm.barrier().unwrap();
+                    } else {
+                        // The barrier's recv_match stashes everything
+                        // rank 0 sent first (per-pair FIFO guarantees
+                        // it all precedes the collective release).
+                        comm.barrier().unwrap();
+                        let dropped = comm.drain_user().unwrap();
+                        assert_eq!(dropped, 2, "both user messages dropped");
+                        let m = comm.recv().unwrap();
+                        assert_eq!(m.tag, TAG_TEST_RESERVED);
+                        assert_eq!(&m.payload[..], b"keep");
+                    }
+                });
+            }
+
+            /// Collectives must work while unrelated user traffic is in
+            /// flight, and that traffic must survive them untouched.
+            #[test]
+            fn collectives_under_user_traffic() {
+                world(4, |mut comm| {
+                    let (rank, size) = (comm.rank(), comm.size());
+                    let next = (rank + 1) % size;
+                    comm.send(next, 42, Bytes::copy_from_slice(&[rank as u8]))
+                        .unwrap();
+
+                    comm.barrier().unwrap();
+                    let sum = comm.allreduce_sum_f64(rank as f64 + 0.5).unwrap();
+                    assert_eq!(sum, 0.5 + 1.5 + 2.5 + 3.5);
+                    let max = comm.allreduce_max_f64(-(rank as f64)).unwrap();
+                    assert_eq!(max, 0.0);
+                    let total = comm.allreduce_sum_u64(rank as u64 + 1).unwrap();
+                    assert_eq!(total, 10);
+                    let mut slice = [rank as f64, 1.0];
+                    comm.allreduce_sum_f64_slice(&mut slice).unwrap();
+                    assert_eq!(slice, [6.0, 4.0]);
+                    let gathered = comm.allgather_u64(rank as u64 * 10).unwrap();
+                    assert_eq!(gathered, vec![0, 10, 20, 30]);
+                    comm.barrier().unwrap();
+
+                    let m = comm.recv_match(42).unwrap();
+                    assert_eq!(m.src, (rank + size - 1) % size);
+                    assert_eq!(m.payload[0], m.src as u8);
+                });
+            }
+
+            /// A rank may send to itself; the message loops back
+            /// through the normal receive path.
+            #[test]
+            fn self_send_loops_back() {
+                world(2, |mut comm| {
+                    let rank = comm.rank();
+                    comm.send(rank, 9, Bytes::copy_from_slice(b"me")).unwrap();
+                    let m = comm.recv().unwrap();
+                    assert_eq!((m.src, m.tag, &m.payload[..]), (rank, 9, &b"me"[..]));
+                    comm.barrier().unwrap();
+                });
+            }
+
+            /// Safra's ring token must detect quiescence only after a
+            /// multi-hop message cascade has fully drained.
+            #[test]
+            fn safra_terminates_after_cascade() {
+                const HOPS: u32 = 5;
+                let hops = world(3, |mut comm| {
+                    let mut safra = Safra::new(comm.rank(), comm.size());
+                    let mut done = 0u64;
+                    comm.send(
+                        (comm.rank() + 1) % comm.size(),
+                        1,
+                        Bytes::copy_from_slice(&HOPS.to_le_bytes()),
+                    )
+                    .unwrap();
+                    safra.on_send();
+                    loop {
+                        while let Some(m) = comm.try_recv().unwrap() {
+                            match safra.on_message(&m, &comm).unwrap() {
+                                Verdict::NotMine => {
+                                    safra.on_receive();
+                                    done += 1;
+                                    let left =
+                                        u32::from_le_bytes(m.payload[..4].try_into().unwrap());
+                                    if left > 1 {
+                                        comm.send(
+                                            (comm.rank() + 2) % comm.size(),
+                                            1,
+                                            Bytes::copy_from_slice(&(left - 1).to_le_bytes()),
+                                        )
+                                        .unwrap();
+                                        safra.on_send();
+                                    }
+                                }
+                                Verdict::Terminated => return done,
+                                Verdict::Continue => {}
+                            }
+                        }
+                        if safra.maybe_advance(true, &comm).unwrap() == Verdict::Terminated {
+                            return done;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+                assert_eq!(hops.iter().sum::<u64>(), 3 * HOPS as u64);
+            }
+
+            /// The counting detector must fire exactly when every rank
+            /// has reported a drained workload, never before.
+            #[test]
+            fn counting_terminates_when_all_report() {
+                world(3, |mut comm| {
+                    let mut counting = Counting::new(comm.rank(), comm.size());
+                    // Ranks drain staggered workloads before reporting.
+                    let mut remaining = (comm.rank() as u64) * 3;
+                    loop {
+                        remaining = remaining.saturating_sub(1);
+                        if counting.maybe_report(remaining, &comm).unwrap() == Verdict::Terminated {
+                            break;
+                        }
+                        while let Some(m) = comm.try_recv().unwrap() {
+                            if counting.on_message(&m, &comm).unwrap() == Verdict::Terminated {
+                                break;
+                            }
+                        }
+                        if counting.is_terminated() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    assert!(counting.is_terminated());
+                });
+            }
+        }
+    };
+}
+
+conformance_suite!(thread_backend, Universe::run);
+conformance_suite!(socket_backend, SocketUniverse::run);
+
+/// Socket-only: the multi-process rendezvous (`connect`) must assemble
+/// a working world even when "processes" (threads here; real processes
+/// in `tests/spmd.rs`) arrive at different times.
+#[test]
+fn socket_connect_rendezvous_staggered() {
+    use std::time::Duration;
+    let dir = std::env::temp_dir().join(format!("jsweep-conf-rdv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut handles = Vec::new();
+    for rank in 0..3usize {
+        let dir = dir.clone();
+        handles.push(std::thread::spawn(move || {
+            // Stagger arrivals so late listeners exercise the retry loop.
+            std::thread::sleep(Duration::from_millis(rank as u64 * 40));
+            let mut comm = SocketUniverse::connect(&dir, rank, 3, Duration::from_secs(10)).unwrap();
+            let sum = comm.allreduce_sum_u64(rank as u64 + 1).unwrap();
+            comm.close();
+            sum
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 6);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Socket-only: byte accounting covers wire framing, so a sent payload
+/// accounts for more than its raw length.
+#[test]
+fn socket_bytes_accounting_includes_framing() {
+    let out = SocketUniverse::run(2, |mut comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 3, Bytes::copy_from_slice(&[0u8; 32])).unwrap();
+            comm.barrier().unwrap();
+            comm.bytes_sent()
+        } else {
+            let m = comm.recv_match(3).unwrap();
+            assert_eq!(m.payload.len(), 32);
+            comm.barrier().unwrap();
+            0
+        }
+    });
+    // 32 payload bytes + 8-byte header, plus whatever the barrier cost.
+    assert!(out[0] >= 40, "framing bytes unaccounted: {}", out[0]);
+}

@@ -178,6 +178,96 @@ proptest! {
         prop_assert!(r.is_exhausted());
     }
 
+    /// Wire-framed pack payloads pushed through a real UNIX socket in
+    /// adversarial fragments (arbitrary partial-read split points) must
+    /// reassemble byte-exactly, with exact bytes accounting.
+    #[test]
+    fn wire_frames_survive_socket_fragmentation(
+        frames in prop::collection::vec(
+            (0u32..1000, prop::collection::vec(any::<f64>(), 0..48)),
+            1..8,
+        ),
+        cuts in prop::collection::vec(1usize..97, 1..64),
+    ) {
+        use jsweep::comm::pack::{Reader, Writer};
+        use jsweep::comm::socket::{encode_frame, WireDecoder};
+        use std::io::{Read as _, Write as _};
+        use std::os::unix::net::UnixStream;
+
+        let frames: Vec<(u32, Vec<f64>)> = frames
+            .into_iter()
+            .map(|(tag, vals)| (tag, vals.into_iter().filter(|v| v.is_finite()).collect()))
+            .collect();
+        // Encode every frame, payload via the pack codec.
+        let mut stream_bytes = Vec::new();
+        for (tag, vals) in &frames {
+            let mut w = Writer::new();
+            w.put_f64_slice(vals);
+            stream_bytes.extend_from_slice(&encode_frame(*tag, &w.finish()));
+        }
+
+        let (mut tx, mut rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let mut dec = WireDecoder::new();
+        let mut decoded: Vec<(u32, bytes::Bytes)> = Vec::new();
+        let drain = |dec: &mut WireDecoder, rx: &mut UnixStream, out: &mut Vec<_>| {
+            let mut buf = [0u8; 256];
+            loop {
+                match rx.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => dec.push(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("socket read failed: {e}"),
+                }
+            }
+            while let Some(f) = dec.next_frame() {
+                out.push(f);
+            }
+        };
+
+        // Write the byte stream in proptest-chosen fragment sizes,
+        // draining the receive side between fragments so the decoder
+        // sees every partial-read split the schedule produces.
+        let mut off = 0;
+        let mut cut_idx = 0;
+        while off < stream_bytes.len() {
+            let len = cuts[cut_idx % cuts.len()].min(stream_bytes.len() - off);
+            cut_idx += 1;
+            tx.write_all(&stream_bytes[off..off + len]).unwrap();
+            off += len;
+            drain(&mut dec, &mut rx, &mut decoded);
+        }
+        drop(tx);
+        // Final drain catches anything buffered in the kernel.
+        loop {
+            let mut buf = [0u8; 256];
+            match rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => dec.push(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("socket read failed: {e}"),
+            }
+            while let Some(f) = dec.next_frame() {
+                decoded.push(f);
+            }
+        }
+
+        prop_assert_eq!(decoded.len(), frames.len());
+        for ((tag, vals), (dtag, payload)) in frames.iter().zip(&decoded) {
+            prop_assert_eq!(*tag, *dtag);
+            let mut r = Reader::new(payload.clone());
+            prop_assert_eq!(&r.get_f64_vec(), vals);
+            prop_assert!(r.is_exhausted());
+        }
+        // Accounting is byte-exact: everything written was consumed,
+        // nothing is left mid-frame.
+        prop_assert_eq!(dec.bytes_consumed(), stream_bytes.len() as u64);
+        prop_assert_eq!(dec.pending_bytes(), 0);
+        prop_assert!(!dec.closed());
+    }
+
     #[test]
     fn quadrature_moments_hold(order in (1u32..8).prop_map(|k| 2 * k)) {
         let q = QuadratureSet::sn(order);

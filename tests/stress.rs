@@ -22,12 +22,13 @@ fn safra_survives_message_storm() {
         // Seed messages carry a remaining-hop counter.
         for i in 0..SEEDS_PER_RANK {
             let to = (comm.rank() + 1 + i as usize) % comm.size();
-            comm.send(to, 1, Bytes::copy_from_slice(&HOPS.to_le_bytes()));
+            comm.send(to, 1, Bytes::copy_from_slice(&HOPS.to_le_bytes()))
+                .unwrap();
             safra.on_send();
         }
         loop {
-            while let Some(m) = comm.try_recv() {
-                match safra.on_message(&m, &comm) {
+            while let Some(m) = comm.try_recv().unwrap() {
+                match safra.on_message(&m, &comm).unwrap() {
                     Verdict::NotMine => {
                         safra.on_receive();
                         hops_done += 1;
@@ -39,7 +40,8 @@ fn safra_survives_message_storm() {
                                 to,
                                 1,
                                 Bytes::copy_from_slice(&(remaining - 1).to_le_bytes()),
-                            );
+                            )
+                            .unwrap();
                             safra.on_send();
                         }
                     }
@@ -47,7 +49,7 @@ fn safra_survives_message_storm() {
                     Verdict::Continue => {}
                 }
             }
-            if safra.maybe_advance(true, &comm) == Verdict::Terminated {
+            if safra.maybe_advance(true, &comm).unwrap() == Verdict::Terminated {
                 return hops_done;
             }
             std::thread::yield_now();
