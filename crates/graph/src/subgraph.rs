@@ -153,10 +153,16 @@ impl Subgraph {
         &self.int_dst[self.int_off[v as usize] as usize..self.int_off[v as usize + 1] as usize]
     }
 
+    /// Index range into `rem_dst` for local vertex `v`'s remote edges.
+    #[inline]
+    pub fn rem_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.rem_off[v as usize] as usize..self.rem_off[v as usize + 1] as usize
+    }
+
     /// Remote downwind targets of local vertex `v`.
     #[inline]
     pub fn remote_succ(&self, v: u32) -> &[RemoteEdge] {
-        &self.rem_dst[self.rem_off[v as usize] as usize..self.rem_off[v as usize + 1] as usize]
+        &self.rem_dst[self.rem_range(v)]
     }
 
     /// Local vertices with at least one remote downwind edge (the patch

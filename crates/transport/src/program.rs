@@ -37,7 +37,7 @@
 //! `face_flux` in place, and swaps in the epoch's emission density and
 //! [`SweepMode`] — no per-iteration reallocation of the big buffers.
 
-use crate::kernel::{solve_cell, KernelKind};
+use crate::kernel::{solve_cell_block_geom, CellGeom, KernelKind, GROUP_BLOCK, KERNEL_MAX_FACES};
 use crate::replay::{CoarsePlan, ReplayTask, TraceBins};
 use crate::xs::MaterialSet;
 use bytes::Bytes;
@@ -52,14 +52,131 @@ use jsweep_quadrature::QuadratureSet;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Per-patch collection bin for scalar-flux contributions.
+/// One patch's bin: the epoch-in-flight deposits plus the free list of
+/// recycled accumulator buffers.
+#[derive(Default)]
+struct PatchBin {
+    /// `(angle, w_a · ψ̄ per local cell × group)` contributions of the
+    /// epoch in flight.
+    deposits: Vec<(u32, Vec<f64>)>,
+    /// Recycled buffers awaiting [`FluxBins::acquire`].
+    free: Vec<Vec<f64>>,
+}
+
+/// Per-patch collection bins for scalar-flux contributions, with a
+/// buffer pool that makes resident epochs allocation-free.
 ///
 /// Each `(patch, angle)` program deposits `w_a · ψ̄` for its local
 /// cells; the solver folds the bins in angle order after the sweep so
 /// the floating-point result is independent of scheduling order.
-pub type FluxBins = Vec<Mutex<Vec<(u32, Vec<f64>)>>>;
+/// Folding (and scrubbing) *recycles* every deposited buffer into the
+/// patch's free list, and programs re-arm their `phi_part` accumulator
+/// through [`FluxBins::acquire`] — so from the second epoch of a
+/// resident universe on, the flux round-trip allocates nothing.
+/// [`FluxBins::fresh_allocations`] counts pool misses, pinned by a
+/// regression test so the round-trip cannot silently re-allocate.
+pub struct FluxBins {
+    bins: Vec<Mutex<PatchBin>>,
+    fresh: AtomicU64,
+}
+
+impl FluxBins {
+    /// Empty bins (and empty pools) for `num_patches` patches.
+    pub fn new(num_patches: usize) -> FluxBins {
+        FluxBins {
+            bins: (0..num_patches)
+                .map(|_| Mutex::new(PatchBin::default()))
+                .collect(),
+            fresh: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of patches covered.
+    pub fn num_patches(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Deposit one finished `(patch, angle)` contribution.
+    pub fn deposit(&self, patch: usize, angle: u32, part: Vec<f64>) {
+        self.bins[patch].lock().deposits.push((angle, part));
+    }
+
+    /// Take a zeroed accumulator of `len` for `patch`, reusing a
+    /// recycled buffer when one with sufficient capacity is pooled.
+    /// Undersized pool entries (the group count changed across a
+    /// relaunch) are dropped; a pool miss allocates fresh and bumps
+    /// [`FluxBins::fresh_allocations`].
+    pub fn acquire(&self, patch: usize, len: usize) -> Vec<f64> {
+        let recycled = {
+            let mut bin = self.bins[patch].lock();
+            loop {
+                match bin.free.pop() {
+                    Some(b) if b.capacity() >= len => break Some(b),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            }
+        };
+        match recycled {
+            Some(mut b) => {
+                b.clear();
+                b.resize(len, 0.0);
+                b
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Fold (and drain) the deposits into `φ_new`, in angle order per
+    /// patch so the floating-point result is independent of scheduling
+    /// order. Every drained buffer is recycled into its patch's pool,
+    /// ready for the next epoch's [`FluxBins::acquire`].
+    pub fn fold(&self, problem: &SweepProblem, n: usize, groups: usize) -> Vec<f64> {
+        let mut phi_new = vec![0.0; n * groups];
+        for p in problem.patches.patches() {
+            let mut bin = self.bins[p.index()].lock();
+            let bin = &mut *bin;
+            bin.deposits.sort_by_key(|(angle, _)| *angle);
+            let cells = problem.patches.cells(p);
+            for (_, part) in bin.deposits.iter() {
+                assert_eq!(part.len(), cells.len() * groups);
+                for (li, &cell) in cells.iter().enumerate() {
+                    for g in 0..groups {
+                        phi_new[cell as usize * groups + g] += part[li * groups + g];
+                    }
+                }
+            }
+            bin.free
+                .extend(bin.deposits.drain(..).map(|(_, part)| part));
+        }
+        phi_new
+    }
+
+    /// Drop all pending deposits, recycling their buffers. Used to
+    /// scrub partial contributions after a faulted epoch — the buffers
+    /// themselves stay reusable.
+    pub fn clear(&self) {
+        for bin in &self.bins {
+            let mut bin = bin.lock();
+            let bin = &mut *bin;
+            bin.free
+                .extend(bin.deposits.drain(..).map(|(_, part)| part));
+        }
+    }
+
+    /// Accumulator buffers allocated fresh (pool misses) since
+    /// construction. Steady state for a resident universe is one per
+    /// `(patch, angle)` program, all paid on the first epoch.
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+}
 
 /// Which scheduling mode the sweep programs of one iteration run in.
 #[derive(Clone)]
@@ -228,19 +345,24 @@ enum Sched {
     },
 }
 
-/// Where the kernel loop deposits outgoing remote face fluxes.
-enum RemoteSink<'a> {
-    /// Fine mode: append stream items to per-destination-patch writers.
-    Streams {
-        writers: &'a mut HashMap<PatchId, Writer>,
-        counts: &'a mut HashMap<PatchId, u32>,
-    },
-    /// Coarse mode: stage values in the per-fine-remote-edge slots the
-    /// pre-resolved [`ReplayTask`] emissions read from. Slots are
-    /// assigned by a running per-vertex counter — remote downwind faces
-    /// are visited in the same face order the subgraph packed its
-    /// remote CSR in, so no per-face position scan is needed.
-    Slots { vals: &'a mut [f64] },
+/// Pre-resolved destination of one downwind face of a cluster cell,
+/// hoisted once per [`SweepProgram::kernel_cluster`] call so the
+/// group-block passes route with a copy instead of re-walking mesh
+/// adjacency per (face, group block).
+#[derive(Clone, Copy)]
+enum FaceRoute {
+    /// Upwind, flow-0, boundary or cycle-broken face: nothing to write.
+    Skip,
+    /// Local downwind neighbour: `face_flux` slot
+    /// (`neighbour_local * max_faces + neighbour_face`).
+    Local(u32),
+    /// Remote downwind neighbour: staging index into the subgraph's
+    /// remote CSR ([`Subgraph::rem_dst`]). Indices are assigned by a
+    /// running per-vertex counter — remote downwind faces are visited
+    /// in the same face order the subgraph packed its remote CSR in,
+    /// so the k-th remote face of vertex `v` stages at
+    /// `rem_off[v] + k` without a position scan.
+    Remote(u32),
 }
 
 /// The patch-program of one `(patch, angle)` sweep task.
@@ -266,8 +388,12 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
     /// Handed to the flux bin on completion (the one buffer that is
     /// given away per epoch by design).
     phi_part: Vec<f64>,
-    /// Coarse-mode staging: outgoing remote face flux per
-    /// `fine_remote_edge * groups` (empty in fine mode).
+    /// Outgoing remote face-flux staging per
+    /// `fine_remote_edge * groups`, addressed by the subgraph's remote
+    /// CSR in both scheduling modes: the group-block kernel passes
+    /// write block sub-slices here, then fine mode assembles stream
+    /// items from it post-hoc and coarse mode's pre-resolved
+    /// [`ReplayTask`] emissions read it directly.
     remote_vals: Vec<f64>,
     /// Shared `(dst_cell, src_cell) → face` ingest table (fine path).
     ingest: Arc<IngestTable>,
@@ -280,10 +406,12 @@ pub struct SweepProgram<T: SweepTopology + Send + Sync + 'static> {
     /// Coarse-path ingest scratch: the slot block of the stream being
     /// consumed (reused across inputs).
     slot_scratch: Vec<u32>,
-    /// Scratch buffers.
-    in_buf: Vec<f64>,
-    out_buf: Vec<f64>,
-    psi_buf: Vec<f64>,
+    /// Per-cluster hoisted cell geometry (phase 0 of
+    /// [`SweepProgram::kernel_cluster`]; reused across calls).
+    geom_scratch: Vec<CellGeom>,
+    /// Per-cluster hoisted face routes, `cluster_len * max_faces`
+    /// (reused across calls).
+    route_scratch: Vec<FaceRoute>,
 }
 
 impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
@@ -309,16 +437,22 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
 
     /// Run the numerical kernel over `cluster` (in order): solve every
     /// cell, accumulate the angular-weighted scalar flux, write local
-    /// downwind face fluxes in place and hand remote ones to `sink`.
-    /// Identical physics in both scheduling modes — which is what makes
-    /// the coarse replay bit-identical to the fine path.
-    fn kernel_cluster(
-        &mut self,
-        sub: &Subgraph,
-        broken: &HashSet<(u32, u32)>,
-        cluster: &[u32],
-        sink: &mut RemoteSink<'_>,
-    ) {
+    /// downwind face fluxes in place and stage remote ones in
+    /// `remote_vals` (CSR-addressed, consumed by the fine stream
+    /// assembly or the coarse emissions). Identical physics in both
+    /// scheduling modes — which is what makes the coarse replay
+    /// bit-identical to the fine path.
+    ///
+    /// Cache-blocked: phase 0 hoists per-cell geometry ([`CellGeom`])
+    /// and face routes once; phase 1 then streams the cell list once
+    /// per [`GROUP_BLOCK`]-wide group block, so each pass touches
+    /// contiguous block sub-slices of `face_flux` / `phi_part` /
+    /// `remote_vals` and the innermost group loops autovectorize (see
+    /// [`crate::kernel`]). Every pass walks the cluster in its
+    /// (topological) order, which preserves in-cluster upwind/downwind
+    /// dependencies per block exactly as the scalar path did per
+    /// group.
+    fn kernel_cluster(&mut self, sub: &Subgraph, broken: &HashSet<(u32, u32)>, cluster: &[u32]) {
         let mesh = self.setup_mesh.clone();
         let materials = self.materials.clone();
         let emission = self.emission.clone();
@@ -326,46 +460,26 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         let patches = &problem.patches;
         let groups = self.groups;
         let mf = self.max_faces;
-        for &v in cluster {
-            // Staging slots for this vertex's remote downwind faces are
-            // consumed in CSR order (see `RemoteSink::Slots`).
-            let mut rem_seen = 0u32;
+
+        // Phase 0 — hoist geometry and routes, once per cluster
+        // instead of once per (cell, group): this is where the
+        // structured mesh's per-call FaceInfo arithmetic and the
+        // neighbour/patch/broken-edge resolution drop out of the group
+        // loop entirely.
+        let mut geoms = std::mem::take(&mut self.geom_scratch);
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        geoms.clear();
+        routes.clear();
+        routes.resize(cluster.len() * mf, FaceRoute::Skip);
+        for (i, &v) in cluster.iter().enumerate() {
             let cell = sub.cells[v as usize] as usize;
-            let mat = materials.material(cell);
-            self.in_buf.clear();
-            self.in_buf.extend_from_slice(
-                &self.face_flux[(v as usize * mf) * groups..(v as usize * mf + mf) * groups],
-            );
-            self.out_buf.resize(mf * groups, 0.0);
-            self.psi_buf.resize(groups, 0.0);
-            let in_buf = std::mem::take(&mut self.in_buf);
-            let mut out_buf = std::mem::take(&mut self.out_buf);
-            let mut psi_buf = std::mem::take(&mut self.psi_buf);
-            solve_cell(
-                mesh.as_ref(),
-                cell,
-                self.dir,
-                self.kernel,
-                &mat.sigma_t,
-                &emission[cell * groups..(cell + 1) * groups],
-                &in_buf,
-                &mut out_buf,
-                &mut psi_buf,
-            );
-            self.in_buf = in_buf;
-            self.out_buf = out_buf;
-            self.psi_buf = psi_buf;
-            // Accumulate the angular-weighted cell flux.
-            for g in 0..groups {
-                self.phi_part[v as usize * groups + g] += self.weight * self.psi_buf[g];
-            }
-            // Distribute outgoing face fluxes.
-            for f in 0..mesh.num_faces(cell) {
-                let face = mesh.face(cell, f);
-                if face.flow(self.dir) <= 0.0 {
+            let geom = CellGeom::new(mesh.as_ref(), cell, self.dir);
+            let mut rem_seen = 0u32;
+            for f in 0..geom.nf {
+                if geom.flow[f] <= 0.0 {
                     continue;
                 }
-                let Some(nb) = face.neighbor.cell() else {
+                let Some(nb) = mesh.face(cell, f).neighbor.cell() else {
                     continue;
                 };
                 if !broken.is_empty() && broken.contains(&(cell as u32, nb as u32)) {
@@ -374,57 +488,83 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                     continue;
                 }
                 let nb_patch = patches.patch_of(nb);
-                if nb_patch == self.id.patch {
-                    // Local downwind neighbour: write straight into
-                    // its incoming face slot.
+                routes[i * mf + f] = if nb_patch == self.id.patch {
                     let nli = patches.local_index(nb);
                     let nface = jsweep_mesh::face_toward(mesh.as_ref(), nb, cell)
                         .expect("downwind neighbour without reciprocal face");
-                    for g in 0..groups {
-                        self.face_flux[(nli * mf + nface) * groups + g] =
-                            self.out_buf[f * groups + g];
-                    }
+                    FaceRoute::Local((nli * mf + nface) as u32)
                 } else {
-                    match sink {
-                        RemoteSink::Streams { writers, counts } => {
-                            // Remote: append to the per-patch stream.
-                            // Writers are persistent (reused across
-                            // compute calls and epochs): an empty one
-                            // starts a fresh payload with the count
-                            // placeholder patched at emission.
-                            let w = writers.entry(nb_patch).or_insert_with(Writer::new);
-                            if w.is_empty() {
-                                w.put_u32(0); // patched below
-                            }
-                            w.put_u32(nb as u32);
-                            w.put_u32(cell as u32);
-                            for g in 0..groups {
-                                w.put_f64(self.out_buf[f * groups + g]);
-                            }
-                            *counts.entry(nb_patch).or_default() += 1;
+                    // `Subgraph::build` packs a vertex's remote edges
+                    // in this very face order (broken and flow-0
+                    // faces skipped on both sides).
+                    let k = sub.rem_off[v as usize] + rem_seen;
+                    rem_seen += 1;
+                    debug_assert_eq!(
+                        sub.rem_dst[k as usize].cell, nb as u32,
+                        "remote CSR order diverged from face order"
+                    );
+                    FaceRoute::Remote(k)
+                };
+            }
+            geoms.push(geom);
+        }
+
+        // Phase 1 — group-block passes over the cluster's cell list.
+        let mut vals = std::mem::take(&mut self.remote_vals);
+        let mut g0 = 0;
+        while g0 < groups {
+            let b = GROUP_BLOCK.min(groups - g0);
+            for (i, &v) in cluster.iter().enumerate() {
+                let cell = sub.cells[v as usize] as usize;
+                let geom = &geoms[i];
+                let mat = materials.material(cell);
+                // Outgoing block scratch lives on the stack
+                // (GROUP_BLOCK-strided even for the tail block); the
+                // incoming view reads `face_flux` directly — earlier
+                // cells of this pass have already written this cell's
+                // upwind slots for the block's groups.
+                let mut out = [0.0f64; KERNEL_MAX_FACES * GROUP_BLOCK];
+                let mut psi = [0.0f64; GROUP_BLOCK];
+                let in_base = (v as usize * mf) * groups + g0;
+                let q_base = cell * groups + g0;
+                solve_cell_block_geom(
+                    geom,
+                    self.kernel,
+                    &mat.sigma_t[g0..g0 + b],
+                    &emission[q_base..q_base + b],
+                    &self.face_flux[in_base..],
+                    groups,
+                    &mut out,
+                    GROUP_BLOCK,
+                    &mut psi,
+                );
+                // Accumulate the angular-weighted cell flux.
+                let phi_base = v as usize * groups + g0;
+                let phi = &mut self.phi_part[phi_base..phi_base + b];
+                for (p, &x) in phi.iter_mut().zip(psi.iter()) {
+                    *p += self.weight * x;
+                }
+                // Route the outgoing face-flux blocks.
+                for f in 0..geom.nf {
+                    let blk = &out[f * GROUP_BLOCK..f * GROUP_BLOCK + b];
+                    match routes[i * mf + f] {
+                        FaceRoute::Skip => {}
+                        FaceRoute::Local(slot) => {
+                            let s = slot as usize * groups + g0;
+                            self.face_flux[s..s + b].copy_from_slice(blk);
                         }
-                        RemoteSink::Slots { vals } => {
-                            // Remote: stage in this fine edge's slot;
-                            // the coarse-edge emission reads it back.
-                            // `Subgraph::build` packs a vertex's remote
-                            // edges in the face order of this very
-                            // loop (broken and flow-0 faces skipped on
-                            // both sides), so the k-th remote downwind
-                            // face stages at `rem_off[v] + k` — no
-                            // position scan in the replay hot path.
-                            let k = (sub.rem_off[v as usize] + rem_seen) as usize;
-                            rem_seen += 1;
-                            debug_assert_eq!(
-                                sub.rem_dst[k].cell, nb as u32,
-                                "remote CSR order diverged from face order"
-                            );
-                            vals[k * groups..(k + 1) * groups]
-                                .copy_from_slice(&self.out_buf[f * groups..(f + 1) * groups]);
+                        FaceRoute::Remote(k) => {
+                            let s = k as usize * groups + g0;
+                            vals[s..s + b].copy_from_slice(blk);
                         }
                     }
                 }
             }
+            g0 += b;
         }
+        self.remote_vals = vals;
+        self.geom_scratch = geoms;
+        self.route_scratch = routes;
     }
 
     /// Fine-mode `compute()`: pop a cluster of ready vertices
@@ -449,12 +589,33 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         // epochs).
         let mut writers = std::mem::take(&mut self.stream_writers);
         let mut counts = std::mem::take(&mut self.stream_counts);
+        let groups = self.groups;
         ctx.kernel(|| {
-            let mut sink = RemoteSink::Streams {
-                writers: &mut writers,
-                counts: &mut counts,
-            };
-            self.kernel_cluster(sub, broken, &cluster, &mut sink);
+            self.kernel_cluster(sub, broken, &cluster);
+            // Phase 2 — assemble the per-patch stream items from the
+            // staged remote values, in (vertex, remote-CSR) order:
+            // the CSR is packed in face order, so the items (and
+            // therefore the wire bytes) are exactly what per-cell
+            // streaming produced. Writers are persistent (reused
+            // across compute calls and epochs): an empty one starts a
+            // fresh payload with the count placeholder patched at
+            // emission.
+            for &v in &cluster {
+                let src = sub.cells[v as usize];
+                for k in sub.rem_range(v) {
+                    let dst = sub.rem_dst[k];
+                    let w = writers.entry(dst.patch).or_default();
+                    if w.is_empty() {
+                        w.put_u32(0); // patched below
+                    }
+                    w.put_u32(dst.cell);
+                    w.put_u32(src);
+                    for g in 0..groups {
+                        w.put_f64(self.remote_vals[k * groups + g]);
+                    }
+                    *counts.entry(dst.patch).or_default() += 1;
+                }
+            }
         });
 
         let mut targets: Vec<PatchId> = counts
@@ -528,15 +689,14 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         );
         ctx.work_done = cluster.len() as u64;
 
-        let mut vals = std::mem::take(&mut self.remote_vals);
         let groups = self.groups;
         // Serialization happens inside the kernel closure, exactly as
         // the fine path packs its stream items there — keeping the
         // Kernel/GraphOp split comparable between the two modes.
         let streams = ctx.kernel(|| {
-            let mut sink = RemoteSink::Slots { vals: &mut vals };
-            self.kernel_cluster(sub, broken, cluster, &mut sink);
-            // One stream per outgoing coarse edge, items pre-resolved.
+            self.kernel_cluster(sub, broken, cluster);
+            // One stream per outgoing coarse edge, items pre-resolved
+            // against the same remote-CSR staging the kernel wrote.
             task.emits[cv as usize]
                 .iter()
                 .map(|emit| {
@@ -549,7 +709,7 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
                     for item in &emit.items {
                         let k = item.rem_idx as usize;
                         for g in 0..groups {
-                            w.put_f64(vals[k * groups + g]);
+                            w.put_f64(self.remote_vals[k * groups + g]);
                         }
                     }
                     Stream {
@@ -563,7 +723,6 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         for stream in streams {
             ctx.send(stream);
         }
-        self.remote_vals = vals;
 
         let Sched::Coarse { state, .. } = &self.sched else {
             unreachable!();
@@ -573,12 +732,13 @@ impl<T: SweepTopology + Send + Sync + 'static> SweepProgram<T> {
         }
     }
 
-    /// Deposit the finished scalar-flux contribution into the patch bin.
+    /// Deposit the finished scalar-flux contribution into the patch
+    /// bin. The buffer comes back through [`FluxBins::acquire`] at the
+    /// next epoch's reset — the flux round-trip.
     fn deposit_flux(&mut self) {
-        let mut part = Vec::new();
-        std::mem::swap(&mut part, &mut self.phi_part);
-        let mut bin = self.flux_bins[self.id.patch.index()].lock();
-        bin.push((self.id.task.0, part));
+        let part = std::mem::take(&mut self.phi_part);
+        self.flux_bins
+            .deposit(self.id.patch.index(), self.id.task.0, part);
     }
 }
 
@@ -730,20 +890,26 @@ impl<T: SweepTopology + Send + Sync + 'static> PatchProgram for SweepProgram<T> 
         }
         // Buffer hygiene: incoming face flux back to the vacuum
         // boundary condition in place; the flux accumulator (handed to
-        // the bin last epoch) restored to shape; coarse staging sized
-        // to the subgraph's remote CSR (values are written before read
-        // within each compute, so no zeroing needed beyond sizing).
+        // the bin last epoch) re-acquired from the pool — the buffer
+        // some program of this patch deposited last epoch, so resident
+        // epochs allocate nothing; remote staging sized to the
+        // subgraph's remote CSR (values are written before read within
+        // each compute, so no zeroing needed beyond sizing).
         self.face_flux.iter_mut().for_each(|x| *x = 0.0);
         let n = sub.num_vertices();
-        self.phi_part.clear();
-        self.phi_part.resize(n * self.groups, 0.0);
-        match &e.mode {
-            SweepMode::Coarse { .. } => {
-                self.remote_vals
-                    .resize(sub.rem_dst.len() * self.groups, 0.0);
-            }
-            SweepMode::Fine { .. } => {}
+        if self.phi_part.capacity() < n * self.groups {
+            // Deposited (or never shaped): round-trip via the pool.
+            self.phi_part = self
+                .flux_bins
+                .acquire(self.id.patch.index(), n * self.groups);
+        } else {
+            // Never deposited (e.g. the last epoch faulted before this
+            // program completed): re-zero in place.
+            self.phi_part.clear();
+            self.phi_part.resize(n * self.groups, 0.0);
         }
+        self.remote_vals
+            .resize(sub.rem_dst.len() * self.groups, 0.0);
         debug_assert!(
             self.stream_counts.values().all(|&c| c == 0),
             "unsent stream items at epoch boundary"
@@ -761,33 +927,24 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
         let groups = s.materials.num_groups();
         let mf = self.max_faces();
         let n = sub.num_vertices();
-        let (sched, remote_vals) = match &s.mode {
-            SweepMode::Fine { trace_bins } => {
-                let prio = s.problem.vprio[a][p].clone();
-                (
-                    Sched::Fine {
-                        state: SweepState::new(sub, prio),
-                        // Only canonical angles record: octant members
-                        // share the canonical DAG, so one trace per
-                        // octant serves every member at replay time.
-                        trace: trace_bins
-                            .as_ref()
-                            .filter(|_| s.problem.canonical_angle(a) == a)
-                            .map(|bins| (ClusterTrace::default(), bins.clone())),
-                    },
-                    Vec::new(),
-                )
-            }
+        let sched = match &s.mode {
+            SweepMode::Fine { trace_bins } => Sched::Fine {
+                state: SweepState::new(sub, s.problem.vprio[a][p].clone()),
+                // Only canonical angles record: octant members
+                // share the canonical DAG, so one trace per
+                // octant serves every member at replay time.
+                trace: trace_bins
+                    .as_ref()
+                    .filter(|_| s.problem.canonical_angle(a) == a)
+                    .map(|bins| (ClusterTrace::default(), bins.clone())),
+            },
             SweepMode::Coarse { plan } => {
                 let task = plan.tasks[a][p].clone();
-                (
-                    Sched::Coarse {
-                        state: CoarseSweepState::new(&task.coarse),
-                        vertices_left: task.coarse.num_vertices() as u64,
-                        task,
-                    },
-                    vec![0.0; sub.rem_dst.len() * groups],
-                )
+                Sched::Coarse {
+                    state: CoarseSweepState::new(&task.coarse),
+                    vertices_left: task.coarse.num_vertices() as u64,
+                    task,
+                }
             }
         };
         SweepProgram {
@@ -810,15 +967,14 @@ impl<T: SweepTopology + Send + Sync + 'static> ProgramFactory for SweepFactory<T
             max_faces: mf,
             sched,
             face_flux: vec![0.0; n * mf * groups],
-            phi_part: vec![0.0; n * groups],
-            remote_vals,
+            phi_part: s.flux_bins.acquire(id.patch.index(), n * groups),
+            remote_vals: vec![0.0; sub.rem_dst.len() * groups],
             ingest: self.ingest.clone(),
             stream_writers: HashMap::new(),
             stream_counts: HashMap::new(),
             slot_scratch: Vec::new(),
-            in_buf: Vec::new(),
-            out_buf: Vec::new(),
-            psi_buf: Vec::new(),
+            geom_scratch: Vec::new(),
+            route_scratch: Vec::new(),
         }
     }
 

@@ -32,7 +32,6 @@ use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
 use jsweep_quadrature::QuadratureSet;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Pool claim batch used for coarse-replay iterations.
@@ -340,11 +339,7 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
     let groups = materials.num_groups();
     let num_ranks = problem.patches.num_ranks();
     let emission = Arc::new(emission_density(materials, phi));
-    let flux_bins: Arc<FluxBins> = Arc::new(
-        (0..problem.num_patches())
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
-    );
+    let flux_bins = Arc::new(FluxBins::new(problem.num_patches()));
     let runtime = match &mode {
         // Default batching knobs: frame aggregation + report batching
         // are pure overhead wins for fine-grained sweeps.
@@ -393,31 +388,8 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
         u.shutdown();
         stats
     };
-    let phi_new = fold_flux(problem, &flux_bins, n, groups);
+    let phi_new = flux_bins.fold(problem, n, groups);
     (RunStats::aggregate(&stats), phi_new)
-}
-
-/// Fold (and drain) the per-patch flux bins into `φ_new`, in angle
-/// order per patch so the floating-point result is independent of
-/// scheduling order. Draining makes the bins reusable by the next
-/// epoch of a resident universe.
-fn fold_flux(problem: &SweepProblem, flux_bins: &FluxBins, n: usize, groups: usize) -> Vec<f64> {
-    let mut phi_new = vec![0.0; n * groups];
-    for p in problem.patches.patches() {
-        let mut bin = flux_bins[p.index()].lock();
-        bin.sort_by_key(|(angle, _)| *angle);
-        let cells = problem.patches.cells(p);
-        for (_, part) in bin.iter() {
-            assert_eq!(part.len(), cells.len() * groups);
-            for (li, &cell) in cells.iter().enumerate() {
-                for g in 0..groups {
-                    phi_new[cell as usize * groups + g] += part[li * groups + g];
-                }
-            }
-        }
-        bin.clear();
-    }
-    phi_new
 }
 
 /// The per-epoch batching tuning matching `mode` (see
@@ -551,11 +523,7 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
             problem.mesh_generation,
             "mesh topology changed since SweepProblem::build; rebuild the problem"
         );
-        let flux_bins: Arc<FluxBins> = Arc::new(
-            (0..problem.num_patches())
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
-        );
+        let flux_bins = Arc::new(FluxBins::new(problem.num_patches()));
         let base = RuntimeConfig {
             num_workers: config.workers_per_rank,
             termination: config.termination,
@@ -651,9 +619,7 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
     /// return path; [`EpochWorld::retire`] repeats it post-join to
     /// catch stragglers that deposited after the epoch aborted.
     pub(crate) fn clear_flux_bins(&self) {
-        for bin in self.flux_bins.iter() {
-            bin.lock().clear();
-        }
+        self.flux_bins.clear();
     }
 }
 
@@ -776,7 +742,7 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
                 return Err(f);
             }
         };
-        let phi_new = fold_flux(&world.problem, &world.flux_bins, n, groups);
+        let phi_new = world.flux_bins.fold(&world.problem, n, groups);
         (RunStats::aggregate(&rank_stats), phi_new)
     } else {
         sweep_iteration(
@@ -891,11 +857,7 @@ pub fn solve_parallel_spmd<T: SweepTopology + Send + Sync + 'static>(
         problem.patches.num_ranks(),
         "comm world size must match the problem's rank decomposition"
     );
-    let flux_bins: Arc<FluxBins> = Arc::new(
-        (0..problem.num_patches())
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
-    );
+    let flux_bins = Arc::new(FluxBins::new(problem.num_patches()));
     let base = RuntimeConfig {
         num_workers: config.workers_per_rank,
         termination: config.termination,
@@ -938,7 +900,7 @@ pub fn solve_parallel_spmd<T: SweepTopology + Send + Sync + 'static>(
         // Local patches deposited into their bins; remote patches' bins
         // are empty, so the fold yields this rank's disjoint share and
         // the rank-ordered reduction completes the global iterate.
-        let mut phi_new = fold_flux(&problem, &flux_bins, n, groups);
+        let mut phi_new = flux_bins.fold(&problem, n, groups);
         rank.comm_mut()
             .allreduce_sum_f64_slice(&mut phi_new)
             .unwrap_or_else(|e| panic!("flux reduction failed: {e}"));

@@ -761,6 +761,179 @@ fn resident_universe_bit_identical_to_respawned_unstructured() {
     }
 }
 
+/// Per-group-varied 16-group material: every group gets distinct
+/// cross sections and source so a group-blocking bug that mixes
+/// lanes cannot cancel out.
+fn multigroup16_material() -> Material {
+    let groups = 16;
+    Material {
+        sigma_t: (0..groups).map(|g| 0.5 + 0.23 * g as f64).collect(),
+        sigma_s: (0..groups).map(|g| 0.2 + 0.04 * g as f64).collect(),
+        source: (0..groups).map(|g| 1.0 + 0.5 * (g % 3) as f64).collect(),
+    }
+}
+
+#[test]
+fn multigroup16_goldens_bit_identical_across_execution_modes() {
+    // G=16 golden for the blocked kernel (two full GROUP_BLOCK=8
+    // blocks): fine, coarse-replay, cached-replay and respawned
+    // solves must all produce the *bit-identical* flux, for both
+    // kernel kinds, and match the scalar serial solver to 1e-11.
+    use jsweep::transport::PlanCache;
+    let mesh = Arc::new(StructuredMesh::unit(6, 6, 6));
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(216, multigroup16_material()));
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        decompose_structured(&mesh, (3, 3, 3), 2),
+        &quad,
+        &ProblemOptions {
+            share_octant_dags: true,
+            ..Default::default()
+        },
+    ));
+    for kernel in [KernelKind::Step, KernelKind::DiamondDifference] {
+        let mut cfg = config();
+        cfg.kernel = kernel;
+        let serial = solve_serial(mesh.as_ref(), &quad, &mats, &cfg);
+        let mut fine_cfg = cfg.clone();
+        fine_cfg.coarsen = false;
+        let fine = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &fine_cfg);
+        assert_flux_close(&fine.phi, &serial.phi, 1e-11);
+
+        let replay = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &cfg);
+        assert_eq!(
+            fine.phi, replay.phi,
+            "G=16 replay flux must be bit-identical ({kernel:?})"
+        );
+
+        let cache = PlanCache::new();
+        let c1 = solve_parallel_cached(
+            mesh.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &cfg,
+            &cache,
+        );
+        let c2 = solve_parallel_cached(
+            mesh.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &cfg,
+            &cache,
+        );
+        assert!(c2.plan_from_cache, "second cached solve must hit the cache");
+        assert_eq!(fine.phi, c1.phi, "G=16 fresh-plan flux ({kernel:?})");
+        assert_eq!(fine.phi, c2.phi, "G=16 cached-replay flux ({kernel:?})");
+
+        let mut respawn_cfg = cfg.clone();
+        respawn_cfg.resident = false;
+        let respawned = solve_parallel(
+            mesh.clone(),
+            prob.clone(),
+            &quad,
+            mats.clone(),
+            &respawn_cfg,
+        );
+        assert_eq!(
+            fine.phi, respawned.phi,
+            "G=16 respawned flux must be bit-identical ({kernel:?})"
+        );
+    }
+}
+
+#[test]
+fn multigroup16_tet_fine_vs_replay_bit_identical() {
+    // The same G=16 golden on tetrahedra (step kernel — DD is
+    // hex-only): the blocked kernel's 4-face path and the scalar
+    // tail see real unstructured geometry here.
+    let mesh = Arc::new(jsweep::mesh::tetgen::ball(2, 1.0));
+    let n = mesh.num_cells();
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(n, multigroup16_material()));
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        decompose_unstructured(mesh.as_ref(), 32, 2),
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let serial = solve_serial(mesh.as_ref(), &quad, &mats, &config());
+    let mut fine_cfg = config();
+    fine_cfg.coarsen = false;
+    let fine = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &fine_cfg);
+    assert_flux_close(&fine.phi, &serial.phi, 1e-11);
+    let replay = solve_parallel(mesh.clone(), prob.clone(), &quad, mats.clone(), &config());
+    assert_eq!(
+        fine.phi, replay.phi,
+        "G=16 tet replay flux must be bit-identical"
+    );
+}
+
+#[test]
+fn flux_bin_pool_reuses_buffers_across_epochs() {
+    // Regression guard for the phi_part round-trip: after the first
+    // epoch has populated the pool (one fresh buffer per program),
+    // every later epoch must re-acquire recycled buffers — zero new
+    // allocations — and keep producing the identical fold.
+    use jsweep::transport::program::{FluxBins, SweepEpoch, SweepFactory, SweepMode, SweepSetup};
+    let mesh = Arc::new(StructuredMesh::unit(4, 4, 4));
+    let n = mesh.num_cells();
+    let groups = 3;
+    let quad = QuadratureSet::sn(2);
+    let mats = Arc::new(MaterialSet::homogeneous(
+        n,
+        Material::uniform(groups, 1.0, 0.4, 1.0),
+    ));
+    let prob = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        decompose_structured(&mesh, (2, 2, 2), 2),
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    let flux_bins = Arc::new(FluxBins::new(prob.num_patches()));
+    let emission = Arc::new(vec![0.1; n * groups]);
+    let factory = Arc::new(SweepFactory::new(SweepSetup {
+        mesh: mesh.clone(),
+        problem: prob.clone(),
+        quadrature: quad.clone(),
+        materials: mats.clone(),
+        emission: emission.clone(),
+        kernel: KernelKind::Step,
+        grain: 16,
+        flux_bins: flux_bins.clone(),
+        mode: SweepMode::Fine { trace_bins: None },
+    }));
+    let mut u = Universe::launch(
+        2,
+        factory,
+        RuntimeConfig {
+            num_workers: 2,
+            ..Default::default()
+        },
+    );
+    let mut folds: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..4 {
+        u.run_epoch(Arc::new(SweepEpoch {
+            emission: emission.clone(),
+            mode: SweepMode::Fine { trace_bins: None },
+            materials: None,
+        }))
+        .unwrap_or_else(|f| panic!("sweep epoch faulted: {f}"));
+        folds.push(flux_bins.fold(&prob, n, groups));
+    }
+    u.shutdown();
+    assert_eq!(
+        flux_bins.fresh_allocations(),
+        prob.num_tasks() as u64,
+        "later epochs must reuse pooled phi_part buffers, not allocate"
+    );
+    for (k, w) in folds.windows(2).enumerate() {
+        assert_eq!(w[0], w[1], "fold changed between epochs {k} and {}", k + 1);
+    }
+}
+
 #[test]
 fn resident_universe_multi_epoch_stress_leaves_no_stale_state() {
     // Drive many forced epochs (negative tolerance: the solver never
