@@ -171,12 +171,16 @@ pub struct SocketBackend {
     /// Round-robin poll cursor for fairness across peers.
     next_poll: usize,
     bytes_sent: AtomicU64,
+    frames_sent: AtomicU64,
     bytes_received: u64,
+    frames_received: u64,
     closed: bool,
 }
 
 impl SocketBackend {
-    /// Wire + framing bytes received and decoded so far.
+    /// Wire + framing bytes received and decoded so far. Counters are
+    /// wire-level on this backend: loopback self-sends never touch the
+    /// wire and are not counted, on either side.
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received
     }
@@ -235,6 +239,7 @@ impl CommBackend for SocketBackend {
             .map_err(|_| CommError::PeerClosed { peer: to })?;
         self.bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -259,6 +264,7 @@ impl CommBackend for SocketBackend {
             }
             let before = peer.decoder.bytes_consumed();
             while let Some((tag, payload)) = peer.decoder.next_frame() {
+                self.frames_received += 1;
                 self.ready.push_back(Message {
                     src: p,
                     tag,
@@ -313,6 +319,18 @@ impl CommBackend for SocketBackend {
 
     fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    fn frames_received(&self) -> u64 {
+        self.frames_received
     }
 }
 
@@ -380,7 +398,9 @@ fn assemble(
         ready: VecDeque::new(),
         next_poll: (rank + 1) % size,
         bytes_sent: AtomicU64::new(0),
+        frames_sent: AtomicU64::new(0),
         bytes_received: 0,
+        frames_received: 0,
         closed: false,
     }
 }

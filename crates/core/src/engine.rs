@@ -37,6 +37,8 @@ use crate::program::{
     frame_push, unpack_frame, ComputeCtx, EpochInput, ProgramFactory, ProgramId, Stream,
 };
 use crate::stats::{Breakdown, Category, RunStats};
+use crate::telemetry::{EventKind, Recorder, TelemetryHandle};
+use crate::universe::EpochTuning;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jsweep_comm::pack::Writer;
@@ -101,6 +103,10 @@ pub struct RuntimeConfig {
     /// default none. Inert unless the `fault-inject` cargo feature is
     /// enabled; see [`FaultPlan`].
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Telemetry attachment, default detached. Inert unless the
+    /// `telemetry` cargo feature is enabled *and* the attached
+    /// recorder is armed; see [`TelemetryHandle`].
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for RuntimeConfig {
@@ -113,6 +119,7 @@ impl Default for RuntimeConfig {
             claim_batch: 8,
             watchdog: None,
             fault_plan: None,
+            telemetry: TelemetryHandle::default(),
         }
     }
 }
@@ -203,6 +210,7 @@ fn worker_loop<F: ProgramFactory>(
     factory: Arc<F>,
     to_master: Sender<Report>,
     inject: Option<Arc<FaultPlan>>,
+    rec: Recorder,
 ) -> (Breakdown, u64) {
     // With injection compiled out the plan is never consulted; the
     // hooks below vanish and `inject` only exists to keep the spawn
@@ -221,9 +229,13 @@ fn worker_loop<F: ProgramFactory>(
         // streams keep moving, and quiescence stays honest.
         if pool.try_take_batch(worker, claim_batch, &mut claims) == 0 {
             flush_report(&pool, &to_master, &mut batch, worker);
+            // The claim span covers the blocking wait too, so the
+            // trace shows how long this worker starved for work.
+            let tc0 = rec.now();
             if pool.take_batch(worker, claim_batch, &mut claims, &mut batch.bd) == 0 {
                 break;
             }
+            rec.span(EventKind::Claim, tc0, claims.len() as u64, 0);
         }
         #[cfg(feature = "fault-inject")]
         if let Some(plan) = &inject {
@@ -281,7 +293,14 @@ fn worker_loop<F: ProgramFactory>(
                 }
                 let mut ctx = ComputeCtx::default();
                 let t0 = Instant::now();
+                let tt0 = rec.now();
                 program.compute(&mut ctx);
+                rec.span(
+                    EventKind::Compute,
+                    tt0,
+                    u64::from(id.patch.0),
+                    u64::from(id.task.0),
+                );
                 let dt = t0.elapsed().as_secs_f64();
                 let halted = program.vote_to_halt();
                 (program, pending, ctx, dt, halted)
@@ -298,6 +317,11 @@ fn worker_loop<F: ProgramFactory>(
                         pool.hold_report();
                         batch.held = true;
                     }
+                    rec.instant(
+                        EventKind::Fault,
+                        u64::from(id.patch.0),
+                        u64::from(id.task.0),
+                    );
                     batch.faults.push(EpochFault {
                         rank,
                         worker,
@@ -414,6 +438,10 @@ struct Master<F: ProgramFactory> {
     /// through every layer would be noise; the main loop checks this
     /// once per drain round instead).
     dead: Option<CommError>,
+    /// This master thread's telemetry lane (lane 0 of the rank).
+    rec: Recorder,
+    /// Handle back to the registry for the frame-size histogram.
+    telemetry: TelemetryHandle,
 }
 
 impl<F: ProgramFactory> Master<F> {
@@ -450,6 +478,8 @@ impl<F: ProgramFactory> Master<F> {
             safra: Safra::new(rank, size),
             work_done: 0,
             dead: None,
+            rec: config.telemetry.recorder(rank as u32, 0),
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -494,6 +524,8 @@ impl<F: ProgramFactory> Master<F> {
         if report.outputs.is_empty() {
             return;
         }
+        let streams_routed = report.outputs.len() as u64;
+        let tr0 = self.rec.now();
         let t_route = Instant::now();
         // Pack and send time inside this loop is booked to its own
         // category and must not also count as Route.
@@ -532,6 +564,7 @@ impl<F: ProgramFactory> Master<F> {
             Category::Route,
             (t_route.elapsed().as_secs_f64() - non_route_seconds).max(0.0),
         );
+        self.rec.span(EventKind::Route, tr0, streams_routed, 0);
     }
 
     /// Send `dst`'s frame if it has content.
@@ -540,7 +573,9 @@ impl<F: ProgramFactory> Master<F> {
         if slot.count == 0 {
             return;
         }
+        let tp0 = self.rec.now();
         let payload = slot.w.take();
+        let frame_bytes = payload.len();
         self.stats.streams_sent += slot.count;
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
@@ -548,6 +583,11 @@ impl<F: ProgramFactory> Master<F> {
         let sent = self
             .bd
             .timed(Category::Comm, || comm.send(dst, TAG_FRAME, payload));
+        self.rec
+            .span(EventKind::Pack, tp0, dst as u64, frame_bytes as u64);
+        self.rec
+            .instant(EventKind::Send, dst as u64, frame_bytes as u64);
+        self.telemetry.observe_frame_bytes(self.rank, frame_bytes);
         match sent {
             Ok(()) => self.safra.on_send(),
             // The destination rank is gone. Record the diagnosis for
@@ -567,7 +607,9 @@ impl<F: ProgramFactory> Master<F> {
     }
 
     /// An incoming frame: unpack zero-copy, deliver as one pool batch.
-    fn recv_frame(&mut self, pool: &Pool, payload: Bytes) {
+    fn recv_frame(&mut self, pool: &Pool, src: usize, payload: Bytes) {
+        self.rec
+            .instant(EventKind::Recv, src as u64, payload.len() as u64);
         self.safra.on_receive();
         self.stats.frames_received += 1;
         let streams = self.bd.timed(Category::Unpack, || unpack_frame(payload));
@@ -614,10 +656,12 @@ impl<F: ProgramFactory> Rank<F> {
             let factory = factory.clone();
             let tx = to_master.clone();
             let inject = config.fault_plan.clone();
+            // Lane 0 is the master; worker `w` records on lane `w + 1`.
+            let rec = config.telemetry.recorder(rank as u32, (w + 1) as u32);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}-worker-{w}"))
-                    .spawn(move || worker_loop(rank, w, pool, factory, tx, inject))
+                    .spawn(move || worker_loop(rank, w, pool, factory, tx, inject, rec))
                     .expect("spawn worker"),
             );
         }
@@ -663,20 +707,24 @@ impl<F: ProgramFactory> Rank<F> {
     pub(crate) fn run_epoch(
         &mut self,
         input: &Arc<EpochInput>,
-        flush_streams: Option<usize>,
-        claim_batch: Option<usize>,
+        tuning: EpochTuning,
     ) -> Result<RunStats, EpochFault> {
         let t_start = Instant::now();
         let epoch_start_nanos = self.pool.now_nanos();
+        let epoch_index = self.epochs_run;
+        let te0 = self.m.rec.now();
         self.m.begin_epoch(self.config.num_workers);
-        self.pool.set_batching(flush_streams, claim_batch);
+        self.pool
+            .set_batching(tuning.report_flush_streams, tuning.claim_batch);
 
         // Inter-epoch synchronisation (booked as master idle time).
         // The first epoch has no predecessor to fence off, so one-shot
         // runs pay no barrier at all.
         if self.epochs_run > 0 {
             let t_fence = Instant::now();
+            let tf0 = self.m.rec.now();
             let fence = self.epoch_fence();
+            self.m.rec.span(EventKind::Fence, tf0, 0, 0);
             self.m
                 .bd
                 .add(Category::Idle, t_fence.elapsed().as_secs_f64());
@@ -685,6 +733,9 @@ impl<F: ProgramFactory> Rank<F> {
                 // peers will observe the same death through their own
                 // fences or drain loops.
                 self.epochs_run += 1;
+                self.m
+                    .rec
+                    .span(EventKind::Epoch, te0, epoch_index, tuning.span);
                 return Err(comm_fault(self.m.rank, e));
             }
         }
@@ -781,7 +832,7 @@ impl<F: ProgramFactory> Rank<F> {
                 };
                 progress = true;
                 match msg.tag {
-                    TAG_FRAME => m.recv_frame(pool, msg.payload),
+                    TAG_FRAME => m.recv_frame(pool, msg.src, msg.payload),
                     TAG_ABORT => {
                         fault = Some(EpochFault::unpack(&msg.payload));
                         break 'main;
@@ -916,6 +967,9 @@ impl<F: ProgramFactory> Rank<F> {
                     }
                 }
             }
+            m.rec
+                .instant(EventKind::Fault, f.rank as u64, f.worker as u64);
+            m.rec.span(EventKind::Epoch, te0, epoch_index, tuning.span);
             self.epochs_run += 1;
             return Err(f);
         }
@@ -976,6 +1030,16 @@ impl<F: ProgramFactory> Rank<F> {
         let mut stats = std::mem::take(&mut m.stats);
         stats.master = std::mem::take(&mut m.bd);
         stats.wall_seconds = t_start.elapsed().as_secs_f64();
+        m.rec.span(EventKind::Epoch, te0, epoch_index, tuning.span);
+        m.telemetry.epoch_metrics(
+            rank,
+            &stats,
+            (
+                comm.bytes_sent(),
+                comm.bytes_received(),
+                comm.frames_received(),
+            ),
+        );
         Ok(stats)
     }
 
@@ -1056,8 +1120,7 @@ impl<F: ProgramFactory> SpmdRank<F> {
         input: &Arc<EpochInput>,
         tuning: crate::EpochTuning,
     ) -> Result<RunStats, EpochFault> {
-        self.inner
-            .run_epoch(input, tuning.report_flush_streams, tuning.claim_batch)
+        self.inner.run_epoch(input, tuning)
     }
 
     /// This process's rank id.
@@ -1099,7 +1162,7 @@ pub fn run_rank<F: ProgramFactory>(
     // universe to relaunch, so a contained fault becomes a contextful
     // panic on this rank's thread.
     let mut stats = rank
-        .run_epoch(&input, None, None)
+        .run_epoch(&input, EpochTuning::default())
         .unwrap_or_else(|f| panic!("one-shot epoch faulted: {f}"));
     for (w, (bd, calls)) in rank.shutdown().into_iter().enumerate() {
         // Fold the residual post-flush slop so one-shot totals stay

@@ -50,6 +50,7 @@ pub mod fault;
 pub mod pool;
 pub mod program;
 pub mod stats;
+pub mod telemetry;
 pub mod universe;
 
 pub use engine::{run_rank, run_universe, RuntimeConfig, SpmdRank, TerminationKind};
@@ -60,4 +61,5 @@ pub use program::{
     Stream, TaskTag,
 };
 pub use stats::{Breakdown, RunStats};
+pub use telemetry::TelemetryHandle;
 pub use universe::{fabric_for, CommFabric, EpochTuning, Universe};

@@ -264,6 +264,81 @@ mod tests {
     }
 
     #[test]
+    fn merge_disjoint_categories_keeps_both() {
+        // Master-side and worker-side categories never overlap in
+        // practice; merging them must lose neither and leave the
+        // untouched categories at zero.
+        let mut a = Breakdown::default();
+        a.add(Category::Kernel, 1.0);
+        a.add(Category::GraphOp, 0.5);
+        let mut b = Breakdown::default();
+        b.add(Category::Comm, 2.0);
+        b.add(Category::Route, 0.25);
+        a.merge(&b);
+        assert_eq!(a.get(Category::Kernel), 1.0);
+        assert_eq!(a.get(Category::GraphOp), 0.5);
+        assert_eq!(a.get(Category::Comm), 2.0);
+        assert_eq!(a.get(Category::Route), 0.25);
+        assert_eq!(a.total(), 3.75);
+        for cat in [Category::Pack, Category::Unpack, Category::Idle] {
+            assert_eq!(a.get(cat), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = Breakdown::default();
+        a.add(Category::Input, 0.75);
+        let before = a.clone();
+        a.merge(&Breakdown::default());
+        assert_eq!(a, before, "merging zeros changes nothing");
+        let mut zero = Breakdown::default();
+        zero.merge(&before);
+        assert_eq!(zero, before, "merging into zeros copies");
+    }
+
+    #[test]
+    fn aggregate_of_empty_slice_is_default() {
+        let agg = RunStats::aggregate(&[]);
+        assert_eq!(agg.wall_seconds, 0.0);
+        assert_eq!(agg.compute_calls, 0);
+        assert!(agg.workers.is_empty());
+        assert!(agg.worker_drain_seconds.is_empty());
+        assert_eq!(agg.master.total(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_concatenates_mismatched_worker_counts() {
+        // Ranks need not run the same worker count (e.g. after an
+        // uneven decomposition); the aggregate concatenates rather
+        // than zips, so no per-worker breakdown is silently dropped.
+        let mut w0 = Breakdown::default();
+        w0.add(Category::Kernel, 1.0);
+        let mut w1 = Breakdown::default();
+        w1.add(Category::Idle, 2.0);
+        let a = RunStats {
+            rank: 0,
+            workers: vec![w0.clone(), w1.clone()],
+            worker_drain_seconds: vec![0.1, 0.2],
+            ..Default::default()
+        };
+        let b = RunStats {
+            rank: 1,
+            workers: vec![w1.clone()],
+            worker_drain_seconds: vec![0.3],
+            ..Default::default()
+        };
+        let agg = RunStats::aggregate(&[a, b]);
+        assert_eq!(agg.workers.len(), 3);
+        assert_eq!(agg.worker_drain_seconds, vec![0.1, 0.2, 0.3]);
+        let merged = agg.workers_merged();
+        assert_eq!(merged.get(Category::Kernel), 1.0);
+        assert_eq!(merged.get(Category::Idle), 4.0);
+        // category_seconds spans master + all concatenated workers.
+        assert_eq!(agg.category_seconds(Category::Idle), 4.0);
+    }
+
+    #[test]
     fn category_names_unique() {
         let mut names: Vec<&str> = CATEGORIES.iter().map(|c| c.name()).collect();
         names.sort_unstable();

@@ -1,0 +1,447 @@
+//! Runtime telemetry integration: the zero-cost-when-off seam between
+//! the engine and `jsweep-obs`.
+//!
+//! Mirrors the `fault-inject` discipline exactly: with the `telemetry`
+//! cargo feature **off** (the default), every type here still exists
+//! — [`TelemetryHandle`] and [`Recorder`] become empty structs whose
+//! methods are `#[inline(always)]` no-ops, `jsweep-obs` is not even
+//! built, and the instrumented call sites compile to nothing. With the
+//! feature **on**, hooks additionally gate on the runtime arming
+//! atomic of the attached `jsweep_obs::Telemetry`: built-but-unarmed
+//! telemetry costs one relaxed atomic load per hook.
+//!
+//! The engine threads one [`TelemetryHandle`] through
+//! `RuntimeConfig`; every rank's master and workers obtain per-thread
+//! [`Recorder`] lanes from it at launch, and epoch boundaries feed the
+//! metrics registry. See `docs/observability.md` for the event
+//! taxonomy and exporter formats.
+
+#[cfg(feature = "telemetry")]
+use crate::stats::RunStats;
+#[cfg(feature = "telemetry")]
+use std::sync::Arc;
+
+/// Re-export of the observability crate (feature `telemetry` only),
+/// so consumers reach `Telemetry`, exporters and metric types without
+/// depending on `jsweep-obs` directly.
+#[cfg(feature = "telemetry")]
+pub use jsweep_obs as obs;
+
+/// Typed event kinds (re-exported from `jsweep-obs`).
+#[cfg(feature = "telemetry")]
+pub use jsweep_obs::EventKind;
+
+/// Typed event kinds (inert stub: the `telemetry` feature is off, so
+/// recording calls referencing these compile to nothing).
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum EventKind {
+    Epoch,
+    Fence,
+    Claim,
+    Compute,
+    Pack,
+    Route,
+    PlanCompile,
+    Send,
+    Recv,
+    Fault,
+    CacheHit,
+    CacheMiss,
+}
+
+/// A shareable reference to the process-wide telemetry (or to nothing:
+/// the default handle is detached and records nowhere). Cloning is
+/// cheap; every clone reaches the same `Telemetry`.
+#[derive(Clone, Default)]
+pub struct TelemetryHandle {
+    #[cfg(feature = "telemetry")]
+    inner: Option<Arc<jsweep_obs::Telemetry>>,
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        #[cfg(feature = "telemetry")]
+        return write!(
+            f,
+            "TelemetryHandle({})",
+            if self.inner.is_some() {
+                "attached"
+            } else {
+                "detached"
+            }
+        );
+        #[cfg(not(feature = "telemetry"))]
+        write!(f, "TelemetryHandle(compiled out)")
+    }
+}
+
+impl TelemetryHandle {
+    /// Wrap a telemetry instance into a handle the runtime config can
+    /// carry.
+    #[cfg(feature = "telemetry")]
+    pub fn attach(telemetry: Arc<jsweep_obs::Telemetry>) -> TelemetryHandle {
+        TelemetryHandle {
+            inner: Some(telemetry),
+        }
+    }
+
+    /// The attached telemetry, if any.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry(&self) -> Option<&Arc<jsweep_obs::Telemetry>> {
+        self.inner.as_ref()
+    }
+
+    /// Whether recording is attached *and* armed right now.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.inner.as_ref().is_some_and(|t| t.is_armed())
+    }
+
+    /// Whether recording is attached and armed (compiled out: never).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn armed(&self) -> bool {
+        false
+    }
+
+    /// Register a recording lane for one thread (`lane` 0 = master,
+    /// `w + 1` = worker `w`) and hand out its single-writer recorder.
+    #[cfg(feature = "telemetry")]
+    pub fn recorder(&self, rank: u32, lane: u32) -> Recorder {
+        Recorder {
+            inner: self.inner.as_ref().map(|t| t.recorder(rank, lane)),
+        }
+    }
+
+    /// Register a recording lane (compiled out: an inert recorder).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn recorder(&self, _rank: u32, _lane: u32) -> Recorder {
+        Recorder {}
+    }
+
+    /// A start-of-span stamp on the shared driver lane's clock (0
+    /// while detached/disarmed).
+    #[cfg(feature = "telemetry")]
+    pub fn global_now(&self) -> u64 {
+        match self.inner.as_ref() {
+            Some(t) if t.is_armed() => t.now_nanos(),
+            _ => 0,
+        }
+    }
+
+    /// A start-of-span stamp (compiled out: always 0).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn global_now(&self) -> u64 {
+        0
+    }
+
+    /// Record a durational event on the shared driver lane (for
+    /// threads that own no rank lane, e.g. a session driver compiling
+    /// a plan).
+    #[cfg(feature = "telemetry")]
+    pub fn global_span(&self, kind: EventKind, t0: u64, a: u64, b: u64) {
+        if let Some(t) = self.inner.as_ref() {
+            t.global_span(kind, t0, a, b);
+        }
+    }
+
+    /// Record a durational driver-lane event (compiled out: no-op).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn global_span(&self, _kind: EventKind, _t0: u64, _a: u64, _b: u64) {}
+
+    /// Record an instant event on the shared driver lane.
+    #[cfg(feature = "telemetry")]
+    pub fn global_instant(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(t) = self.inner.as_ref() {
+            t.global_instant(kind, a, b);
+        }
+    }
+
+    /// Record an instant driver-lane event (compiled out: no-op).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn global_instant(&self, _kind: EventKind, _a: u64, _b: u64) {}
+
+    /// Feed one epoch's per-rank stats into the metrics registry
+    /// (epoch-boundary cold path; no-op while detached or disarmed).
+    /// `wire` is the transport's own `(bytes sent, bytes received,
+    /// frames received)` accounting, which includes wire framing where
+    /// the backend has any.
+    #[cfg(feature = "telemetry")]
+    pub fn epoch_metrics(&self, rank: usize, stats: &RunStats, wire: (u64, u64, u64)) {
+        let Some(t) = self.inner.as_ref() else {
+            return;
+        };
+        if !t.is_armed() {
+            return;
+        }
+        let m = t.metrics();
+        m.describe("jsweep_epochs_total", "Epochs run, per rank.");
+        m.describe(
+            "jsweep_epoch_wall_seconds",
+            "Wall time of one epoch on one rank.",
+        );
+        m.describe(
+            "jsweep_compute_calls_total",
+            "Patch-program compute invocations.",
+        );
+        m.describe(
+            "jsweep_work_done_total",
+            "Workload units completed (vertices for sweeps).",
+        );
+        m.describe("jsweep_streams_sent_total", "Streams sent to other ranks.");
+        m.describe(
+            "jsweep_streams_received_total",
+            "Streams received from other ranks.",
+        );
+        m.describe(
+            "jsweep_frames_sent_total",
+            "Coalesced multi-stream frames sent to other ranks.",
+        );
+        m.describe(
+            "jsweep_frames_received_total",
+            "Frames received from other ranks.",
+        );
+        m.describe(
+            "jsweep_bytes_sent_total",
+            "Stream payload bytes sent to other ranks.",
+        );
+        m.describe(
+            "jsweep_wire_bytes_sent",
+            "Transport-level bytes pushed into the fabric (framing included).",
+        );
+        m.describe(
+            "jsweep_wire_bytes_received",
+            "Transport-level bytes received from the fabric.",
+        );
+        m.describe(
+            "jsweep_wire_frames_received",
+            "Transport-level frames received from the fabric.",
+        );
+        let lab = format!("{{rank=\"{rank}\"}}");
+        m.counter(&format!("jsweep_epochs_total{lab}")).inc();
+        m.histogram(
+            &format!("jsweep_epoch_wall_seconds{lab}"),
+            jsweep_obs::SECONDS_BUCKETS,
+        )
+        .observe(stats.wall_seconds);
+        m.counter(&format!("jsweep_compute_calls_total{lab}"))
+            .add(stats.compute_calls);
+        m.counter(&format!("jsweep_work_done_total{lab}"))
+            .add(stats.work_done);
+        m.counter(&format!("jsweep_streams_sent_total{lab}"))
+            .add(stats.streams_sent);
+        m.counter(&format!("jsweep_streams_received_total{lab}"))
+            .add(stats.streams_received);
+        m.counter(&format!("jsweep_frames_sent_total{lab}"))
+            .add(stats.frames_sent);
+        m.counter(&format!("jsweep_frames_received_total{lab}"))
+            .add(stats.frames_received);
+        m.counter(&format!("jsweep_bytes_sent_total{lab}"))
+            .add(stats.bytes_sent);
+        m.gauge(&format!("jsweep_wire_bytes_sent{lab}"))
+            .set(wire.0 as f64);
+        m.gauge(&format!("jsweep_wire_bytes_received{lab}"))
+            .set(wire.1 as f64);
+        m.gauge(&format!("jsweep_wire_frames_received{lab}"))
+            .set(wire.2 as f64);
+    }
+
+    /// Feed one epoch's stats (compiled out: no-op — the arguments
+    /// are all references/scalars the caller already has).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn epoch_metrics(
+        &self,
+        _rank: usize,
+        _stats: &crate::stats::RunStats,
+        _wire: (u64, u64, u64),
+    ) {
+    }
+
+    /// Observe one outgoing frame's payload size into the frame-bytes
+    /// histogram (no-op while detached or disarmed).
+    #[cfg(feature = "telemetry")]
+    pub fn observe_frame_bytes(&self, rank: usize, bytes: usize) {
+        let Some(t) = self.inner.as_ref() else {
+            return;
+        };
+        if !t.is_armed() {
+            return;
+        }
+        let m = t.metrics();
+        m.describe(
+            "jsweep_frame_bytes",
+            "Payload size of one coalesced outgoing frame.",
+        );
+        m.histogram(
+            &format!("jsweep_frame_bytes{{rank=\"{rank}\"}}"),
+            jsweep_obs::BYTES_BUCKETS,
+        )
+        .observe(bytes as f64);
+    }
+
+    /// Observe one outgoing frame's size (compiled out: no-op).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn observe_frame_bytes(&self, _rank: usize, _bytes: usize) {}
+}
+
+/// One thread's event writer (see `jsweep_obs::Recorder`). With the
+/// `telemetry` feature off this is an empty struct whose methods
+/// compile to nothing.
+pub struct Recorder {
+    #[cfg(feature = "telemetry")]
+    inner: Option<jsweep_obs::Recorder>,
+}
+
+impl Recorder {
+    /// An inert recorder (detached).
+    pub fn disabled() -> Recorder {
+        Recorder {
+            #[cfg(feature = "telemetry")]
+            inner: None,
+        }
+    }
+
+    /// Whether recording is live right now (one relaxed load).
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.inner.as_ref().is_some_and(|r| r.armed())
+    }
+
+    /// Whether recording is live (compiled out: never).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn armed(&self) -> bool {
+        false
+    }
+
+    /// A start-of-span stamp (0 while detached/disarmed; the matching
+    /// [`Recorder::span`] then drops the event).
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.now())
+    }
+
+    /// A start-of-span stamp (compiled out: always 0).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn now(&self) -> u64 {
+        0
+    }
+
+    /// Record a durational event `[t0, now]` on this lane.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn span(&self, kind: EventKind, t0: u64, a: u64, b: u64) {
+        if let Some(r) = self.inner.as_ref() {
+            r.span(kind, t0, a, b);
+        }
+    }
+
+    /// Record a durational event (compiled out: no-op).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn span(&self, _kind: EventKind, _t0: u64, _a: u64, _b: u64) {}
+
+    /// Record an instant event on this lane.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn instant(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(r) = self.inner.as_ref() {
+            r.instant(kind, a, b);
+        }
+    }
+
+    /// Record an instant event (compiled out: no-op).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn instant(&self, _kind: EventKind, _a: u64, _b: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_handle_is_inert() {
+        let h = TelemetryHandle::default();
+        assert!(!h.armed());
+        assert_eq!(h.global_now(), 0);
+        let rec = h.recorder(0, 0);
+        assert!(!rec.armed());
+        assert_eq!(rec.now(), 0);
+        // All no-ops, must not panic.
+        rec.span(EventKind::Compute, 0, 0, 0);
+        rec.instant(EventKind::Send, 0, 0);
+        h.global_instant(EventKind::Fault, 0, 0);
+        h.global_span(EventKind::PlanCompile, 0, 0, 0);
+        h.observe_frame_bytes(0, 100);
+        let stats = crate::stats::RunStats::default();
+        h.epoch_metrics(0, &stats, (0, 0, 0));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn attached_handle_records_when_armed() {
+        use std::sync::Arc;
+        let t = Arc::new(jsweep_obs::Telemetry::new());
+        let h = TelemetryHandle::attach(t.clone());
+        assert!(!h.armed(), "not armed yet");
+        t.arm();
+        assert!(h.armed());
+        let rec = h.recorder(3, 1);
+        let t0 = rec.now();
+        assert!(t0 > 0);
+        rec.span(EventKind::Compute, t0, 9, 0);
+        h.global_instant(EventKind::CacheHit, 1, 0);
+        let lanes = t.snapshot();
+        assert!(lanes
+            .iter()
+            .any(|l| l.rank == 3 && l.lane == 1 && l.events.len() == 1));
+        assert!(lanes
+            .iter()
+            .any(|l| l.rank == jsweep_obs::GLOBAL_RANK && !l.events.is_empty()));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn epoch_metrics_feed_the_registry() {
+        use std::sync::Arc;
+        let t = Arc::new(jsweep_obs::Telemetry::new());
+        let h = TelemetryHandle::attach(t.clone());
+        t.arm();
+        let stats = crate::stats::RunStats {
+            wall_seconds: 0.25,
+            compute_calls: 7,
+            frames_sent: 3,
+            bytes_sent: 1000,
+            ..Default::default()
+        };
+        h.epoch_metrics(2, &stats, (1100, 900, 4));
+        h.observe_frame_bytes(2, 512);
+        let text = t.metrics().render_prometheus();
+        assert!(text.contains("jsweep_epochs_total{rank=\"2\"} 1"), "{text}");
+        assert!(
+            text.contains("jsweep_compute_calls_total{rank=\"2\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("jsweep_wire_bytes_sent{rank=\"2\"} 1100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("jsweep_frame_bytes_count{rank=\"2\"} 1"),
+            "{text}"
+        );
+    }
+}

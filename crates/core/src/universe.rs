@@ -65,6 +65,12 @@ pub struct EpochTuning {
     pub report_flush_streams: Option<usize>,
     /// Override for [`RuntimeConfig::claim_batch`].
     pub claim_batch: Option<usize>,
+    /// Span id stamped on this epoch's trace events (`0` = none). A
+    /// session driver assigns each request a span id and passes it
+    /// down here, so a ticket's epochs can be located in an exported
+    /// Chrome trace. Inert unless the `telemetry` feature is on and
+    /// recording is armed.
+    pub span: u64,
 }
 
 enum Cmd {
@@ -162,11 +168,7 @@ impl Universe {
                                     // still answers `Shutdown` (or is
                                     // retired by a relaunch); it just
                                     // never runs another epoch.
-                                    let result = rank.run_epoch(
-                                        &input,
-                                        tuning.report_flush_streams,
-                                        tuning.claim_batch,
-                                    );
+                                    let result = rank.run_epoch(&input, tuning);
                                     if stats_tx.send(result).is_err() {
                                         break;
                                     }

@@ -414,6 +414,11 @@ struct CacheInner {
     tick: u64,
     /// Plans dropped by the automatic policy since construction.
     evicted: u64,
+    /// `get` calls that found their plan.
+    hits: u64,
+    /// `get` calls that found nothing (each typically buys a recording
+    /// iteration plus a plan compile downstream).
+    misses: u64,
 }
 
 /// Cross-solve cache of compiled [`CoarsePlan`]s, keyed by [`PlanKey`].
@@ -465,15 +470,21 @@ impl PlanCache {
         self.policy
     }
 
-    /// Look up a compiled plan (touches it for LRU purposes).
+    /// Look up a compiled plan (touches it for LRU purposes and the
+    /// hit/miss counters).
     pub fn get(&self, key: &PlanKey) -> Option<Arc<CoarsePlan>> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.plans.get_mut(key).map(|e| {
+        let found = inner.plans.get_mut(key).map(|e| {
             e.last_used = tick;
             e.plan.clone()
-        })
+        });
+        match found {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
+        found
     }
 
     /// Store a compiled plan, enforcing the eviction policy
@@ -564,6 +575,17 @@ impl PlanCache {
     /// not counted).
     pub fn evictions(&self) -> u64 {
         self.inner.lock().evicted
+    }
+
+    /// [`PlanCache::get`] calls that found their plan, since
+    /// construction.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    /// [`PlanCache::get`] calls that found nothing, since construction.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().misses
     }
 
     /// Number of cached plans.

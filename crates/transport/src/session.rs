@@ -52,6 +52,9 @@ use crate::replay::{EvictionPolicy, PlanCache};
 use crate::solver::{advance_one_epoch, EpochWorld, SnConfig, SnSolution, SolveProgress};
 use crate::xs::MaterialSet;
 use jsweep_core::fault::{EpochFault, FaultKind};
+#[cfg(feature = "telemetry")]
+use jsweep_core::telemetry::obs;
+use jsweep_core::telemetry::TelemetryHandle;
 use jsweep_graph::SweepProblem;
 use jsweep_mesh::SweepTopology;
 use jsweep_quadrature::QuadratureSet;
@@ -184,6 +187,12 @@ pub struct SolveOutcome {
     /// Seconds between submission and the request's first epoch (its
     /// time at the back of the queue).
     pub queue_wait_seconds: f64,
+    /// Telemetry span id stamped on every epoch this request ran (the
+    /// `b` payload of its `Epoch` events in an exported Chrome trace —
+    /// see `docs/observability.md`). Assigned at admission as
+    /// `admission_index + 1`, so it is nonzero and deterministic; `0`
+    /// for a degenerate request that ran no epochs.
+    pub span_id: u64,
 }
 
 /// A solve the admission policy can schedule an epoch for: the head
@@ -522,6 +531,11 @@ pub struct SolverSession<T: SweepTopology + Send + Sync + 'static> {
     stats: Arc<Mutex<SessionStats>>,
     cache: Arc<PlanCache>,
     next_campaign: AtomicU64,
+    /// Clone of the solver config's handle, kept so the pull-style
+    /// exporter ([`SolverSession::metrics_text`]) reaches the registry
+    /// without going through the driver.
+    #[cfg(feature = "telemetry")]
+    telemetry: TelemetryHandle,
 }
 
 impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
@@ -545,6 +559,8 @@ impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
             }),
             cv: Condvar::new(),
         });
+        #[cfg(feature = "telemetry")]
+        let telemetry = options.solver.telemetry.clone();
         let world = EpochWorld::new(mesh, problem, quadrature, options.solver);
         let driver = Driver {
             shared: shared.clone(),
@@ -572,6 +588,8 @@ impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
             stats,
             cache,
             next_campaign: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            telemetry,
         }
     }
 
@@ -626,6 +644,39 @@ impl<T: SweepTopology + Send + Sync + 'static> SolverSession<T> {
     /// introspection; plans are inserted and served by the driver).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// Render the session's metrics registry in Prometheus text
+    /// exposition format (a pull endpoint would serve this verbatim).
+    /// Pull-style gauges — the plan cache's hit/miss/eviction counts —
+    /// are refreshed at call time; everything else is whatever the
+    /// armed runtime has pushed so far. Returns an empty string while
+    /// the session runs with a detached [`TelemetryHandle`].
+    #[cfg(feature = "telemetry")]
+    pub fn metrics_text(&self) -> String {
+        let Some(t) = self.telemetry.telemetry() else {
+            return String::new();
+        };
+        let m = t.metrics();
+        m.describe(
+            "jsweep_plan_cache_hits",
+            "Replay-plan cache lookups that hit.",
+        );
+        m.describe(
+            "jsweep_plan_cache_misses",
+            "Replay-plan cache lookups that missed.",
+        );
+        m.describe(
+            "jsweep_plan_cache_evictions",
+            "Replay plans evicted from the session cache.",
+        );
+        m.gauge("jsweep_plan_cache_hits")
+            .set(self.cache.hits() as f64);
+        m.gauge("jsweep_plan_cache_misses")
+            .set(self.cache.misses() as f64);
+        m.gauge("jsweep_plan_cache_evictions")
+            .set(self.cache.evictions() as f64);
+        m.render_prometheus()
     }
 
     /// Drain admitted work, resolve everything still queued with
@@ -888,7 +939,7 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
             .unwrap_or(self.world.config.max_iterations);
         let tolerance = request.tolerance.unwrap_or(self.world.config.tolerance);
         let retry = request.retry.unwrap_or(self.default_retry);
-        let progress = self.world.begin_solve(
+        let mut progress = self.world.begin_solve(
             request.materials,
             max_iterations,
             tolerance,
@@ -921,11 +972,16 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                 solution: progress.into_solution(),
                 mesh_generation: self.world.problem.mesh_generation,
                 queue_wait_seconds: wait,
+                span_id: 0,
             }));
             return;
         }
         let admission_index = self.admission_counter;
         self.admission_counter += 1;
+        // The request's trace span id: nonzero (0 means "untracked")
+        // and deterministic under any admission policy, so a ticket's
+        // epochs can be located in an exported trace by id alone.
+        progress.span = admission_index + 1;
         self.admitted
             .entry(campaign)
             .or_default()
@@ -981,7 +1037,9 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
             .front_mut()
             .expect("campaign queues are never left empty");
         if solve.queue_wait.is_none() {
-            solve.queue_wait = Some(solve.submitted.elapsed().as_secs_f64());
+            let wait = solve.submitted.elapsed().as_secs_f64();
+            solve.queue_wait = Some(wait);
+            note_queue_wait(&self.world.config.telemetry, wait);
         }
         let plan_generation = solve.progress.plan.as_ref().map(|p| p.mesh_generation);
         // Count the attempt before running it: "fail epoch E of
@@ -1054,6 +1112,12 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
             cs.compute_calls += epoch_stats.compute_calls;
             cs.worker_drain_seconds += epoch_stats.worker_drain_seconds.iter().sum::<f64>();
         }
+        set_session_gauge(
+            &self.world.config.telemetry,
+            "jsweep_flux_fresh_allocations",
+            "Flux accumulators allocated fresh (pool misses) by the resident world.",
+            self.world.fresh_flux_allocations() as f64,
+        );
         if outcome.done {
             let solve = queue.pop_front().expect("head just served");
             if queue.is_empty() {
@@ -1066,12 +1130,19 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                 cs.completed += 1;
                 cs.queue_wait_seconds += wait;
             }
+            bump_session_counter(
+                &self.world.config.telemetry,
+                "jsweep_session_solves_total",
+                "Requests the session resolved with a solution.",
+            );
+            let span_id = solve.progress.span;
             solve.reply.fulfill(Ok(SolveOutcome {
                 campaign,
                 seq: solve.seq,
                 solution: solve.progress.into_solution(),
                 mesh_generation: self.world.problem.mesh_generation,
                 queue_wait_seconds: wait,
+                span_id,
             }));
         }
     }
@@ -1117,6 +1188,18 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
                 cs.retries += 1;
             }
         }
+        bump_session_counter(
+            &self.world.config.telemetry,
+            "jsweep_session_faults_total",
+            "Faulted epochs observed by the session driver.",
+        );
+        if retrying {
+            bump_session_counter(
+                &self.world.config.telemetry,
+                "jsweep_session_retries_total",
+                "Epoch retries spent recovering faulted requests.",
+            );
+        }
         if retrying {
             // The solve stays at the head of its queue with its
             // progress untouched: the retried epoch reruns the same
@@ -1156,6 +1239,11 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
         self.retire_world();
         if had_universe {
             self.stats.lock().relaunches += 1;
+            bump_session_counter(
+                &self.world.config.telemetry,
+                "jsweep_session_relaunches_total",
+                "Universe relaunches forced by faulted epochs.",
+            );
         }
         if retrying && !backoff.is_zero() {
             thread::sleep(backoff);
@@ -1217,6 +1305,64 @@ impl<T: SweepTopology + Send + Sync + 'static> Driver<T> {
         }
     }
 }
+
+/// Bump a session-tier counter (no-op while the handle is detached or
+/// the telemetry disarmed; these sit on driver cold paths, never inside
+/// an epoch).
+#[cfg(feature = "telemetry")]
+fn bump_session_counter(h: &TelemetryHandle, name: &'static str, help: &'static str) {
+    let Some(t) = h.telemetry() else { return };
+    if !t.is_armed() {
+        return;
+    }
+    let m = t.metrics();
+    m.describe(name, help);
+    m.counter(name).inc();
+}
+
+/// Bump a session-tier counter (compiled out: no-op).
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+fn bump_session_counter(_h: &TelemetryHandle, _name: &'static str, _help: &'static str) {}
+
+/// Set a session-tier gauge (no-op while detached or disarmed).
+#[cfg(feature = "telemetry")]
+fn set_session_gauge(h: &TelemetryHandle, name: &'static str, help: &'static str, value: f64) {
+    let Some(t) = h.telemetry() else { return };
+    if !t.is_armed() {
+        return;
+    }
+    let m = t.metrics();
+    m.describe(name, help);
+    m.gauge(name).set(value);
+}
+
+/// Set a session-tier gauge (compiled out: no-op).
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+fn set_session_gauge(_h: &TelemetryHandle, _name: &'static str, _help: &'static str, _value: f64) {}
+
+/// Observe one request's queue wait into its histogram (no-op while
+/// detached or disarmed).
+#[cfg(feature = "telemetry")]
+fn note_queue_wait(h: &TelemetryHandle, seconds: f64) {
+    let Some(t) = h.telemetry() else { return };
+    if !t.is_armed() {
+        return;
+    }
+    let m = t.metrics();
+    m.describe(
+        "jsweep_session_queue_wait_seconds",
+        "Time a request spent queued before its first epoch.",
+    );
+    m.histogram("jsweep_session_queue_wait_seconds", obs::SECONDS_BUCKETS)
+        .observe(seconds);
+}
+
+/// Observe one request's queue wait (compiled out: no-op).
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+fn note_queue_wait(_h: &TelemetryHandle, _seconds: f64) {}
 
 #[cfg(test)]
 mod tests {
@@ -1315,6 +1461,49 @@ mod tests {
         assert_eq!(stats.universes_launched, 1);
         assert_eq!(stats.universes_retired, 1);
         assert_eq!(stats.campaigns[&campaign.id()].completed, 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn session_assigns_span_ids_and_exports_metrics() {
+        let (m, prob, quad, mats) = session_world();
+        let t = Arc::new(obs::Telemetry::new());
+        t.arm();
+        let mut cfg = quick_options();
+        cfg.solver.telemetry = TelemetryHandle::attach(t.clone());
+        let mut session = SolverSession::launch(m, prob, quad, cfg);
+        let campaign = session.campaign();
+        let first = campaign
+            .submit(SolveRequest::new(mats.clone()))
+            .wait()
+            .expect("first solve served");
+        let second = campaign
+            .submit(SolveRequest::new(mats))
+            .wait()
+            .expect("second solve served");
+        assert_eq!(first.span_id, 1, "first admission gets span 1");
+        assert_eq!(second.span_id, 2, "spans are the admission order");
+        // Every epoch event of a request carries its ticket's span id.
+        let lanes = t.snapshot();
+        let epoch_spans: Vec<u64> = lanes
+            .iter()
+            .flat_map(|l| l.events.iter())
+            .filter(|e| e.kind == obs::EventKind::Epoch)
+            .map(|e| e.b)
+            .collect();
+        assert!(epoch_spans.contains(&first.span_id), "{epoch_spans:?}");
+        assert!(epoch_spans.contains(&second.span_id), "{epoch_spans:?}");
+        let text = session.metrics_text();
+        assert!(text.contains("jsweep_session_solves_total 2"), "{text}");
+        // The first solve records the plan (miss), the second replays
+        // it (hit) — the pull gauges reflect the shared cache's truth.
+        assert!(text.contains("jsweep_plan_cache_hits 1"), "{text}");
+        assert!(text.contains("jsweep_plan_cache_misses 1"), "{text}");
+        assert!(
+            text.contains("jsweep_session_queue_wait_seconds_count 2"),
+            "{text}"
+        );
+        session.shutdown();
     }
 
     #[test]

@@ -24,9 +24,10 @@ use crate::replay::{
 };
 use crate::xs::MaterialSet;
 use jsweep_core::fault::{EpochFault, FaultPlan};
+use jsweep_core::telemetry::EventKind;
 use jsweep_core::{
-    fabric_for, run_universe, EpochTuning, RunStats, RuntimeConfig, SpmdRank, TerminationKind,
-    TransportKind, Universe,
+    fabric_for, run_universe, EpochTuning, RunStats, RuntimeConfig, SpmdRank, TelemetryHandle,
+    TerminationKind, TransportKind, Universe,
 };
 use jsweep_graph::coarse::ClusterTrace;
 use jsweep_graph::SweepProblem;
@@ -105,6 +106,11 @@ pub struct SnConfig {
     /// this process ([`solve_parallel_spmd`] is the one-rank-per-
     /// process entry point).
     pub transport: TransportKind,
+    /// Telemetry attachment threaded into the runtime (default
+    /// detached). Inert unless the `telemetry` feature is on and the
+    /// attached recorder is armed; see
+    /// [`jsweep_core::TelemetryHandle`].
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for SnConfig {
@@ -122,6 +128,7 @@ impl Default for SnConfig {
             watchdog: None,
             fault_plan: None,
             transport: TransportKind::default(),
+            telemetry: TelemetryHandle::default(),
         }
     }
 }
@@ -348,6 +355,7 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
             termination: config.termination,
             watchdog: config.watchdog,
             fault_plan: config.fault_plan.clone(),
+            telemetry: config.telemetry.clone(),
             ..Default::default()
         },
         // Replay iterations issue far fewer, larger compute calls and
@@ -361,6 +369,7 @@ fn sweep_iteration<T: SweepTopology + Send + Sync + 'static>(
             report_flush_streams: REPLAY_REPORT_FLUSH_STREAMS,
             watchdog: config.watchdog,
             fault_plan: config.fault_plan.clone(),
+            telemetry: config.telemetry.clone(),
             ..Default::default()
         },
     };
@@ -400,10 +409,12 @@ fn tuning_for(mode: &SweepMode, base: &RuntimeConfig) -> EpochTuning {
         SweepMode::Fine { .. } => EpochTuning {
             report_flush_streams: Some(base.report_flush_streams),
             claim_batch: Some(base.claim_batch),
+            ..Default::default()
         },
         SweepMode::Coarse { .. } => EpochTuning {
             report_flush_streams: Some(REPLAY_REPORT_FLUSH_STREAMS),
             claim_batch: Some(REPLAY_CLAIM_BATCH),
+            ..Default::default()
         },
     }
 }
@@ -529,6 +540,7 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
             termination: config.termination,
             watchdog: config.watchdog,
             fault_plan: config.fault_plan.clone(),
+            telemetry: config.telemetry.clone(),
             ..Default::default()
         };
         let key = config.coarsen.then(|| plan_key(&problem, config.grain));
@@ -561,7 +573,18 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
             "materials must cover the mesh"
         );
         let plan: Option<Arc<CoarsePlan>> = match (cache, &self.key) {
-            (Some(c), Some(k)) => c.get(k),
+            (Some(c), Some(k)) => {
+                let p = c.get(k);
+                let kind = if p.is_some() {
+                    EventKind::CacheHit
+                } else {
+                    EventKind::CacheMiss
+                };
+                self.config
+                    .telemetry
+                    .global_instant(kind, k.mesh_generation(), 0);
+                p
+            }
             _ => None,
         };
         if let Some(p) = &plan {
@@ -586,6 +609,7 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
             materials,
             max_iterations,
             tolerance,
+            span: 0,
         }
     }
 
@@ -621,6 +645,14 @@ impl<T: SweepTopology + Send + Sync + 'static> EpochWorld<T> {
     pub(crate) fn clear_flux_bins(&self) {
         self.flux_bins.clear();
     }
+
+    /// Accumulator buffers the shared flux bins allocated fresh (pool
+    /// misses) over the world's lifetime — see
+    /// [`FluxBins::fresh_allocations`]. Steady state for a resident
+    /// universe is one per `(patch, angle)` program.
+    pub fn fresh_flux_allocations(&self) -> u64 {
+        self.flux_bins.fresh_allocations()
+    }
 }
 
 /// Mutable state of one in-flight solve: the flux iterate, its
@@ -638,6 +670,10 @@ pub(crate) struct SolveProgress {
     pub(crate) plan: Option<Arc<CoarsePlan>>,
     pub(crate) plan_from_cache: bool,
     pub(crate) coarse_build_seconds: f64,
+    /// Trace span id stamped on this solve's epochs (`0` = none); a
+    /// session driver assigns one per ticket so a request's epochs can
+    /// be found in an exported Chrome trace.
+    pub(crate) span: u64,
 }
 
 impl SolveProgress {
@@ -720,7 +756,8 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
             )
         });
         world.resident_groups = Some(groups);
-        let tuning = tuning_for(&mode, &world.base);
+        let mut tuning = tuning_for(&mode, &world.base);
+        tuning.span = progress.span;
         // The epoch input carries the materials so a resident program
         // built for an earlier request adopts this solve's cross
         // sections on reset (first-epoch programs get them through the
@@ -772,8 +809,15 @@ pub(crate) fn advance_one_epoch<T: SweepTopology + Send + Sync + 'static>(
     // are actively hitting out of an at-capacity cache.
     if let Some(b) = bins {
         if !done || cache.is_some() {
+            let tc0 = world.config.telemetry.global_now();
             let traces = collect_traces(&world.problem, &b);
             let built = Arc::new(build_plan(&world.problem, &traces, world.mesh.as_ref()));
+            world.config.telemetry.global_span(
+                EventKind::PlanCompile,
+                tc0,
+                world.problem.mesh_generation,
+                0,
+            );
             progress.coarse_build_seconds = built.build_seconds;
             if let (Some(c), Some(k)) = (cache, world.key) {
                 if done {
@@ -863,6 +907,7 @@ pub fn solve_parallel_spmd<T: SweepTopology + Send + Sync + 'static>(
         termination: config.termination,
         watchdog: config.watchdog,
         fault_plan: config.fault_plan.clone(),
+        telemetry: config.telemetry.clone(),
         ..Default::default()
     };
     let mut phi = vec![0.0; n * groups];
@@ -880,6 +925,7 @@ pub fn solve_parallel_spmd<T: SweepTopology + Send + Sync + 'static>(
     let tuning = EpochTuning {
         report_flush_streams: Some(base.report_flush_streams),
         claim_batch: Some(base.claim_batch),
+        ..Default::default()
     };
     let mut rank = SpmdRank::launch(comm, factory, &base);
     let mut iterations = 0;

@@ -62,7 +62,7 @@ pub use jsweep_transport as transport;
 pub mod prelude {
     pub use jsweep_core::{
         run_universe, EpochFault, EpochTuning, FaultKind, FaultPlan, PatchProgram, ProgramFactory,
-        ProgramId, RuntimeConfig, Stream, TaskTag, TerminationKind, Universe,
+        ProgramId, RuntimeConfig, Stream, TaskTag, TelemetryHandle, TerminationKind, Universe,
     };
     pub use jsweep_des::{simulate, MachineModel, ProblemOptions, SimOptions, SweepProblem};
     pub use jsweep_graph::PriorityStrategy;

@@ -1,0 +1,334 @@
+//! End-to-end telemetry validation (requires `--features telemetry`).
+//!
+//! Runs a real 2-rank 8³ solve with recording armed and validates the
+//! exported data at every layer:
+//!
+//! * lanes are well-formed — every span has `t0 <= t1`, completion
+//!   order is monotone per lane, and spans on one lane nest properly
+//!   (a thread's call stack cannot partially overlap);
+//! * exactly one `epoch` span per `run_epoch` per rank, with `fence`
+//!   nested inside it and `compute` confined to worker lanes;
+//! * the Chrome trace-event JSON is loadable (sorted timestamps,
+//!   metadata rows, balanced braces) and renders both rank timelines;
+//! * a session ticket's `span_id` locates exactly its epochs in the
+//!   exported trace;
+//! * recording must never change physics: the armed flux is
+//!   bit-identical to a detached run's.
+//!
+//! With `--features "telemetry fault-inject"` an injected worker panic
+//! must additionally surface as a `fault` instant in the trace.
+
+#![cfg(feature = "telemetry")]
+
+use jsweep::core::telemetry::obs::{EventKind, LaneSnapshot, Telemetry, GLOBAL_RANK};
+use jsweep::prelude::*;
+use std::sync::Arc;
+
+const RANKS: usize = 2;
+const WORKERS: usize = 2;
+const ITERATIONS: usize = 3;
+
+/// The 2-rank 8³ world: 4³ block patches, S2, one group.
+fn build_world() -> (Arc<StructuredMesh>, Arc<SweepProblem>, QuadratureSet) {
+    let mesh = Arc::new(StructuredMesh::unit(8, 8, 8));
+    let quad = QuadratureSet::sn(2);
+    let patches = decompose_structured(&mesh, (4, 4, 4), RANKS);
+    let problem = Arc::new(SweepProblem::build(
+        mesh.as_ref(),
+        patches,
+        &quad,
+        &ProblemOptions::default(),
+    ));
+    (mesh, problem, quad)
+}
+
+fn materials() -> Arc<MaterialSet> {
+    Arc::new(MaterialSet::homogeneous(
+        512,
+        Material::uniform(1, 1.0, 0.5, 1.0),
+    ))
+}
+
+fn config(telemetry: TelemetryHandle) -> SnConfig {
+    SnConfig {
+        grain: 16,
+        max_iterations: ITERATIONS,
+        tolerance: 1e-14,
+        workers_per_rank: WORKERS,
+        telemetry,
+        ..Default::default()
+    }
+}
+
+/// Spans on one lane must nest like a call stack: any two either
+/// disjoint or one inside the other. Instants are exempt.
+fn assert_lane_well_formed(lane: &LaneSnapshot) {
+    let spans: Vec<_> = lane
+        .events
+        .iter()
+        .filter(|e| !e.kind.is_instant())
+        .collect();
+    let mut last_t1 = 0;
+    for e in &lane.events {
+        assert!(
+            e.t0 <= e.t1,
+            "rank {} lane {}: span ends before it starts: {e:?}",
+            lane.rank,
+            lane.lane
+        );
+        assert!(
+            e.t1 >= last_t1,
+            "rank {} lane {}: completion order not monotone: {e:?}",
+            lane.rank,
+            lane.lane
+        );
+        last_t1 = e.t1;
+    }
+    for (i, x) in spans.iter().enumerate() {
+        for y in spans.iter().skip(i + 1) {
+            let disjoint = x.t1 <= y.t0 || y.t1 <= x.t0;
+            let x_in_y = y.t0 <= x.t0 && x.t1 <= y.t1;
+            let y_in_x = x.t0 <= y.t0 && y.t1 <= x.t1;
+            assert!(
+                disjoint || x_in_y || y_in_x,
+                "rank {} lane {}: partially overlapping spans {x:?} / {y:?}",
+                lane.rank,
+                lane.lane
+            );
+        }
+    }
+}
+
+#[test]
+fn armed_two_rank_solve_exports_valid_chrome_trace() {
+    let (mesh, problem, quad) = build_world();
+    let golden = solve_parallel(
+        mesh.clone(),
+        problem.clone(),
+        &quad,
+        materials(),
+        &config(TelemetryHandle::default()),
+    );
+
+    let t = Arc::new(Telemetry::new());
+    t.arm();
+    let sol = solve_parallel(
+        mesh,
+        problem,
+        &quad,
+        materials(),
+        &config(TelemetryHandle::attach(t.clone())),
+    );
+    assert_eq!(sol.phi, golden.phi, "recording must not change physics");
+    assert_eq!(sol.iterations, ITERATIONS);
+
+    let lanes = t.snapshot();
+    for lane in &lanes {
+        assert_eq!(lane.dropped, 0, "no ring overflow at this scale");
+        assert_lane_well_formed(lane);
+    }
+
+    // Every rank contributes a master lane and both worker lanes.
+    for rank in 0..RANKS as u32 {
+        assert!(
+            lanes.iter().any(|l| l.rank == rank && l.lane == 0),
+            "rank {rank} master lane missing"
+        );
+        for w in 0..WORKERS as u32 {
+            assert!(
+                lanes.iter().any(|l| l.rank == rank && l.lane == w + 1),
+                "rank {rank} worker {w} lane missing"
+            );
+        }
+    }
+
+    // Exactly one epoch span per run_epoch per rank, in epoch order,
+    // with the fence nested inside its epoch.
+    for rank in 0..RANKS as u32 {
+        let master = lanes
+            .iter()
+            .find(|l| l.rank == rank && l.lane == 0)
+            .expect("master lane exists");
+        let epochs: Vec<_> = master
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Epoch)
+            .collect();
+        assert_eq!(
+            epochs.len(),
+            ITERATIONS,
+            "rank {rank}: one epoch span per run_epoch"
+        );
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.a, i as u64, "rank {rank}: epoch index in order");
+            assert_eq!(e.b, 0, "no session: epochs carry no request span");
+        }
+        let fences: Vec<_> = master
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Fence)
+            .collect();
+        // The first epoch has no predecessor to fence off.
+        assert_eq!(fences.len(), ITERATIONS - 1, "one fence per epoch join");
+        for f in &fences {
+            assert!(
+                epochs.iter().any(|e| e.t0 <= f.t0 && f.t1 <= e.t1),
+                "rank {rank}: fence outside every epoch span"
+            );
+        }
+    }
+
+    // Compute/claim live on worker lanes only; the work itself adds up.
+    let mut compute_events = 0usize;
+    for lane in &lanes {
+        let computes = lane
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Compute)
+            .count();
+        if lane.lane == 0 || lane.rank == GLOBAL_RANK {
+            assert_eq!(computes, 0, "compute span on a non-worker lane");
+        }
+        compute_events += computes;
+    }
+    assert!(compute_events > 0, "no compute spans recorded");
+
+    // The default config coarsens: the driver lane records the plan
+    // compilation of iteration 1.
+    let global = lanes
+        .iter()
+        .find(|l| l.rank == GLOBAL_RANK)
+        .expect("driver lane present");
+    assert!(
+        global
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::PlanCompile),
+        "plan compilation span missing from the driver lane"
+    );
+
+    // The Chrome export is loadable and renders both rank timelines.
+    let events = t.trace_events();
+    for w in events.windows(2) {
+        if (w[0].pid, w[0].tid) == (w[1].pid, w[1].tid) {
+            assert!(w[0].ts_us <= w[1].ts_us, "trace not time-sorted per lane");
+        }
+    }
+    let json = t.chrome_trace();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("]}"));
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON"
+    );
+    for label in [
+        "\"rank 0\"",
+        "\"rank 1\"",
+        "\"driver\"",
+        "\"master\"",
+        "\"worker 0\"",
+        "\"worker 1\"",
+        "\"name\":\"epoch\"",
+        "\"name\":\"compute\"",
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+    ] {
+        assert!(json.contains(label), "chrome trace missing {label}");
+    }
+}
+
+#[test]
+fn session_ticket_span_locates_its_epochs() {
+    let (mesh, problem, quad) = build_world();
+    let t = Arc::new(Telemetry::new());
+    t.arm();
+    let mut session = SolverSession::launch(
+        mesh,
+        problem,
+        quad,
+        SessionOptions {
+            solver: config(TelemetryHandle::attach(t.clone())),
+            ..Default::default()
+        },
+    );
+    let campaign = session.campaign();
+    let first = campaign
+        .submit(SolveRequest::new(materials()))
+        .wait()
+        .expect("first solve served");
+    let second = campaign
+        .submit(SolveRequest::new(materials()))
+        .wait()
+        .expect("second solve served");
+    session.shutdown();
+    assert_ne!(first.span_id, 0, "tickets carry a nonzero span id");
+    assert_ne!(first.span_id, second.span_id, "span ids are unique");
+
+    // Each ticket's span id finds exactly its epochs, on every rank.
+    let lanes = t.snapshot();
+    for out in [&first, &second] {
+        let tagged = lanes
+            .iter()
+            .flat_map(|l| l.events.iter())
+            .filter(|e| e.kind == EventKind::Epoch && e.b == out.span_id)
+            .count();
+        assert_eq!(
+            tagged,
+            out.solution.iterations * RANKS,
+            "span {} must tag one epoch span per run_epoch per rank",
+            out.span_id
+        );
+    }
+
+    // And the rendered trace carries the ids as span args.
+    let json = t.chrome_trace();
+    for out in [&first, &second] {
+        assert!(
+            json.contains(&format!("\"span\":{}", out.span_id)),
+            "span {} missing from the exported trace",
+            out.span_id
+        );
+    }
+}
+
+/// An injected worker panic must surface as a `fault` instant on the
+/// faulted rank's master lane (and in the rendered trace).
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_fault_appears_in_trace() {
+    let (mesh, problem, quad) = build_world();
+    let t = Arc::new(Telemetry::new());
+    t.arm();
+    let plan = FaultPlan::builder().panic_on_compute(0, 1).build();
+    let mut cfg = config(TelemetryHandle::attach(t.clone()));
+    cfg.fault_plan = Some(Arc::new(plan));
+    let mut session = SolverSession::launch(
+        mesh,
+        problem,
+        quad,
+        SessionOptions {
+            solver: cfg,
+            ..Default::default()
+        },
+    );
+    let campaign = session.campaign();
+    let err = campaign
+        .submit(SolveRequest::new(materials()))
+        .wait()
+        .expect_err("injected panic fails the ticket");
+    assert!(matches!(err, SessionError::Failed(_)));
+    session.shutdown();
+
+    let lanes = t.snapshot();
+    let faults = lanes
+        .iter()
+        .flat_map(|l| l.events.iter())
+        .filter(|e| e.kind == EventKind::Fault)
+        .count();
+    assert!(faults > 0, "injected panic left no fault event");
+    assert!(
+        t.chrome_trace().contains("\"name\":\"fault\""),
+        "fault instant missing from the rendered trace"
+    );
+}
